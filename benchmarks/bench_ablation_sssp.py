@@ -1,0 +1,93 @@
+"""Ablation — SSSP formulation choices the abstraction admits.
+
+DESIGN.md calls out the operator/frontier design choices SSSP can make
+without changing the algorithm's text: frontier dedup on/off, output
+representation, priority frontiers (delta-stepping, near-far), and the
+asynchronous message-passing engine.  Each row is the same query on the
+same graphs; the shape tests at the bottom pin the relationships the
+ablation is expected to show.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.nearfar import sssp_near_far
+from repro.algorithms.sssp import sssp, sssp_delta_stepping
+from repro.comm.async_pregel import async_sssp_messages
+from repro.execution import par_vector
+
+
+@pytest.mark.benchmark(group="ablation-sssp-grid")
+class TestGridAblation:
+    def test_plain_dedup_on(self, benchmark, bench_grid):
+        r = benchmark(sssp, bench_grid, 0, deduplicate_frontier=True)
+        assert r.stats.converged
+
+    # NOTE: no dedup-off arm on the grid — without between-superstep
+    # dedup, duplicate frontier entries compound multiplicatively across
+    # the grid's ~2·side supersteps and exhaust memory.  That blowup is
+    # itself a finding (recorded in EXPERIMENTS.md); the measurable
+    # dedup-off arm runs on the low-diameter R-MAT below.
+
+    def test_dense_output(self, benchmark, bench_grid):
+        r = benchmark(sssp, bench_grid, 0, output_representation="dense")
+        assert r.stats.converged
+
+    def test_delta_stepping(self, benchmark, bench_grid):
+        r = benchmark(sssp_delta_stepping, bench_grid, 0)
+        assert r.stats.converged
+
+    def test_near_far(self, benchmark, bench_grid):
+        r = benchmark(sssp_near_far, bench_grid, 0)
+        assert r.stats.converged
+
+    def test_async_messages(self, benchmark, bench_grid):
+        d, _ = benchmark(async_sssp_messages, bench_grid, 0, timeout=600)
+        assert d[0] == 0.0
+
+
+@pytest.mark.benchmark(group="ablation-sssp-rmat")
+class TestRmatAblation:
+    def test_plain_dedup_on(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp, bench_rmat_directed, 0, deduplicate_frontier=True)
+        assert r.stats.converged
+
+    def test_plain_dedup_off(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp, bench_rmat_directed, 0, deduplicate_frontier=False)
+        assert r.stats.converged
+
+    def test_delta_stepping(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp_delta_stepping, bench_rmat_directed, 0)
+        assert r.stats.converged
+
+    def test_near_far(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp_near_far, bench_rmat_directed, 0)
+        assert r.stats.converged
+
+
+class TestAblationShapes:
+    def test_all_variants_same_answer(self, bench_grid):
+        base = sssp(bench_grid, 0).distances
+        for dist in (
+            sssp(bench_grid, 0, output_representation="dense").distances,
+            sssp_delta_stepping(bench_grid, 0).distances,
+            sssp_near_far(bench_grid, 0).distances,
+            async_sssp_messages(bench_grid, 0, timeout=600)[0],
+        ):
+            assert np.allclose(base, dist, atol=1e-2)
+
+    def test_dedup_reduces_edge_work_on_dense_graphs(self, bench_rmat_directed):
+        on = sssp(
+            bench_rmat_directed, 0, deduplicate_frontier=True
+        ).stats.total_edges_touched
+        off = sssp(
+            bench_rmat_directed, 0, deduplicate_frontier=False
+        ).stats.total_edges_touched
+        assert on <= off
+
+    def test_priority_frontiers_cut_rounds_on_grid(self, bench_grid):
+        plain = sssp(bench_grid, 0).stats.num_iterations
+        delta = sssp_delta_stepping(bench_grid, 0).stats.num_iterations
+        nf = sssp_near_far(bench_grid, 0).stats.num_iterations
+        assert delta < plain
+        assert nf <= plain

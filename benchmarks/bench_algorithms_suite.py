@@ -1,0 +1,137 @@
+"""Experiment A1 — the full algorithm suite throughput table.
+
+One row per (algorithm, workload): the MTEPS-style table a graph
+framework's evaluation section prints.  The suite mirrors
+gunrock/essentials' algorithm set; absolute numbers are Python-bound
+(DESIGN.md), the per-algorithm relative ordering across workloads is
+the reproducible shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality,
+    boruvka_mst,
+    connected_components,
+    graph_coloring,
+    hits,
+    kcore_decomposition,
+    pagerank,
+    spmv,
+    sssp,
+    triangle_count,
+)
+from repro.algorithms.bfs import bfs
+
+
+@pytest.mark.benchmark(group="A1-traversal")
+class TestTraversal:
+    def test_bfs_rmat(self, benchmark, bench_rmat):
+        r = benchmark(bfs, bench_rmat, 0, direction="auto")
+        assert r.stats.converged
+
+    def test_bfs_grid(self, benchmark, bench_grid):
+        r = benchmark(bfs, bench_grid, 0, direction="auto")
+        assert r.stats.converged
+
+    def test_sssp_rmat(self, benchmark, bench_rmat):
+        r = benchmark(sssp, bench_rmat, 0)
+        assert r.stats.converged
+
+    def test_sssp_grid(self, benchmark, bench_grid):
+        r = benchmark(sssp, bench_grid, 0)
+        assert r.stats.converged
+
+    def test_astar_single_pair_grid(self, benchmark, bench_grid):
+        import numpy as np
+
+        from repro.algorithms import astar, grid_heuristic
+        from benchmarks.conftest import GRID_SIDE
+
+        side = GRID_SIDE
+        target = side - 1
+        min_w = float(bench_grid.csr().values.min())
+        r = benchmark(
+            astar, bench_grid, 0, target,
+            heuristic=grid_heuristic(side, target, min_edge_weight=min_w),
+        )
+        assert r.found
+
+
+@pytest.mark.benchmark(group="A1-iterative")
+class TestIterative:
+    def test_pagerank_rmat(self, benchmark, bench_rmat):
+        r = benchmark(pagerank, bench_rmat, tolerance=1e-6)
+        assert r.converged
+
+    def test_pagerank_er(self, benchmark, bench_er):
+        r = benchmark(pagerank, bench_er, tolerance=1e-6)
+        assert r.converged
+
+    def test_hits_rmat(self, benchmark, bench_rmat_directed):
+        r = benchmark(hits, bench_rmat_directed)
+        assert r.iterations > 0
+
+    def test_spmv_rmat(self, benchmark, bench_rmat):
+        x = np.random.default_rng(0).random(bench_rmat.n_vertices)
+        y = benchmark(spmv, bench_rmat, x)
+        assert y.shape[0] == bench_rmat.n_vertices
+
+
+@pytest.mark.benchmark(group="A1-structure")
+class TestStructure:
+    def test_cc_rmat(self, benchmark, bench_rmat):
+        r = benchmark(connected_components, bench_rmat)
+        assert r.n_components >= 1
+
+    def test_cc_hooking_rmat(self, benchmark, bench_rmat):
+        r = benchmark(connected_components, bench_rmat, method="hooking")
+        assert r.n_components >= 1
+
+    def test_scc_rmat(self, benchmark, bench_rmat_directed):
+        from repro.algorithms import strongly_connected_components
+
+        r = benchmark(strongly_connected_components, bench_rmat_directed)
+        assert r.n_components >= 1
+
+    def test_tc_ws(self, benchmark, bench_ws):
+        r = benchmark(triangle_count, bench_ws)
+        assert r.total > 0
+
+    def test_kcore_rmat(self, benchmark, bench_rmat):
+        r = benchmark(kcore_decomposition, bench_rmat)
+        assert r.max_core >= 1
+
+    def test_coloring_rmat(self, benchmark, bench_rmat):
+        r = benchmark(graph_coloring, bench_rmat, seed=0)
+        assert r.n_colors >= 1
+
+    def test_mst_grid(self, benchmark, bench_grid):
+        r = benchmark(boruvka_mst, bench_grid)
+        assert r.n_components == 1
+
+    def test_bc_sampled_ws(self, benchmark, bench_ws):
+        sources = range(0, bench_ws.n_vertices, bench_ws.n_vertices // 16)
+        r = benchmark(betweenness_centrality, bench_ws, sources=sources)
+        assert r.centrality.max() > 0
+
+
+def test_suite_mteps_report(capsys, bench_rmat, bench_grid):
+    """Print the MTEPS-style summary rows the paper-style table shows."""
+    rows = []
+    for name, g in (("rmat", bench_rmat), ("grid", bench_grid)):
+        for alg, run in (
+            ("bfs", lambda g=g: bfs(g, 0).stats),
+            ("sssp", lambda g=g: sssp(g, 0).stats),
+        ):
+            stats = run()
+            rows.append(
+                (alg, name, stats.num_iterations, stats.total_edges_touched,
+                 f"{stats.mteps:.2f}")
+            )
+    with capsys.disabled():
+        print("\n\nA1 summary (algorithm, workload, supersteps, edges, MTEPS)")
+        for row in rows:
+            print("  " + "  ".join(str(c).ljust(10) for c in row))
+    assert all(r[3] > 0 for r in rows)

@@ -1,0 +1,125 @@
+"""Experiment F1 — frontier representation crossover vs active fraction.
+
+§IV-B: "depending on the scheduling and communication model, these
+frontier representations can be partitioned or streamed"; the practical
+choice is sparse-vs-dense by active fraction.  This bench sweeps the
+fraction over four decades and times the operations an advance actually
+performs per superstep: build the output frontier, dedup it, and test
+membership.
+
+Shape expectations (EXPERIMENTS.md): the sparse vector wins at small
+fractions (work ~ k), the bitmap wins once the fraction passes a few
+percent (work ~ n but constant-factor-tiny), and the crossover sits
+near the default DENSE_THRESHOLD the auto-selector uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontier import DenseFrontier, SparseFrontier, auto_select
+
+CAPACITY = 1 << 17
+FRACTIONS = [0.0001, 0.001, 0.01, 0.1, 0.5]
+
+
+def _ids(fraction):
+    rng = np.random.default_rng(17)
+    k = max(1, int(CAPACITY * fraction))
+    return rng.choice(CAPACITY, size=k, replace=False).astype(np.int32)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.benchmark(group="F1-build")
+def test_build_sparse(benchmark, fraction):
+    ids = _ids(fraction)
+
+    def build():
+        f = SparseFrontier(CAPACITY)
+        f.add_many(ids)
+        return f
+
+    benchmark(build)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.benchmark(group="F1-build")
+def test_build_dense(benchmark, fraction):
+    ids = _ids(fraction)
+
+    def build():
+        f = DenseFrontier(CAPACITY)
+        f.add_many(ids)
+        return f
+
+    benchmark(build)
+
+
+@pytest.mark.parametrize("fraction", [0.001, 0.1])
+@pytest.mark.benchmark(group="F1-dedup")
+def test_dedup_sparse_sort(benchmark, fraction):
+    ids = np.concatenate([_ids(fraction)] * 3)  # duplicates
+    from repro.operators import uniquify
+
+    f = SparseFrontier.from_indices(ids, CAPACITY)
+    benchmark(uniquify, "seq", f, strategy="sort")
+
+
+@pytest.mark.parametrize("fraction", [0.001, 0.1])
+@pytest.mark.benchmark(group="F1-dedup")
+def test_dedup_bitmap(benchmark, fraction):
+    ids = np.concatenate([_ids(fraction)] * 3)
+    from repro.operators import uniquify
+
+    f = SparseFrontier.from_indices(ids, CAPACITY)
+    benchmark(uniquify, "seq", f, strategy="bitmap")
+
+
+@pytest.mark.parametrize("fraction", [0.001, 0.1])
+@pytest.mark.benchmark(group="F1-membership")
+def test_membership_sparse(benchmark, fraction):
+    f = SparseFrontier.from_indices(_ids(fraction), CAPACITY)
+    probes = list(range(0, CAPACITY, CAPACITY // 256))
+
+    def probe_all():
+        return sum(1 for p in probes if p in f)
+
+    benchmark(probe_all)
+
+
+@pytest.mark.parametrize("fraction", [0.001, 0.1])
+@pytest.mark.benchmark(group="F1-membership")
+def test_membership_dense(benchmark, fraction):
+    f = DenseFrontier.from_indices(_ids(fraction), CAPACITY)
+    probes = list(range(0, CAPACITY, CAPACITY // 256))
+
+    def probe_all():
+        return sum(1 for p in probes if p in f)
+
+    benchmark(probe_all)
+
+
+class TestFrontierShapes:
+    def test_auto_select_picks_the_winner_side(self):
+        tiny = SparseFrontier.from_indices(_ids(0.0001), CAPACITY)
+        wide = SparseFrontier.from_indices(_ids(0.5), CAPACITY)
+        assert isinstance(auto_select(tiny), SparseFrontier)
+        assert isinstance(auto_select(wide), DenseFrontier)
+
+    def test_sparse_build_scales_with_k_not_n(self):
+        """Sparse frontier work is O(active), dense is O(capacity): at
+        fraction 1e-4 the sparse build touches ~13 ids, the dense build
+        allocates the full bitmap."""
+        import time
+
+        ids = _ids(0.0001)
+        t0 = time.perf_counter()
+        for _ in range(200):
+            f = SparseFrontier(CAPACITY)
+            f.add_many(ids)
+        sparse_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(200):
+            f = DenseFrontier(CAPACITY)
+            f.add_many(ids)
+        dense_t = time.perf_counter() - t0
+        assert sparse_t < dense_t

@@ -1,0 +1,78 @@
+"""Experiment L1 — Listing 1: graph-API queries over sparse formats.
+
+Microbenchmarks of the native-graph query surface: scalar queries
+(the listing's ``get_edge_weight``), bulk vectorized queries (what the
+operators actually use), and view derivation (the CSR->CSC transpose
+that enables pull traversal).  The scalar-vs-bulk gap is the quantified
+argument for why the Python reproduction routes the hot path through
+bulk kernels (DESIGN.md substitution table).
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.mark.benchmark(group="L1-scalar-queries")
+def test_scalar_get_edge_weight(benchmark, bench_rmat):
+    csr = bench_rmat.csr()
+    n_edges = bench_rmat.n_edges
+
+    def scan_1k():
+        total = 0.0
+        for e in range(0, n_edges, max(1, n_edges // 1000)):
+            total += csr.get_edge_weight(e)
+        return total
+
+    assert benchmark(scan_1k) > 0
+
+
+@pytest.mark.benchmark(group="L1-scalar-queries")
+def test_scalar_get_neighbors(benchmark, bench_rmat):
+    csr = bench_rmat.csr()
+    n = bench_rmat.n_vertices
+
+    def scan():
+        total = 0
+        for v in range(0, n, max(1, n // 1000)):
+            total += csr.get_neighbors(v).shape[0]
+        return total
+
+    benchmark(scan)
+
+
+@pytest.mark.benchmark(group="L1-bulk-queries")
+def test_bulk_degrees(benchmark, bench_rmat):
+    csr = bench_rmat.csr()
+    out = benchmark(csr.degrees)
+    assert out.sum() == bench_rmat.n_edges
+
+
+@pytest.mark.benchmark(group="L1-bulk-queries")
+def test_bulk_expand_vertices(benchmark, bench_rmat):
+    csr = bench_rmat.csr()
+    vertices = np.arange(bench_rmat.n_vertices, dtype=np.int32)
+
+    def expand():
+        s, d, e, w = csr.expand_vertices(vertices)
+        return s.shape[0]
+
+    assert benchmark(expand) == bench_rmat.n_edges
+
+
+@pytest.mark.benchmark(group="L1-view-derivation")
+def test_transpose_csr_to_csc(benchmark, bench_rmat):
+    from repro.graph.transpose import transpose_csr
+
+    csc = benchmark(transpose_csr, bench_rmat.csr())
+    assert csc.get_num_edges() == bench_rmat.n_edges
+
+
+@pytest.mark.benchmark(group="L1-view-derivation")
+def test_coo_to_csr_build(benchmark, bench_rmat):
+    coo = bench_rmat.coo()
+
+    def build():
+        ro, ci, vals = coo.to_csr_arrays()
+        return ro[-1]
+
+    assert benchmark(build) == bench_rmat.n_edges

@@ -1,0 +1,65 @@
+"""Experiment L2 — Listing 2: the frontier interface across
+representations.
+
+Times the three mutation/query paths of each representation at equal
+workload, demonstrating the §III-B claim that the top-level interface is
+uniform while costs differ by representation (sparse append vs bitmap
+scatter vs locked queue).
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontier import AsyncQueueFrontier, DenseFrontier, SparseFrontier
+
+CAPACITY = 1 << 16
+BATCH = np.random.default_rng(0).integers(0, CAPACITY, size=8192).astype(np.int32)
+
+REPRS = [
+    ("sparse", SparseFrontier),
+    ("dense", DenseFrontier),
+    ("queue", AsyncQueueFrontier),
+]
+
+
+@pytest.mark.parametrize("name,cls", REPRS, ids=[r[0] for r in REPRS])
+@pytest.mark.benchmark(group="L2-bulk-insert")
+def test_add_many(benchmark, name, cls):
+    def insert():
+        f = cls(CAPACITY)
+        f.add_many(BATCH)
+        return f.size()
+
+    assert benchmark(insert) > 0
+
+
+@pytest.mark.parametrize("name,cls", REPRS, ids=[r[0] for r in REPRS])
+@pytest.mark.benchmark(group="L2-scalar-insert")
+def test_scalar_add(benchmark, name, cls):
+    items = BATCH[:512].tolist()
+
+    def insert():
+        f = cls(CAPACITY)
+        for v in items:
+            f.add(v)
+        return f.size()
+
+    assert benchmark(insert) > 0
+
+
+@pytest.mark.parametrize("name,cls", REPRS, ids=[r[0] for r in REPRS])
+@pytest.mark.benchmark(group="L2-read-back")
+def test_to_indices(benchmark, name, cls):
+    f = cls(CAPACITY)
+    f.add_many(BATCH)
+    out = benchmark(f.to_indices)
+    assert out.shape[0] > 0
+
+
+@pytest.mark.benchmark(group="L2-conversion")
+def test_sparse_to_dense_conversion(benchmark):
+    from repro.frontier import convert
+
+    f = SparseFrontier.from_indices(BATCH, CAPACITY)
+    out = benchmark(convert, f, "dense")
+    assert out.size() == np.unique(BATCH).shape[0]

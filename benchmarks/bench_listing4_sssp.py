@@ -1,0 +1,65 @@
+"""Experiment L4 — Listing 4: complete SSSP vs textbook baselines.
+
+Rows: the packaged SSSP per policy, delta-stepping, async, Dijkstra and
+Bellman–Ford, on both the scale-free and the road-like workloads.
+Shape expectations (EXPERIMENTS.md): par_vector within a small factor of
+Dijkstra; BSP superstep count ~ graph diameter; delta-stepping buckets
+far fewer than BSP supersteps on the grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp import sssp, sssp_delta_stepping
+from repro.baselines import bellman_ford, dijkstra
+from repro.execution import par_vector, seq
+
+
+@pytest.mark.benchmark(group="L4-sssp-rmat")
+class TestSSSPRmat:
+    def test_framework_par_vector(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp, bench_rmat_directed, 0, policy=par_vector)
+        assert r.stats.converged
+
+    def test_framework_delta_stepping(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp_delta_stepping, bench_rmat_directed, 0)
+        assert r.stats.converged
+
+    def test_baseline_dijkstra(self, benchmark, bench_rmat_directed):
+        d = benchmark(dijkstra, bench_rmat_directed, 0)
+        assert d[0] == 0.0
+
+    def test_baseline_bellman_ford(self, benchmark, bench_rmat_directed):
+        d = benchmark(bellman_ford, bench_rmat_directed, 0)
+        assert d[0] == 0.0
+
+
+@pytest.mark.benchmark(group="L4-sssp-grid")
+class TestSSSPGrid:
+    def test_framework_par_vector(self, benchmark, bench_grid):
+        r = benchmark(sssp, bench_grid, 0, policy=par_vector)
+        assert r.stats.converged
+
+    def test_framework_delta_stepping(self, benchmark, bench_grid):
+        r = benchmark(sssp_delta_stepping, bench_grid, 0)
+        assert r.stats.converged
+
+    def test_baseline_dijkstra(self, benchmark, bench_grid):
+        d = benchmark(dijkstra, bench_grid, 0)
+        assert d[0] == 0.0
+
+
+def test_shape_all_variants_agree(bench_grid):
+    ref = dijkstra(bench_grid, 0)
+    for dist in (
+        sssp(bench_grid, 0, policy=par_vector).distances,
+        sssp_delta_stepping(bench_grid, 0).distances,
+        bellman_ford(bench_grid, 0),
+    ):
+        assert np.allclose(dist, ref, atol=1e-2)
+
+
+def test_shape_delta_uses_fewer_rounds_than_bsp_on_grid(bench_grid):
+    bsp = sssp(bench_grid, 0, policy=par_vector).stats.num_iterations
+    delta = sssp_delta_stepping(bench_grid, 0).stats.num_iterations
+    assert delta < bsp

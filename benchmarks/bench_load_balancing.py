@@ -1,0 +1,89 @@
+"""Experiment F2 — load-balancing schedules on skewed vs uniform degrees.
+
+§IV-C: load balancing is "where the bulk of optimizations can be
+introduced".  Rows: the vertex-balanced and edge-balanced chunkers on
+(a) the R-MAT degree sequence (hub-skewed) and (b) the grid (uniform),
+reporting schedule-construction cost here and the imbalance ratio in
+the shape tests.
+
+Shape expectations (EXPERIMENTS.md): on R-MAT the vertex-balanced
+schedule leaves a chunk holding a hub with many-x the mean work while
+the edge-balanced split stays near 1.0; on the grid both are ~1.0 and
+the cheaper vertex split is the right default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.execution import par
+from repro.frontier import SparseFrontier
+from repro.operators import neighbors_expand
+from repro.operators.load_balance import (
+    chunk_imbalance,
+    edge_balanced_chunks,
+    vertex_balanced_chunks,
+)
+
+N_CHUNKS = 8
+
+
+@pytest.mark.benchmark(group="F2-schedule-cost")
+def test_vertex_schedule_cost(benchmark, bench_rmat):
+    degrees = bench_rmat.out_degrees()
+    benchmark(vertex_balanced_chunks, degrees.shape[0], N_CHUNKS)
+
+
+@pytest.mark.benchmark(group="F2-schedule-cost")
+def test_edge_schedule_cost(benchmark, bench_rmat):
+    degrees = bench_rmat.out_degrees()
+    benchmark(edge_balanced_chunks, degrees, N_CHUNKS)
+
+
+@pytest.mark.parametrize("mode", ["vertex", "edge"])
+@pytest.mark.benchmark(group="F2-threaded-advance")
+def test_threaded_advance_by_schedule(benchmark, bench_rmat, mode):
+    n = bench_rmat.n_vertices
+    f = SparseFrontier.from_indices(np.arange(n, dtype=np.int32), n)
+    policy = par.with_load_balance(mode).with_workers(4)
+    out = benchmark(
+        neighbors_expand, policy, bench_rmat, f, lambda s, d, e, w: w < 5.0
+    )
+    assert out.size() > 0
+
+
+class TestLoadBalanceShapes:
+    def test_skewed_degrees_need_edge_balance(self, bench_rmat):
+        degrees = bench_rmat.out_degrees()
+        # Order the frontier by vertex id (natural advance order).
+        imb_vertex = chunk_imbalance(
+            degrees, vertex_balanced_chunks(degrees.shape[0], N_CHUNKS)
+        )
+        imb_edge = chunk_imbalance(
+            degrees, edge_balanced_chunks(degrees, N_CHUNKS)
+        )
+        assert imb_edge < imb_vertex
+        assert imb_edge < 1.6
+
+    def test_uniform_degrees_already_balanced(self, bench_grid):
+        degrees = bench_grid.out_degrees()
+        imb_vertex = chunk_imbalance(
+            degrees, vertex_balanced_chunks(degrees.shape[0], N_CHUNKS)
+        )
+        assert imb_vertex < 1.1
+
+    def test_star_pathology(self):
+        """One hub owning every edge: vertex balance is maximally wrong,
+        edge balance gives the hub its own chunk."""
+        from repro.graph.generators import star
+
+        g = star(10_000, directed=True)
+        degrees = g.out_degrees()
+        imb_vertex = chunk_imbalance(
+            degrees, vertex_balanced_chunks(degrees.shape[0], N_CHUNKS)
+        )
+        imb_edge = chunk_imbalance(
+            degrees, edge_balanced_chunks(degrees, N_CHUNKS)
+        )
+        assert imb_vertex >= N_CHUNKS * 0.9  # one chunk has ~all the work
+        assert imb_edge <= 1.01 * N_CHUNKS / 1  # hub is unsplittable...
+        assert imb_edge <= imb_vertex

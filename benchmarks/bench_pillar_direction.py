@@ -1,0 +1,103 @@
+"""Experiment P3 — Execution-model pillar: push vs pull vs
+direction-optimized BFS, and vertex- vs edge-centric advance.
+
+§III-C: CSR serves push, CSC serves pull, and the frontier's active
+fraction decides which wins — wide frontiers amortize the pull scan,
+narrow frontiers make push's work proportional to the frontier.
+
+Shape expectations (EXPERIMENTS.md): on scale-free graphs the
+direction-optimized run matches the better fixed direction per level
+and switches at the frontier bulge; on the grid (never-wide frontiers)
+push wins throughout and auto stays push.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.execution import par_vector
+from repro.frontier import DenseFrontier, SparseFrontier
+from repro.operators import neighbors_expand
+from repro.operators.advance import expand_to_edges
+from repro.operators.conditions import bulk_condition
+
+DIRECTIONS = ["push", "pull", "auto"]
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+@pytest.mark.benchmark(group="P3-bfs-rmat")
+def test_bfs_rmat(benchmark, bench_rmat, direction):
+    bench_rmat.csc()
+    r = benchmark(bfs, bench_rmat, 0, direction=direction)
+    assert r.stats.converged
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+@pytest.mark.benchmark(group="P3-bfs-grid")
+def test_bfs_grid(benchmark, bench_grid, direction):
+    bench_grid.csc()
+    r = benchmark(bfs, bench_grid, 0, direction=direction)
+    assert r.stats.converged
+
+
+@bulk_condition
+def _always(srcs, dsts, edges, weights):
+    return np.ones(srcs.shape[0], dtype=bool)
+
+
+@pytest.mark.benchmark(group="P3-advance-frontier-width")
+@pytest.mark.parametrize("fraction", [0.001, 0.01, 0.1, 0.5])
+def test_push_advance_by_frontier_width(benchmark, bench_rmat, fraction):
+    """Push cost scales with frontier size — the narrow-frontier win."""
+    n = bench_rmat.n_vertices
+    step = max(1, int(1 / fraction))
+    f = SparseFrontier.from_indices(np.arange(0, n, step, dtype=np.int32), n)
+    out = benchmark(neighbors_expand, par_vector, bench_rmat, f, _always)
+    assert out is not None
+
+
+@pytest.mark.benchmark(group="P3-advance-frontier-width")
+@pytest.mark.parametrize("fraction", [0.001, 0.5])
+def test_pull_advance_by_frontier_width(benchmark, bench_rmat, fraction):
+    """Pull cost is ~flat in frontier size (scans all candidates) —
+    cheap only when the frontier is wide."""
+    n = bench_rmat.n_vertices
+    step = max(1, int(1 / fraction))
+    f = DenseFrontier.from_indices(np.arange(0, n, step, dtype=np.int32), n)
+    bench_rmat.csc()
+    out = benchmark(
+        neighbors_expand, par_vector, bench_rmat, f, _always, direction="pull"
+    )
+    assert out is not None
+
+
+@pytest.mark.benchmark(group="P3-vertex-vs-edge-centric")
+def test_vertex_centric_advance(benchmark, bench_rmat):
+    n = bench_rmat.n_vertices
+    f = SparseFrontier.from_indices(np.arange(0, n, 10, dtype=np.int32), n)
+    benchmark(neighbors_expand, par_vector, bench_rmat, f, _always)
+
+
+@pytest.mark.benchmark(group="P3-vertex-vs-edge-centric")
+def test_edge_centric_advance(benchmark, bench_rmat):
+    n = bench_rmat.n_vertices
+    f = SparseFrontier.from_indices(np.arange(0, n, 10, dtype=np.int32), n)
+    out = benchmark(expand_to_edges, par_vector, bench_rmat, f, _always)
+    assert out.kind.value == "edge"
+
+
+class TestDirectionShapes:
+    def test_auto_switches_on_rmat(self, bench_rmat):
+        r = bfs(bench_rmat, 0, direction="auto")
+        assert "pull" in r.directions and "push" in r.directions
+
+    def test_auto_stays_push_on_grid(self, bench_grid):
+        r = bfs(bench_grid, 0, direction="auto")
+        assert all(d == "push" for d in r.directions)
+
+    def test_all_directions_same_levels(self, bench_rmat):
+        levels = [
+            bfs(bench_rmat, 0, direction=d).levels for d in DIRECTIONS
+        ]
+        assert np.array_equal(levels[0], levels[1])
+        assert np.array_equal(levels[0], levels[2])

@@ -1,0 +1,92 @@
+"""Experiment P4 — Partitioning pillar: heuristic quality and cost.
+
+Table I row 4: random partitioning and METIS.  Rows: edge cut, balance,
+and communication volume for every implemented heuristic at
+k ∈ {2, 4, 8, 16}, on the three workload classes, plus partitioner
+runtime.
+
+Shape expectations (EXPERIMENTS.md): on spatially structured graphs
+(grid, small-world) the multilevel heuristic cuts 5-20x fewer edges
+than random at comparable balance; streaming lands between; on
+scale-free R-MAT everything degrades toward random (the known
+power-law-partitioning wall, cf. PowerGraph's motivation).
+"""
+
+import pytest
+
+from repro.partition import (
+    edge_cut,
+    fennel_partition,
+    ldg_partition,
+    load_balance,
+    metis_like_partition,
+    random_partition,
+)
+
+HEURISTICS = [
+    ("random", lambda g, k: random_partition(g, k, seed=0)),
+    ("ldg", lambda g, k: ldg_partition(g, k, seed=0)),
+    ("fennel", lambda g, k: fennel_partition(g, k, seed=0)),
+    ("metis_like", lambda g, k: metis_like_partition(g, k, seed=0)),
+]
+IDS = [h[0] for h in HEURISTICS]
+
+
+@pytest.mark.parametrize("name,fn", HEURISTICS, ids=IDS)
+@pytest.mark.benchmark(group="P4-partition-grid-k4")
+def test_partition_grid(benchmark, bench_grid, name, fn):
+    p = benchmark(fn, bench_grid, 4)
+    assert load_balance(p) < 1.6
+
+
+@pytest.mark.parametrize("name,fn", HEURISTICS, ids=IDS)
+@pytest.mark.benchmark(group="P4-partition-ws-k4")
+def test_partition_smallworld(benchmark, bench_ws, name, fn):
+    p = benchmark(fn, bench_ws, 4)
+    assert load_balance(p) < 1.6
+
+
+@pytest.mark.parametrize("name,fn", HEURISTICS, ids=IDS)
+@pytest.mark.benchmark(group="P4-partition-rmat-k4")
+def test_partition_rmat(benchmark, bench_rmat, name, fn):
+    p = benchmark(fn, bench_rmat, 4)
+    assert p.n_parts == 4
+
+
+class TestPartitioningShapes:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_metis_beats_random_on_grid(self, bench_grid, k):
+        cut_rand = edge_cut(bench_grid, random_partition(bench_grid, k, seed=1))
+        cut_metis = edge_cut(
+            bench_grid, metis_like_partition(bench_grid, k, seed=1)
+        )
+        assert cut_metis < cut_rand / 4
+
+    def test_streaming_lands_between(self, bench_ws):
+        cut_rand = edge_cut(bench_ws, random_partition(bench_ws, 4, seed=2))
+        cut_ldg = edge_cut(bench_ws, ldg_partition(bench_ws, 4, seed=2))
+        cut_metis = edge_cut(
+            bench_ws, metis_like_partition(bench_ws, 4, seed=2)
+        )
+        assert cut_metis < cut_ldg < cut_rand
+
+    def test_random_cut_fraction_matches_theory(self, bench_grid):
+        """Random k-way cuts ~ (k-1)/k of edges."""
+        k = 4
+        cut = edge_cut(bench_grid, random_partition(bench_grid, k, seed=3))
+        expected = bench_grid.n_edges * (k - 1) / k
+        assert abs(cut - expected) / expected < 0.1
+
+    def test_rmat_resists_partitioning(self, bench_rmat, bench_grid):
+        """Power-law graphs partition far worse than lattices: the best
+        heuristic's relative cut on RMAT stays a large fraction of the
+        random cut, while on the grid it is a small fraction."""
+
+        def best_rel_cut(g):
+            rand = edge_cut(g, random_partition(g, 4, seed=4))
+            best = min(
+                edge_cut(g, fn(g, 4)) for _, fn in HEURISTICS[1:]
+            )
+            return best / max(rand, 1)
+
+        assert best_rel_cut(bench_rmat) > 3 * best_rel_cut(bench_grid)

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures: workload graphs built once per session.
+
+Sizes are chosen so the whole harness finishes in minutes on a laptop
+while still exhibiting the regime each experiment needs (skew for
+load balancing, diameter for timing, density sweep for frontier
+crossover).  Scale knobs are environment variables so a bigger machine
+can rerun the same harness at larger scale:
+
+    REPRO_BENCH_SCALE=12 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi_gnm, grid_2d, rmat, watts_strogatz
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "10"))
+GRID_SIDE = int(os.environ.get("REPRO_BENCH_GRID", "48"))
+
+
+@pytest.fixture(scope="session")
+def bench_rmat():
+    """Scale-free workload: degree skew stresses load balance and
+    direction choice."""
+    return rmat(SCALE, 16, weighted=True, seed=1, directed=False)
+
+
+@pytest.fixture(scope="session")
+def bench_rmat_directed():
+    return rmat(SCALE, 16, weighted=True, seed=2)
+
+
+@pytest.fixture(scope="session")
+def bench_grid():
+    """Road-like workload: high diameter, uniform degree."""
+    return grid_2d(GRID_SIDE, GRID_SIDE, weighted=True, seed=3)
+
+
+@pytest.fixture(scope="session")
+def bench_er():
+    """Uniform-degree control workload, edge count matched to the RMAT."""
+    n = 1 << SCALE
+    return erdos_renyi_gnm(n, n * 8, seed=4, weighted=True)
+
+
+@pytest.fixture(scope="session")
+def bench_ws():
+    """Small-world workload with triangles (for TC and partitioning)."""
+    return watts_strogatz(1 << SCALE, 8, 0.05, seed=5)
+
+
+def fmt_row(*cells, widths=(26, 12, 12, 12, 12)):
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))

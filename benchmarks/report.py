@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Render a pytest-benchmark JSON export as per-experiment tables.
+
+Usage:
+    pytest benchmarks/ --benchmark-only --benchmark-json=results.json
+    python benchmarks/report.py results.json
+
+Groups map to DESIGN.md experiment ids (T1, L1-L4, P1-P4, F1-F2, A1,
+ablations); within each group rows are sorted fastest-first and shown
+with the slowdown relative to the group's best — the "who wins, by what
+factor" shape EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+GROUP_TITLES = {
+    "L1": "Listing 1 — graph API over sparse formats",
+    "L2": "Listing 2 — frontier representations",
+    "L3": "Listing 3 — neighbor-expand policy overloads",
+    "L4": "Listing 4 — complete SSSP vs baselines",
+    "P1": "Pillar 1 (Timing) — BSP vs async",
+    "P2": "Pillar 2 (Communication) — shared memory vs messages",
+    "P3": "Pillar 3 (Execution model) — push vs pull",
+    "P4": "Pillar 4 (Partitioning) — heuristic cost",
+    "F1": "Frontier representation crossover",
+    "F2": "Load-balancing schedules",
+    "A1": "Algorithm suite",
+    "ablation": "Ablations",
+}
+
+
+def experiment_of(group: str) -> str:
+    for key in GROUP_TITLES:
+        if group.startswith(key):
+            return key
+    return "other"
+
+
+def load_rows(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    rows = defaultdict(list)
+    for bench in data.get("benchmarks", []):
+        group = bench.get("group") or "ungrouped"
+        rows[group].append((bench["name"], bench["stats"]["mean"]))
+    return rows
+
+
+def render(rows) -> str:
+    out = []
+    by_experiment = defaultdict(list)
+    for group in sorted(rows):
+        by_experiment[experiment_of(group)].append(group)
+    for exp in GROUP_TITLES:
+        groups = by_experiment.get(exp)
+        if not groups:
+            continue
+        out.append("")
+        out.append("=" * 78)
+        out.append(f"{exp}: {GROUP_TITLES[exp]}")
+        out.append("=" * 78)
+        for group in groups:
+            entries = sorted(rows[group], key=lambda r: r[1])
+            best = entries[0][1]
+            out.append(f"\n  [{group}]")
+            out.append(
+                f"  {'benchmark':<52} {'mean':>12} {'vs best':>9}"
+            )
+            for name, mean in entries:
+                ratio = mean / best if best > 0 else float("inf")
+                out.append(
+                    f"  {name:<52} {mean * 1e3:>9.3f} ms {ratio:>8.2f}x"
+                )
+    leftovers = by_experiment.get("other", [])
+    for group in leftovers:
+        out.append(f"\n  [{group}] (uncategorized)")
+        for name, mean in sorted(rows[group], key=lambda r: r[1]):
+            out.append(f"  {name:<52} {mean * 1e3:>9.3f} ms")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    print(render(load_rows(argv[0])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

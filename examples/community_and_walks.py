@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Local analytics: communities, personalized ranking, and random walks.
+
+The "recommendation" workload: on a modular small-world graph, find
+communities (LPA), rank vertices from a seed's point of view (PPR two
+ways — global power iteration and local forward push), and sample
+random walks as a Monte-Carlo cross-check: walk visit frequencies
+approximate PPR, so the three methods must tell one consistent story.
+
+Run:  python examples/community_and_walks.py [n_vertices]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.algorithms import (
+    label_propagation_communities,
+    modularity,
+    personalized_pagerank,
+    ppr_forward_push,
+    random_walks,
+    visit_frequencies,
+)
+from repro.graph.generators import watts_strogatz
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    graph = watts_strogatz(n, 8, 0.03, seed=17)
+    print(f"graph: {graph}\n")
+
+    # 1. Communities.
+    communities = label_propagation_communities(graph, seed=1)
+    q = modularity(graph, communities.labels)
+    sizes = communities.community_sizes()
+    print(
+        f"LPA: {communities.n_communities} communities in "
+        f"{communities.rounds} rounds, modularity Q={q:.3f}, "
+        f"largest {sizes.max()} vertices"
+    )
+    assert q > 0.3, "small-world graphs should show community structure"
+
+    # 2. Personalized PageRank from a seed, two algorithms.
+    seed_vertex = int(np.argmax(graph.out_degrees()))
+    power = personalized_pagerank(graph, seed_vertex, tolerance=1e-12)
+    push = ppr_forward_push(graph, seed_vertex, epsilon=1e-9)
+    agreement = float(np.abs(power.ranks - push.ranks).max())
+    print(
+        f"\nPPR from {seed_vertex}: power iteration {power.iterations} "
+        f"rounds vs forward push {push.iterations} rounds; "
+        f"max disagreement {agreement:.2e}"
+    )
+    top_power = np.argsort(-power.ranks)[:8]
+    print(f"top-8 by PPR: {top_power.tolist()}")
+
+    # 3. Monte-Carlo cross-check with random walks.
+    starts = np.full(2000, seed_vertex)
+    walks = random_walks(graph, starts, 12, seed=2)
+    freq = visit_frequencies(walks, graph.n_vertices).astype(np.float64)
+    freq /= freq.sum()
+    top_walk = np.argsort(-freq)[:8]
+    overlap = len(set(top_power.tolist()) & set(top_walk.tolist()))
+    print(
+        f"top-8 by walk frequency: {top_walk.tolist()} "
+        f"({overlap}/8 overlap with PPR)"
+    )
+    assert overlap >= 4, "walk sampling should agree with PPR on the head"
+
+    # 4. The community lens on PPR: the seed's mass stays home.
+    seed_community = communities.labels[seed_vertex]
+    mass_home = float(power.ranks[communities.labels == seed_community].sum())
+    share = sizes[seed_community] / graph.n_vertices
+    print(
+        f"\nPPR mass inside the seed's community: {mass_home:.2f} "
+        f"(community holds {share:.2%} of vertices) — "
+        f"{'locality confirmed' if mass_home > 2 * share else 'weak locality'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

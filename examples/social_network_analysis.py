@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Social-network analysis: the full algorithm suite on a scale-free graph.
+
+R-MAT graphs share the degree skew of social networks; this example runs
+the influence/structure questions an analyst actually asks — who matters
+(PageRank, betweenness, HITS), what communities look like (connected
+components, k-core shells, triangles/clustering), and how the graph
+colors (a scheduling proxy) — all through the one abstraction.
+
+Run:  python examples/social_network_analysis.py [scale]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.algorithms import (
+    betweenness_centrality,
+    connected_components,
+    graph_coloring,
+    hits,
+    kcore_decomposition,
+    pagerank,
+    triangle_count,
+)
+from repro.algorithms.bfs import bfs
+from repro.graph.generators import rmat
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    graph = rmat(scale, 16, seed=42, directed=False)
+    n = graph.n_vertices
+    degrees = graph.out_degrees()
+    print(
+        f"R-MAT scale {scale}: {n} vertices, {graph.n_edges} edges, "
+        f"max degree {degrees.max()} (mean {degrees.mean():.1f}) — "
+        f"hub-dominated, like a social graph\n"
+    )
+
+    t0 = time.perf_counter()
+    cc = connected_components(graph)
+    print(
+        f"components: {cc.n_components} "
+        f"(largest {cc.component_sizes().max()} vertices) "
+        f"[{time.perf_counter() - t0:.3f}s]"
+    )
+
+    giant = int(np.argmax(degrees))
+    t0 = time.perf_counter()
+    hops = bfs(graph, giant, direction="auto")
+    reached = hops.reached().sum()
+    print(
+        f"bfs from top hub {giant}: reaches {reached} vertices in "
+        f"{hops.levels.max()} hops, directions={hops.directions} "
+        f"[{time.perf_counter() - t0:.3f}s]"
+    )
+
+    t0 = time.perf_counter()
+    pr = pagerank(graph, tolerance=1e-8)
+    top_pr = np.argsort(-pr.ranks)[:5]
+    print(
+        f"pagerank ({pr.iterations} iters): top-5 {top_pr.tolist()} "
+        f"[{time.perf_counter() - t0:.3f}s]"
+    )
+
+    t0 = time.perf_counter()
+    sample = range(0, n, max(1, n // 64))  # sampled Brandes
+    bc = betweenness_centrality(graph, sources=sample)
+    top_bc = np.argsort(-bc.centrality)[:5]
+    print(
+        f"betweenness (sampled, {bc.n_sources} sources): top-5 "
+        f"{top_bc.tolist()} [{time.perf_counter() - t0:.3f}s]"
+    )
+
+    t0 = time.perf_counter()
+    h = hits(graph)
+    print(
+        f"hits ({h.iterations} iters): top hub "
+        f"{int(np.argmax(h.hubs))}, top authority "
+        f"{int(np.argmax(h.authorities))} [{time.perf_counter() - t0:.3f}s]"
+    )
+
+    t0 = time.perf_counter()
+    tc = triangle_count(graph)
+    print(f"triangles: {tc.total} [{time.perf_counter() - t0:.3f}s]")
+
+    t0 = time.perf_counter()
+    kc = kcore_decomposition(graph)
+    shells = np.bincount(kc.core_numbers)
+    print(
+        f"k-core: degeneracy {kc.max_core}, inner shell holds "
+        f"{shells[kc.max_core]} vertices [{time.perf_counter() - t0:.3f}s]"
+    )
+
+    t0 = time.perf_counter()
+    coloring = graph_coloring(graph, seed=0)
+    print(
+        f"coloring: {coloring.n_colors} colors in {coloring.rounds} "
+        f"rounds [{time.perf_counter() - t0:.3f}s]"
+    )
+
+    # Cross-checks an analyst would eyeball: hubs rank high everywhere.
+    assert top_pr[0] in np.argsort(-degrees)[:10]
+    print("\ntop PageRank vertex is a top-degree hub — sanity holds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""repro — a Python reproduction of *Essentials of Parallel Graph
+Analytics* (Osama, Porumbescu, Owens; IPDPSW 2022).
+
+The library implements the paper's native-graph abstraction from its
+essential components:
+
+1. **Graph data structure** with interchangeable underlying
+   representations (:mod:`repro.graph`): CSR (push), CSC (pull), COO,
+   adjacency list — one graph-centric API over all of them.
+2. **Frontiers** (:mod:`repro.frontier`): sparse vector, dense bitmap,
+   asynchronous queue, edge frontier — one active-set interface.
+3. **Operators** (:mod:`repro.operators`): advance / filter / for-each /
+   reduce / uniquify / intersection, each overloaded on execution
+   policies (:mod:`repro.execution`): ``seq``, ``par``, ``par_nosync``,
+   ``par_vector``.
+4. **Iterative loops with convergence conditions** (:mod:`repro.loop`):
+   BSP and asynchronous enactors.
+
+plus the communication substrate (:mod:`repro.comm` — mailbox routing,
+Pregel vertex programs), partitioning heuristics (:mod:`repro.partition`),
+the algorithm suite (:mod:`repro.algorithms`), textbook baselines
+(:mod:`repro.baselines`), and the executable Table I
+(:mod:`repro.capability`).
+
+Quickstart (Listing 4 in one call)::
+
+    from repro import generators, sssp, par_vector
+    g = generators.rmat(10, 16, weighted=True, seed=7)
+    result = sssp(g, source=0, policy=par_vector)
+    print(result.distances[:8], result.stats.num_iterations)
+"""
+
+from repro import graph
+from repro.graph import (
+    Graph,
+    from_edge_array,
+    from_edge_list,
+    from_csr_arrays,
+    from_scipy_sparse,
+    from_networkx,
+)
+from repro.graph import generators
+from repro.frontier import (
+    SparseFrontier,
+    DenseFrontier,
+    AsyncQueueFrontier,
+    EdgeFrontier,
+)
+from repro.execution import seq, par, par_nosync, par_vector
+from repro.operators import (
+    neighbors_expand,
+    filter_frontier,
+    for_each,
+    reduce_values,
+    uniquify,
+)
+from repro.loop import Enactor, AsyncEnactor
+from repro.algorithms import (
+    sssp,
+    sssp_async,
+    sssp_delta_stepping,
+    bfs,
+    pagerank,
+    connected_components,
+    betweenness_centrality,
+    triangle_count,
+    kcore_decomposition,
+    graph_coloring,
+    spmv,
+    hits,
+    boruvka_mst,
+)
+from repro.capability import TABLE_I, verify_capabilities
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "Graph",
+    "from_edge_array",
+    "from_edge_list",
+    "from_csr_arrays",
+    "from_scipy_sparse",
+    "from_networkx",
+    "generators",
+    "SparseFrontier",
+    "DenseFrontier",
+    "AsyncQueueFrontier",
+    "EdgeFrontier",
+    "seq",
+    "par",
+    "par_nosync",
+    "par_vector",
+    "neighbors_expand",
+    "filter_frontier",
+    "for_each",
+    "reduce_values",
+    "uniquify",
+    "Enactor",
+    "AsyncEnactor",
+    "sssp",
+    "sssp_async",
+    "sssp_delta_stepping",
+    "bfs",
+    "pagerank",
+    "connected_components",
+    "betweenness_centrality",
+    "triangle_count",
+    "kcore_decomposition",
+    "graph_coloring",
+    "spmv",
+    "hits",
+    "boruvka_mst",
+    "TABLE_I",
+    "verify_capabilities",
+    "__version__",
+]

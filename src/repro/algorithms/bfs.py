@@ -1,0 +1,153 @@
+"""Breadth-first search: push, pull, and direction-optimized traversal.
+
+BFS is the pillar-3 demonstrator (§III-C): the same algorithm written
+against the CSR (push — expand out-edges of the frontier) or the CSC
+(pull — every unvisited vertex scans in-edges for a visited parent),
+plus the Beamer-style direction-optimizing hybrid that switches to pull
+while the frontier is large and back to push when it shrinks — the
+switch is driven by the frontier's ``active_fraction``, i.e. by exactly
+the size heuristic the paper attaches to frontier representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.frontier.dense import DenseFrontier
+from repro.frontier.sparse import SparseFrontier
+from repro.graph.graph import Graph
+from repro.loop.enactor import Enactor
+from repro.operators.advance import neighbors_expand
+from repro.operators.conditions import bulk_condition
+from repro.execution.policy import (
+    ExecutionPolicy,
+    par_vector,
+    resolve_policy,
+)
+from repro.types import INVALID_VERTEX, VERTEX_DTYPE
+from repro.utils.counters import RunStats
+from repro.utils.validation import check_vertex_in_range
+
+#: Level value for unreached vertices.
+UNREACHED = -1
+
+
+@dataclass
+class BFSResult:
+    """Levels (hop distances, ``-1`` unreached), parents, accounting."""
+
+    levels: np.ndarray
+    parents: np.ndarray
+    source: int
+    stats: RunStats = field(default_factory=RunStats)
+    #: Per-iteration direction choices made by the direction-optimized
+    #: variant ("push"/"pull"); empty for the fixed-direction variants.
+    directions: list = field(default_factory=list)
+
+    def reached(self) -> np.ndarray:
+        """Boolean mask of vertices with a BFS level (visited)."""
+        return self.levels >= 0
+
+
+def _validate_parents(levels, parents):  # pragma: no cover - debug helper
+    return np.all((levels <= 0) | (parents != INVALID_VERTEX))
+
+
+def bfs(
+    graph: Graph,
+    source: int,
+    *,
+    policy: Union[str, ExecutionPolicy] = par_vector,
+    direction: str = "push",
+    pull_threshold: float = 0.05,
+    push_back_threshold: float = 0.01,
+) -> BFSResult:
+    """BFS from ``source``.
+
+    Parameters
+    ----------
+    direction:
+        ``"push"`` — expand the frontier's out-edges (CSR);
+        ``"pull"`` — candidates scan in-edges for a visited parent (CSC);
+        ``"auto"`` — direction-optimized: pull while the frontier holds
+        more than ``pull_threshold`` of all vertices, push otherwise.
+    """
+    policy = resolve_policy(policy)
+    if direction not in ("push", "pull", "auto"):
+        raise ValueError(
+            f"direction must be 'push', 'pull', or 'auto', got {direction!r}"
+        )
+    n = graph.n_vertices
+    source = check_vertex_in_range(source, n)
+    levels = np.full(n, UNREACHED, dtype=np.int64)
+    parents = np.full(n, INVALID_VERTEX, dtype=VERTEX_DTYPE)
+    levels[source] = 0
+    parents[source] = source
+    result = BFSResult(levels=levels, parents=parents, source=source)
+
+    if direction == "pull":
+        graph.csc()  # materialize the transposed view up front
+
+    @bulk_condition
+    def discover(srcs, dsts, edges, weights):
+        # Claim destinations not yet visited.  Duplicate dsts within a
+        # batch both pass (several parents discover one child); the level
+        # write is idempotent and the parent write races benignly (any
+        # discovered parent is a valid BFS parent).  The seq overload calls
+        # this with scalars; normalize so one body serves both.
+        scalar = np.ndim(srcs) == 0
+        s = np.atleast_1d(np.asarray(srcs, dtype=np.int64))
+        d = np.atleast_1d(np.asarray(dsts, dtype=np.int64))
+        fresh = levels[d] == UNREACHED
+        if np.any(fresh):
+            dd = d[fresh]
+            levels[dd] = levels[s[fresh]] + 1
+            parents[dd] = s[fresh]
+        return bool(fresh[0]) if scalar else fresh
+
+    def push_step(frontier, state):
+        out = neighbors_expand(policy, graph, frontier, discover)
+        # Dedup: the dense round-trip keeps the frontier a set.
+        return SparseFrontier.from_indices(np.unique(out.to_indices()), n)
+
+    def pull_step(frontier, state):
+        candidates = np.nonzero(levels == UNREACHED)[0].astype(VERTEX_DTYPE)
+        out = neighbors_expand(
+            policy,
+            graph,
+            frontier,
+            discover,
+            direction="pull",
+            candidates=candidates,
+        )
+        return SparseFrontier.from_indices(np.unique(out.to_indices()), n)
+
+    if direction == "auto":
+
+        def step(frontier, state):
+            frac = frontier.active_fraction()
+            use_pull = frac >= pull_threshold or (
+                result.directions
+                and result.directions[-1] == "pull"
+                and frac > push_back_threshold
+            )
+            result.directions.append("pull" if use_pull else "push")
+            return (pull_step if use_pull else push_step)(frontier, state)
+
+    else:
+        step = push_step if direction == "push" else pull_step
+
+    frontier = SparseFrontier.from_indices([source], n)
+    enactor = Enactor(graph)
+    result.stats = enactor.run(frontier, step)
+    return result
+
+
+def bfs_levels_by_superstep(result: BFSResult) -> dict:
+    """Map level -> vertex count, the frontier 'bell curve' profile."""
+    reached = result.levels[result.levels >= 0]
+    uniq, counts = np.unique(reached, return_counts=True)
+    return {int(l): int(c) for l, c in zip(uniq, counts)}

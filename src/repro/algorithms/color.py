@@ -1,0 +1,111 @@
+"""Greedy parallel graph coloring (Jones–Plassmann with random priorities).
+
+Each round, the frontier of uncolored vertices is *filtered* for local
+priority maxima among uncolored neighbors; those winners are an
+independent set, colored simultaneously with their smallest feasible
+color, and removed.  The loop converges when every vertex is colored —
+a filter-driven algorithm complementing the advance-driven traversals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
+from repro.utils.counters import IterationStats, RunStats
+from repro.utils.rng import SeedLike, resolve_rng
+
+#: Color value for not-yet-colored vertices.
+UNCOLORED = -1
+
+
+@dataclass
+class ColoringResult:
+    """Colors (0-based), color count, validity accounting."""
+
+    colors: np.ndarray
+    n_colors: int
+    rounds: int
+    stats: RunStats = field(default_factory=RunStats)
+
+
+def graph_coloring(
+    graph: Graph,
+    *,
+    policy: Union[str, ExecutionPolicy] = par_vector,
+    seed: SeedLike = 0,
+) -> ColoringResult:
+    """Color vertices so no edge is monochromatic (undirected semantics).
+
+    Returns a proper coloring (tests verify) using, empirically,
+    Δ+1 or fewer colors.  Deterministic given ``seed``.
+    """
+    resolve_policy(policy)
+    rng = resolve_rng(seed)
+    n = graph.n_vertices
+    csr = graph.csr()
+    priorities = rng.permutation(n).astype(np.int64)
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    stats = RunStats()
+    import time as _time
+
+    uncolored = np.arange(n, dtype=np.int64)
+    rounds = 0
+    while uncolored.size:
+        t0 = _time.perf_counter()
+        # Independent set: vertices whose priority beats every uncolored
+        # neighbor's.
+        srcs, dsts, _, _ = csr.expand_vertices(uncolored)
+        edges_touched = srcs.shape[0]
+        contested = colors[dsts] == UNCOLORED
+        # Max uncolored-neighbor priority per source.
+        best_rival = np.full(n, -1, dtype=np.int64)
+        if np.any(contested):
+            np.maximum.at(
+                best_rival, srcs[contested], priorities[dsts[contested]]
+            )
+        winners = uncolored[priorities[uncolored] > best_rival[uncolored]]
+        # Color each winner with its smallest feasible color.  Winners are
+        # independent (no two adjacent), so no intra-round conflicts.
+        for v in winners:
+            v = int(v)
+            nbr_colors = colors[csr.get_neighbors(v)]
+            used = np.unique(nbr_colors[nbr_colors >= 0])
+            c = 0
+            for u in used:
+                if u == c:
+                    c += 1
+                elif u > c:
+                    break
+            colors[v] = c
+        uncolored = uncolored[colors[uncolored] == UNCOLORED]
+        stats.record(
+            IterationStats(
+                iteration=rounds,
+                frontier_size=int(winners.size),
+                edges_touched=edges_touched,
+                seconds=_time.perf_counter() - t0,
+            )
+        )
+        rounds += 1
+        if winners.size == 0 and uncolored.size:
+            # Cannot happen with distinct priorities; guard regardless.
+            raise RuntimeError("coloring made no progress")
+    stats.converged = True
+    n_colors = int(colors.max(initial=-1)) + 1
+    return ColoringResult(
+        colors=colors, n_colors=n_colors, rounds=rounds, stats=stats
+    )
+
+
+def verify_coloring(graph: Graph, colors: np.ndarray) -> bool:
+    """Whether no edge joins two equal colors (ignoring self-loops)."""
+    coo = graph.coo()
+    off_diagonal = coo.rows != coo.cols
+    return not bool(
+        np.any(colors[coo.rows[off_diagonal]] == colors[coo.cols[off_diagonal]])
+    )

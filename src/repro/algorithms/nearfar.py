@@ -1,0 +1,108 @@
+"""Near-far SSSP — Gunrock's two-bucket priority optimization.
+
+A lightweight special case of delta-stepping used by the essentials
+library: the frontier splits into a *near* pile (tentative distance
+below the current threshold) and a *far* pile (everything else).  The
+near pile iterates to a fixed point; then the threshold advances by
+delta and the far pile is re-split.  Compared with Listing 4's single
+frontier this skips re-relaxing far vertices every superstep; compared
+with full delta-stepping it keeps only two piles, trading work for
+simplicity — exactly the kind of operator-level optimization §IV-C says
+the abstraction should admit without changing the algorithm's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.algorithms.sssp import SSSPResult
+from repro.frontier.sparse import SparseFrontier
+from repro.graph.graph import Graph
+from repro.operators.advance import neighbors_expand
+from repro.operators.conditions import bulk_condition
+from repro.execution.atomics import bulk_min_relax
+from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
+from repro.types import INF, VALUE_DTYPE
+from repro.utils.counters import IterationStats, RunStats
+from repro.utils.validation import check_vertex_in_range
+
+
+def sssp_near_far(
+    graph: Graph,
+    source: int,
+    *,
+    delta: Optional[float] = None,
+    policy: Union[str, ExecutionPolicy] = par_vector,
+) -> SSSPResult:
+    """SSSP with the near-far frontier split.
+
+    ``delta`` defaults to the mean edge weight.  Returns the same
+    :class:`~repro.algorithms.sssp.SSSPResult` contract as the other
+    variants (equivalence is asserted by tests).
+    """
+    policy = resolve_policy(policy)
+    n = graph.n_vertices
+    source = check_vertex_in_range(source, n)
+    csr = graph.csr()
+    if delta is None:
+        delta = float(csr.values.mean()) if graph.n_edges else 1.0
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+
+    dist = np.full(n, INF, dtype=VALUE_DTYPE)
+    dist[source] = 0.0
+    stats = RunStats()
+    import time as _time
+
+    @bulk_condition
+    def relax(srcs, dsts, edges, weights):
+        return bulk_min_relax(dist, dsts, dist[srcs] + weights)
+
+    threshold = delta
+    near = np.asarray([source], dtype=np.int64)
+    far: np.ndarray = np.empty(0, dtype=np.int64)
+    round_idx = 0
+    while near.size or far.size:
+        t0 = _time.perf_counter()
+        edges_touched = 0
+        processed = int(near.size)
+        # Near-pile fixed point under the current threshold.
+        while near.size:
+            f = SparseFrontier.from_indices(near, n)
+            edges_touched += int(csr.degrees_of(f.indices_view()).sum())
+            out = neighbors_expand(policy, graph, f, relax)
+            touched = np.unique(out.to_indices()).astype(np.int64)
+            if touched.size == 0:
+                near = touched
+                break
+            is_near = dist[touched] < threshold
+            near = touched[is_near]
+            far = np.concatenate([far, touched[~is_near]])
+            processed += int(near.size)
+        # Advance the threshold and re-split the far pile.  Vertices whose
+        # distance improved below INF but above threshold wait here.
+        if far.size:
+            far = np.unique(far)
+            far = far[dist[far] < INF]
+            if far.size:
+                next_threshold = max(
+                    threshold + delta, float(dist[far].min()) + delta
+                )
+                is_near = dist[far] < next_threshold
+                near = far[is_near]
+                far = far[~is_near]
+                threshold = next_threshold
+        stats.record(
+            IterationStats(
+                iteration=round_idx,
+                frontier_size=processed,
+                edges_touched=edges_touched,
+                seconds=_time.perf_counter() - t0,
+            )
+        )
+        round_idx += 1
+    stats.converged = True
+    return SSSPResult(distances=dist, source=source, stats=stats)

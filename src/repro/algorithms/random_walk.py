@@ -1,0 +1,120 @@
+"""Batched random walks — the sampling workload of modern graph stacks.
+
+Runs W independent walks in lockstep: one superstep advances *every*
+walk by one hop with a single vectorized gather (uniform or
+weight-proportional next-hop choice).  Walks that hit a sink vertex
+terminate early and are padded with :data:`INVALID`.  This is the
+"frontier of walkers" reading of the abstraction: the active set is the
+set of live walks, shrinking as walks die — another frontier-convergent
+loop, just not over vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int
+
+#: Padding value for steps after a walk terminated in a sink.
+INVALID = -1
+
+
+@dataclass
+class WalkResult:
+    """Walk matrix of shape (n_walks, length + 1); row w is walk w's
+    vertex sequence, INVALID-padded after termination."""
+
+    walks: np.ndarray
+    terminated_early: np.ndarray
+
+    @property
+    def n_walks(self) -> int:
+        return self.walks.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.walks.shape[1] - 1
+
+
+def random_walks(
+    graph: Graph,
+    starts,
+    length: int,
+    *,
+    weighted: bool = False,
+    seed: SeedLike = None,
+) -> WalkResult:
+    """Walk ``length`` steps from each start vertex.
+
+    ``weighted`` draws each next hop with probability proportional to
+    edge weight; otherwise uniformly over out-neighbors.
+    """
+    length = check_nonnegative_int(length, "length")
+    rng = resolve_rng(seed)
+    starts = np.atleast_1d(np.asarray(starts, dtype=np.int64))
+    n = graph.n_vertices
+    if starts.size and (int(starts.min()) < 0 or int(starts.max()) >= n):
+        raise ValueError(f"start vertices must lie in [0, {n})")
+    csr = graph.csr()
+    degrees = csr.degrees()
+
+    # Per-vertex cumulative weight tables for weighted sampling, built
+    # lazily once (flat array aligned with CSR positions).
+    if weighted and graph.n_edges:
+        flat_cum = np.zeros(graph.n_edges, dtype=np.float64)
+        vals = csr.values.astype(np.float64)
+        for v in range(n):
+            s, e = int(csr.row_offsets[v]), int(csr.row_offsets[v + 1])
+            if e > s:
+                flat_cum[s:e] = np.cumsum(vals[s:e])
+
+    walks = np.full((starts.shape[0], length + 1), INVALID, dtype=np.int64)
+    walks[:, 0] = starts
+    current = starts.copy()
+    alive = np.ones(starts.shape[0], dtype=bool)
+    for step in range(1, length + 1):
+        if not np.any(alive):
+            break
+        cur = current[alive]
+        deg = degrees[cur]
+        can_move = deg > 0
+        # Walks at sinks die this step.
+        alive_idx = np.nonzero(alive)[0]
+        dying = alive_idx[~can_move]
+        alive[dying] = False
+        movers = alive_idx[can_move]
+        if movers.size == 0:
+            continue
+        mcur = current[movers]
+        mdeg = degrees[mcur]
+        moffs = csr.row_offsets[mcur]
+        if weighted and graph.n_edges:
+            # Inverse-CDF draw inside each vertex's cumulative slice.
+            totals = flat_cum[moffs + mdeg - 1]
+            u = rng.random(movers.size) * totals
+            # searchsorted per walker within its slice.
+            pick = np.empty(movers.size, dtype=np.int64)
+            for i in range(movers.size):
+                s = int(moffs[i])
+                d = int(mdeg[i])
+                pick[i] = s + np.searchsorted(flat_cum[s : s + d], u[i])
+        else:
+            pick = moffs + rng.integers(0, mdeg)
+        nxt = csr.column_indices[pick].astype(np.int64)
+        current[movers] = nxt
+        walks[movers, step] = nxt
+    terminated = walks[:, -1] == INVALID
+    return WalkResult(walks=walks, terminated_early=terminated)
+
+
+def visit_frequencies(result: WalkResult, n_vertices: int) -> np.ndarray:
+    """Per-vertex visit counts over all walks (the PPR-by-sampling
+    estimator's raw statistic)."""
+    flat = result.walks.ravel()
+    flat = flat[flat >= 0]
+    return np.bincount(flat, minlength=n_vertices)

@@ -1,0 +1,41 @@
+"""Sequential textbook baselines [CLRS] and networkx oracles.
+
+Every framework algorithm is validated against one of these, and the
+benchmark tables report framework-vs-baseline ratios — the paper derives
+its operators "from a traditional textbook graph algorithm [8]", so the
+textbook versions are the natural comparators.
+"""
+
+from repro.baselines.dijkstra import dijkstra
+from repro.baselines.bellman_ford import bellman_ford
+from repro.baselines.seq_bfs import sequential_bfs
+from repro.baselines.seq_pagerank import sequential_pagerank
+from repro.baselines.seq_cc import union_find_components
+from repro.baselines.kruskal import kruskal_mst_weight
+from repro.baselines.networkx_ref import (
+    nx_graph_of,
+    nx_shortest_paths,
+    nx_bfs_levels,
+    nx_pagerank,
+    nx_components,
+    nx_triangles,
+    nx_betweenness,
+    nx_core_numbers,
+)
+
+__all__ = [
+    "dijkstra",
+    "bellman_ford",
+    "sequential_bfs",
+    "sequential_pagerank",
+    "union_find_components",
+    "kruskal_mst_weight",
+    "nx_graph_of",
+    "nx_shortest_paths",
+    "nx_bfs_levels",
+    "nx_pagerank",
+    "nx_components",
+    "nx_triangles",
+    "nx_betweenness",
+    "nx_core_numbers",
+]

@@ -1,0 +1,41 @@
+"""Textbook Dijkstra with a binary heap [CLRS ch. 24]."""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.types import INF, VALUE_DTYPE
+from repro.utils.validation import check_vertex_in_range
+
+
+def dijkstra(graph: Graph, source: int) -> np.ndarray:
+    """Single-source shortest path distances via a lazy-deletion heap.
+
+    Requires non-negative weights (unchecked beyond the algorithm's own
+    behavior, matching the textbook precondition).  Returns float32
+    distances with ``INF`` for unreachable vertices — the same contract
+    as :func:`repro.algorithms.sssp.sssp`.
+    """
+    n = graph.n_vertices
+    source = check_vertex_in_range(source, n)
+    csr = graph.csr()
+    dist = np.full(n, INF, dtype=VALUE_DTYPE)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    settled = np.zeros(n, dtype=bool)
+    while heap:
+        d, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        settled[v] = True
+        start, stop = int(csr.row_offsets[v]), int(csr.row_offsets[v + 1])
+        for k in range(start, stop):
+            u = int(csr.column_indices[k])
+            nd = d + float(csr.values[k])
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, u))
+    return dist

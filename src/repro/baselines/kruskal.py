@@ -1,0 +1,39 @@
+"""Kruskal MST weight [CLRS ch. 23] — oracle for Borůvka's forest weight."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def kruskal_mst_weight(graph: Graph) -> float:
+    """Total weight of the minimum spanning forest (undirected semantics).
+
+    Only the weight is returned: specific edge choices may legitimately
+    differ between algorithms under ties, but forest weight is unique.
+    """
+    coo = graph.coo()
+    # Undirected graphs store both arcs; keep each pair once.
+    u = np.minimum(coo.rows, coo.cols)
+    v = np.maximum(coo.rows, coo.cols)
+    keys = u.astype(np.int64) * graph.n_vertices + v
+    _, keep = np.unique(keys, return_index=True)
+    u, v, w = u[keep], v[keep], coo.vals[keep]
+    order = np.argsort(w, kind="stable")
+
+    parent = list(range(graph.n_vertices))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    for idx in order:
+        a, b = find(int(u[idx])), find(int(v[idx]))
+        if a != b:
+            parent[a] = b
+            total += float(w[idx])
+    return total

@@ -1,0 +1,101 @@
+"""networkx oracle wrappers — third-party ground truth for tests.
+
+Each wrapper converts a :class:`~repro.graph.graph.Graph` to networkx
+once and runs the reference algorithm, returning arrays aligned to our
+vertex ids so test assertions are one ``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.types import INF
+
+
+def nx_graph_of(graph: Graph):
+    """Convert to ``networkx.DiGraph``/``Graph`` with ``weight`` attrs."""
+    import networkx as nx
+
+    G = nx.DiGraph() if graph.properties.directed else nx.Graph()
+    G.add_nodes_from(range(graph.n_vertices))
+    coo = graph.coo()
+    G.add_weighted_edges_from(
+        zip(coo.rows.tolist(), coo.cols.tolist(), coo.vals.tolist())
+    )
+    return G
+
+
+def nx_shortest_paths(graph: Graph, source: int) -> np.ndarray:
+    """Dijkstra distances as float array, INF where unreachable."""
+    import networkx as nx
+
+    G = nx_graph_of(graph)
+    lengths = nx.single_source_dijkstra_path_length(G, source)
+    out = np.full(graph.n_vertices, INF, dtype=np.float64)
+    for v, d in lengths.items():
+        out[v] = d
+    return out
+
+
+def nx_bfs_levels(graph: Graph, source: int) -> np.ndarray:
+    """Hop distances as int array, -1 where unreachable."""
+    import networkx as nx
+
+    G = nx_graph_of(graph)
+    lengths = nx.single_source_shortest_path_length(G, source)
+    out = np.full(graph.n_vertices, -1, dtype=np.int64)
+    for v, d in lengths.items():
+        out[v] = d
+    return out
+
+
+def nx_pagerank(graph: Graph, *, damping: float = 0.85, tol: float = 1e-10):
+    """PageRank vector aligned to vertex ids."""
+    import networkx as nx
+
+    G = nx_graph_of(graph)
+    pr = nx.pagerank(G, alpha=damping, tol=tol, max_iter=500)
+    return np.asarray([pr[v] for v in range(graph.n_vertices)])
+
+
+def nx_components(graph: Graph) -> int:
+    """Number of weakly connected components."""
+    import networkx as nx
+
+    G = nx_graph_of(graph)
+    if graph.properties.directed:
+        return nx.number_weakly_connected_components(G)
+    return nx.number_connected_components(G)
+
+
+def nx_triangles(graph: Graph) -> int:
+    """Total triangle count (undirected)."""
+    import networkx as nx
+
+    G = nx_graph_of(graph)
+    if graph.properties.directed:
+        G = G.to_undirected()
+    return sum(nx.triangles(G).values()) // 3
+
+
+def nx_betweenness(graph: Graph, *, normalized: bool = False) -> np.ndarray:
+    """Betweenness centrality aligned to vertex ids."""
+    import networkx as nx
+
+    G = nx_graph_of(graph)
+    bc = nx.betweenness_centrality(G, normalized=normalized)
+    return np.asarray([bc[v] for v in range(graph.n_vertices)])
+
+
+def nx_core_numbers(graph: Graph) -> np.ndarray:
+    """Core numbers aligned to vertex ids (undirected; self-loops removed,
+    as networkx requires)."""
+    import networkx as nx
+
+    G = nx_graph_of(graph)
+    if graph.properties.directed:
+        G = G.to_undirected()
+    G.remove_edges_from(nx.selfloop_edges(G))
+    cores = nx.core_number(G)
+    return np.asarray([cores[v] for v in range(graph.n_vertices)], dtype=np.int64)

@@ -1,0 +1,29 @@
+"""Textbook queue-based BFS [CLRS ch. 22]."""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.validation import check_vertex_in_range
+
+
+def sequential_bfs(graph: Graph, source: int) -> np.ndarray:
+    """Hop distances from ``source`` (-1 for unreachable) via a FIFO."""
+    n = graph.n_vertices
+    source = check_vertex_in_range(source, n)
+    csr = graph.csr()
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    queue = collections.deque([source])
+    while queue:
+        v = queue.popleft()
+        next_level = levels[v] + 1
+        for u in csr.get_neighbors(v):
+            u = int(u)
+            if levels[u] == -1:
+                levels[u] = next_level
+                queue.append(u)
+    return levels

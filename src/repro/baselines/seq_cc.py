@@ -1,0 +1,56 @@
+"""Union-find connected components with path compression + union by rank
+[CLRS ch. 21] — the oracle for both CC formulations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def union_find_components(graph: Graph) -> np.ndarray:
+    """Weakly connected component labels, canonicalized to the minimum
+    vertex id in each component (comparable to the framework's labels)."""
+    n = graph.n_vertices
+    parent = list(range(n))
+    rank = [0] * n
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        parent[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+
+    coo = graph.coo()
+    for s, d in zip(coo.rows.tolist(), coo.cols.tolist()):
+        union(s, d)
+    # Canonical labels: smallest member id per component.
+    roots = np.asarray([find(v) for v in range(n)], dtype=np.int64)
+    labels = np.full(n, -1, dtype=np.int64)
+    order = np.argsort(roots, kind="stable")
+    sorted_roots = roots[order]
+    boundaries = np.empty(n, dtype=bool)
+    if n:
+        boundaries[0] = True
+        boundaries[1:] = sorted_roots[1:] != sorted_roots[:-1]
+        # The first (lowest-id) member of each root group is its canonical
+        # label — order is stable on vertex id.
+        labels_by_root = {}
+        for pos in np.nonzero(boundaries)[0]:
+            labels_by_root[int(sorted_roots[pos])] = int(order[pos])
+        labels = np.asarray(
+            [labels_by_root[int(r)] for r in roots], dtype=np.int64
+        )
+    return labels

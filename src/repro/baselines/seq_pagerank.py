@@ -1,0 +1,42 @@
+"""Reference PageRank: plain power iteration with explicit loops kept
+NumPy-light, as an independently-written oracle for the framework
+version (a second implementation of the same spec, not shared code)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def sequential_pagerank(
+    graph: Graph,
+    *,
+    damping: float = 0.85,
+    tolerance: float = 1e-6,
+    max_iterations: int = 100,
+) -> np.ndarray:
+    """Damped PageRank with uniform dangling redistribution."""
+    n = graph.n_vertices
+    if n == 0:
+        return np.empty(0)
+    csr = graph.csr()
+    ranks = [1.0 / n] * n
+    degrees = [csr.get_num_neighbors(v) for v in range(n)]
+    for _ in range(max_iterations):
+        incoming = [0.0] * n
+        dangling_mass = 0.0
+        for v in range(n):
+            if degrees[v] == 0:
+                dangling_mass += ranks[v]
+                continue
+            share = ranks[v] / degrees[v]
+            for u in csr.get_neighbors(v):
+                incoming[int(u)] += share
+        base = (1.0 - damping) / n + damping * dangling_mass / n
+        new_ranks = [base + damping * incoming[v] for v in range(n)]
+        delta = sum(abs(new_ranks[v] - ranks[v]) for v in range(n))
+        ranks = new_ranks
+        if delta <= tolerance:
+            break
+    return np.asarray(ranks, dtype=np.float64)

@@ -1,0 +1,360 @@
+"""Command-line interface: ``repro <command>``.
+
+Gives the library a shell-usable surface, mirroring the driver binaries
+GPU graph frameworks ship:
+
+* ``repro generate`` — synthesize a seeded graph to any supported format;
+* ``repro info``     — structural summary of a graph file;
+* ``repro convert``  — transcode between graph file formats;
+* ``repro run``      — run an algorithm and print (or save) results;
+* ``repro partition``— partition and report quality metrics;
+* ``repro table1``   — print the regenerated capability matrix.
+
+Every command is a thin shell over the public API, so scripted use and
+programmatic use stay equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+# -- file format plumbing ----------------------------------------------------------
+
+
+def _load_graph(path: str, *, directed: bool = True):
+    from repro.graph.io import (
+        load_graph_npz,
+        read_dimacs,
+        read_edgelist,
+        read_matrix_market,
+    )
+
+    if path.endswith(".npz"):
+        return load_graph_npz(path)
+    if path.endswith(".mtx"):
+        return read_matrix_market(path)
+    if path.endswith(".gr"):
+        return read_dimacs(path, directed=directed)
+    return read_edgelist(path, directed=directed)
+
+
+def _save_graph(graph, path: str) -> None:
+    from repro.graph.io import (
+        save_graph_npz,
+        write_dimacs,
+        write_edgelist,
+        write_matrix_market,
+    )
+
+    if path.endswith(".npz"):
+        save_graph_npz(graph, path)
+    elif path.endswith(".mtx"):
+        write_matrix_market(graph, path)
+    elif path.endswith(".gr"):
+        write_dimacs(graph, path)
+    else:
+        write_edgelist(graph, path)
+
+
+# -- commands ------------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: synthesize a seeded graph to a file."""
+    from repro.graph import generators as gen
+
+    kind = args.kind
+    if kind == "rmat":
+        g = gen.rmat(
+            args.scale,
+            args.edge_factor,
+            weighted=args.weighted,
+            directed=not args.undirected,
+            seed=args.seed,
+        )
+    elif kind == "er":
+        n = 1 << args.scale
+        g = gen.erdos_renyi_gnm(
+            n,
+            n * args.edge_factor,
+            weighted=args.weighted,
+            directed=not args.undirected,
+            seed=args.seed,
+        )
+    elif kind == "grid":
+        side = int(np.sqrt(1 << args.scale))
+        g = gen.grid_2d(side, side, weighted=args.weighted, seed=args.seed)
+    elif kind == "ws":
+        g = gen.watts_strogatz(
+            1 << args.scale, args.edge_factor, 0.05, seed=args.seed
+        )
+        if args.weighted:
+            g = gen.with_random_weights(g, seed=args.seed)
+    elif kind == "ba":
+        g = gen.barabasi_albert(
+            1 << args.scale, max(1, args.edge_factor // 2), seed=args.seed
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(kind)
+    _save_graph(g, args.output)
+    print(
+        f"wrote {args.output}: {g.n_vertices} vertices, {g.n_edges} edges "
+        f"({g.properties.describe()})"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``repro info``: structural summary of a graph file."""
+    g = _load_graph(args.graph, directed=not args.undirected)
+    degrees = g.out_degrees()
+    info = {
+        "path": args.graph,
+        "n_vertices": g.n_vertices,
+        "n_edges": g.n_edges,
+        "properties": g.properties.describe(),
+        "degree_min": int(degrees.min(initial=0)),
+        "degree_max": int(degrees.max(initial=0)),
+        "degree_mean": round(float(degrees.mean()) if degrees.size else 0.0, 3),
+        "views": list(g.materialized_views()),
+    }
+    if args.components:
+        from repro.algorithms import connected_components
+
+        info["n_components"] = connected_components(g).n_components
+    if args.stats:
+        from repro.graph.stats import summarize
+
+        summary = summarize(g, diameter_probes=2, seed=0)
+        info["degree_skew"] = round(summary["degree"].skew, 3)
+        info["degree_gini"] = round(summary["degree"].gini, 3)
+        info["diameter_lower_bound"] = summary["diameter_lower_bound"]
+        info["hints"] = summary["hints"]
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        for k, v in info.items():
+            print(f"{k:>14}: {v}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """``repro convert``: transcode between graph file formats."""
+    g = _load_graph(args.input, directed=not args.undirected)
+    _save_graph(g, args.output)
+    print(f"converted {args.input} -> {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: execute an algorithm and report stats."""
+    import repro.algorithms as alg
+
+    g = _load_graph(args.graph, directed=not args.undirected)
+    name = args.algorithm
+    if name == "sssp":
+        result = alg.sssp(g, args.source, policy=args.policy)
+        values = result.distances
+        stats = result.stats
+    elif name == "bfs":
+        result = alg.bfs(g, args.source, direction=args.direction)
+        values = result.levels
+        stats = result.stats
+    elif name == "pagerank":
+        result = alg.pagerank(g)
+        values = result.ranks
+        stats = result.stats
+    elif name == "cc":
+        result = alg.connected_components(g)
+        values = result.labels
+        stats = result.stats
+        print(f"components: {result.n_components}")
+    elif name == "scc":
+        result = alg.strongly_connected_components(g)
+        values = result.labels
+        stats = result.stats
+        print(f"strongly connected components: {result.n_components}")
+    elif name == "tc":
+        result = alg.triangle_count(g)
+        print(f"triangles: {result.total}")
+        return 0
+    elif name == "kcore":
+        result = alg.kcore_decomposition(g)
+        values = result.core_numbers
+        stats = result.stats
+        print(f"degeneracy: {result.max_core}")
+    elif name == "color":
+        result = alg.graph_coloring(g, seed=args.seed)
+        values = result.colors
+        stats = result.stats
+        print(f"colors: {result.n_colors}")
+    elif name == "ppr":
+        result = alg.personalized_pagerank(g, args.source)
+        values = result.ranks
+        stats = result.stats
+    elif name == "mis":
+        result = alg.maximal_independent_set(g, seed=args.seed)
+        values = result.in_set
+        stats = result.stats
+        print(f"independent set size: {result.size}")
+    elif name == "ktruss":
+        result = alg.ktruss_decomposition(g)
+        print(f"max truss: {result.max_truss}")
+        return 0
+    elif name == "communities":
+        result = alg.label_propagation_communities(g, seed=args.seed)
+        values = result.labels
+        stats = result.stats
+        print(
+            f"communities: {result.n_communities} "
+            f"(Q={alg.modularity(g, result.labels):.3f})"
+        )
+    else:  # pragma: no cover
+        raise ValueError(name)
+    print(
+        f"{name}: {stats.num_iterations} supersteps, "
+        f"{stats.total_edges_touched} edges touched, "
+        f"{stats.mteps:.3f} MTEPS"
+    )
+    if args.output:
+        np.save(args.output, values)
+        print(f"values written to {args.output}")
+    elif args.head:
+        print(f"first {args.head} values: {np.asarray(values)[: args.head]}")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    """``repro partition``: partition a graph and report quality."""
+    from repro import partition as part
+
+    g = _load_graph(args.graph, directed=not args.undirected)
+    fns = {
+        "random": lambda: part.random_partition(g, args.parts, seed=args.seed),
+        "contiguous": lambda: part.contiguous_partition(g, args.parts),
+        "ldg": lambda: part.ldg_partition(g, args.parts, seed=args.seed),
+        "fennel": lambda: part.fennel_partition(g, args.parts, seed=args.seed),
+        "metis": lambda: part.metis_like_partition(g, args.parts, seed=args.seed),
+    }
+    p = fns[args.method]()
+    print(
+        f"{args.method} k={args.parts}: edge_cut={part.edge_cut(g, p)} "
+        f"balance={part.load_balance(p):.3f} "
+        f"comm_volume={part.communication_volume(g, p)}"
+    )
+    if args.output:
+        np.save(args.output, p.assignment)
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """``repro table1``: print and verify the capability matrix."""
+    from repro.capability import format_table, verify_capabilities
+
+    print(format_table())
+    failures = verify_capabilities()
+    if failures:
+        for f in failures:
+            print(f"MISSING: {f}", file=sys.stderr)
+        return 1
+    print("\nall captured models verified against the codebase")
+    return 0
+
+
+# -- parser --------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Essentials of Parallel Graph Analytics — Python reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a seeded graph")
+    p.add_argument("kind", choices=["rmat", "er", "grid", "ws", "ba"])
+    p.add_argument("output", help="output path (.npz/.mtx/.gr/anything=edgelist)")
+    p.add_argument("--scale", type=int, default=10, help="log2 vertex count")
+    p.add_argument("--edge-factor", type=int, default=16)
+    p.add_argument("--weighted", action="store_true")
+    p.add_argument("--undirected", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("info", help="summarize a graph file")
+    p.add_argument("graph")
+    p.add_argument("--undirected", action="store_true")
+    p.add_argument("--components", action="store_true")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="degree skew / diameter estimate / configuration hints",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("convert", help="transcode between graph formats")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--undirected", action="store_true")
+    p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser("run", help="run an algorithm")
+    p.add_argument(
+        "algorithm",
+        choices=[
+            "sssp", "bfs", "pagerank", "cc", "scc", "tc", "kcore",
+            "color", "ppr", "mis", "ktruss", "communities",
+        ],
+    )
+    p.add_argument("graph")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument(
+        "--policy",
+        choices=["seq", "par", "par_nosync", "par_vector"],
+        default="par_vector",
+    )
+    p.add_argument(
+        "--direction", choices=["push", "pull", "auto"], default="auto"
+    )
+    p.add_argument("--undirected", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write the per-vertex result as .npy")
+    p.add_argument("--head", type=int, default=0, help="print first N values")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("partition", help="partition a graph, report quality")
+    p.add_argument("graph")
+    p.add_argument(
+        "--method",
+        choices=["random", "contiguous", "ldg", "fennel", "metis"],
+        default="metis",
+    )
+    p.add_argument("--parts", type=int, default=4)
+    p.add_argument("--undirected", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write the assignment as .npy")
+    p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("table1", help="print the capability matrix")
+    p.set_defaults(fn=cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Communication models — the second TLAV pillar (§III-B).
+
+Shared memory needs no machinery here: graphs and per-vertex arrays live
+in process memory and every operator reads them directly.  This package
+supplies the **message-passing** alternative, simulated in-process per
+the DESIGN.md substitution table:
+
+* :class:`~repro.comm.channel.Channel` — a point-to-point FIFO between
+  ranks.
+* :mod:`~repro.comm.messages` — message combiners (min/sum/max), the
+  classic Pregel optimization that collapses messages addressed to one
+  vertex before delivery.
+* :class:`~repro.comm.mailbox.MailboxRouter` — k-rank vertex-addressed
+  routing with two delivery disciplines: ``"superstep"`` (messages sent
+  in superstep t are visible in t+1 — bulk-synchronous) and
+  ``"immediate"`` (visible as soon as sent — asynchronous), directly
+  realizing the paper's observation that communication and timing models
+  go hand in hand.
+* :class:`~repro.comm.pregel.PregelEngine` — "think like a vertex"
+  programs over the router: compute/send/vote-to-halt supersteps.
+"""
+
+from repro.comm.channel import Channel
+from repro.comm.messages import (
+    Combiner,
+    MinCombiner,
+    MaxCombiner,
+    SumCombiner,
+    collect_messages,
+)
+from repro.comm.mailbox import MailboxRouter
+from repro.comm.pregel import PregelEngine, VertexProgram, VertexContext
+from repro.comm.async_pregel import (
+    AsyncFoldEngine,
+    async_sssp_messages,
+    async_components_messages,
+)
+
+__all__ = [
+    "AsyncFoldEngine",
+    "async_sssp_messages",
+    "async_components_messages",
+    "Channel",
+    "Combiner",
+    "MinCombiner",
+    "MaxCombiner",
+    "SumCombiner",
+    "collect_messages",
+    "MailboxRouter",
+    "PregelEngine",
+    "VertexProgram",
+    "VertexContext",
+]

@@ -1,0 +1,89 @@
+"""Point-to-point FIFO channels between ranks.
+
+The lowest-level message-passing primitive: an unbounded, thread-safe
+queue with close semantics, equivalent in behavior to an MPI
+send/recv pair over pickled payloads (mpi4py's lowercase API) but
+in-process.  The mailbox router composes k² of these into all-to-all
+vertex-addressed routing.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, List, Optional
+
+from repro.errors import CommunicationError
+
+
+class Channel:
+    """An unbounded MPSC/MPMC FIFO with blocking receive and close.
+
+    ``send`` after :meth:`close` raises; ``recv`` on a closed, drained
+    channel returns ``None`` (the end-of-stream marker), matching the
+    usual CSP convention.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    def send(self, item: Any) -> None:
+        """Enqueue one message."""
+        with self._lock:
+            if self._closed:
+                raise CommunicationError(
+                    f"send on closed channel {self.name!r}"
+                )
+            self._items.append(item)
+            self._ready.notify()
+
+    def send_many(self, items) -> None:
+        """Enqueue a batch (single lock acquisition)."""
+        items = list(items)
+        with self._lock:
+            if self._closed:
+                raise CommunicationError(
+                    f"send_many on closed channel {self.name!r}"
+                )
+            self._items.extend(items)
+            self._ready.notify(len(items))
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue one message, blocking up to ``timeout``.
+
+        Returns ``None`` when the channel is closed and drained, or on
+        timeout.
+        """
+        with self._lock:
+            self._ready.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            )
+            if self._items:
+                return self._items.popleft()
+            return None
+
+    def drain(self) -> List[Any]:
+        """Dequeue everything currently buffered without blocking."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+        return items
+
+    def close(self) -> None:
+        """Mark end-of-stream; wake all blocked receivers."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

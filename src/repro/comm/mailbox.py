@@ -1,0 +1,182 @@
+"""Vertex-addressed message routing across partition ranks.
+
+The router is the simulated distributed substrate: ``n_ranks`` logical
+machines, each owning the vertices a partition assignment maps to it.
+Sending is always addressed to a *vertex*; the router resolves the
+owning rank and buffers the message there.
+
+Two delivery disciplines select the timing model (§III-A/B are "heavily
+interdependent"):
+
+* ``"superstep"`` — bulk-synchronous: messages sent during superstep t
+  are invisible until :meth:`flush_barrier` rotates the buffers (Pregel
+  semantics).
+* ``"immediate"`` — asynchronous: messages are readable the moment they
+  are sent (the queue-frontier model).
+
+Per-rank inboxes are NumPy message batches ``(destinations, values)``
+so delivery and combining stay vectorized.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.comm.messages import Combiner
+from repro.types import VERTEX_DTYPE
+
+
+class _RankBuffer:
+    """Pending and deliverable message batches for one rank."""
+
+    def __init__(self) -> None:
+        self.pending: List[Tuple[np.ndarray, np.ndarray]] = []
+        self.deliverable: List[Tuple[np.ndarray, np.ndarray]] = []
+        self.lock = threading.Lock()
+
+
+class MailboxRouter:
+    """All-to-all vertex-addressed message routing.
+
+    Parameters
+    ----------
+    owner_of:
+        Array mapping vertex id -> owning rank.
+    n_ranks:
+        Number of ranks; inferred as ``owner_of.max() + 1`` when omitted.
+    delivery:
+        ``"superstep"`` or ``"immediate"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        owner_of: np.ndarray,
+        n_ranks: Optional[int] = None,
+        *,
+        delivery: str = "superstep",
+    ) -> None:
+        self.owner_of = np.asarray(owner_of, dtype=np.int64).ravel()
+        if self.owner_of.size and int(self.owner_of.min()) < 0:
+            raise CommunicationError("owner ranks must be non-negative")
+        inferred = int(self.owner_of.max()) + 1 if self.owner_of.size else 1
+        self.n_ranks = n_ranks if n_ranks is not None else inferred
+        if self.owner_of.size and int(self.owner_of.max()) >= self.n_ranks:
+            raise CommunicationError(
+                f"owner rank {int(self.owner_of.max())} out of range for "
+                f"n_ranks={self.n_ranks}"
+            )
+        if delivery not in ("superstep", "immediate"):
+            raise CommunicationError(
+                f"delivery must be 'superstep' or 'immediate', got {delivery!r}"
+            )
+        self.delivery = delivery
+        self._buffers = [_RankBuffer() for _ in range(self.n_ranks)]
+        #: Cumulative cross-rank message count (the communication-volume
+        #: metric the partitioning bench reports).
+        self.remote_messages = 0
+        #: Cumulative rank-local message count.
+        self.local_messages = 0
+        self._stats_lock = threading.Lock()
+
+    # -- sending ---------------------------------------------------------------------
+
+    def send(
+        self,
+        destinations: np.ndarray,
+        values: np.ndarray,
+        *,
+        from_rank: Optional[int] = None,
+    ) -> None:
+        """Route a batch of (destination vertex, value) messages.
+
+        ``from_rank`` (when given) is only used for the local/remote
+        traffic accounting.
+        """
+        destinations = np.asarray(destinations, dtype=VERTEX_DTYPE).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if destinations.shape != values.shape:
+            raise CommunicationError(
+                f"destinations and values must have equal length, got "
+                f"{destinations.shape[0]} and {values.shape[0]}"
+            )
+        if destinations.size == 0:
+            return
+        if destinations.size and (
+            int(destinations.min()) < 0
+            or int(destinations.max()) >= self.owner_of.shape[0]
+        ):
+            raise CommunicationError(
+                f"destination vertex out of range [0, {self.owner_of.shape[0]})"
+            )
+        owners = self.owner_of[destinations]
+        if from_rank is not None:
+            remote = int(np.count_nonzero(owners != from_rank))
+            with self._stats_lock:
+                self.remote_messages += remote
+                self.local_messages += destinations.size - remote
+        for rank in np.unique(owners):
+            mask = owners == rank
+            buf = self._buffers[int(rank)]
+            batch = (destinations[mask], values[mask])
+            with buf.lock:
+                if self.delivery == "immediate":
+                    buf.deliverable.append(batch)
+                else:
+                    buf.pending.append(batch)
+
+    # -- delivery --------------------------------------------------------------------
+
+    def flush_barrier(self) -> None:
+        """Superstep boundary: make every pending message deliverable.
+
+        No-op under immediate delivery (there is no barrier to cross).
+        """
+        if self.delivery == "immediate":
+            return
+        for buf in self._buffers:
+            with buf.lock:
+                buf.deliverable.extend(buf.pending)
+                buf.pending = []
+
+    def receive(
+        self, rank: int, combiner: Optional[Combiner] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Drain rank's deliverable messages as ``(destinations, values)``.
+
+        With a combiner, messages per destination are folded and
+        destinations are unique and sorted.
+        """
+        if not (0 <= rank < self.n_ranks):
+            raise CommunicationError(
+                f"rank {rank} out of range [0, {self.n_ranks})"
+            )
+        buf = self._buffers[rank]
+        with buf.lock:
+            batches = buf.deliverable
+            buf.deliverable = []
+        if not batches:
+            return (
+                np.empty(0, dtype=VERTEX_DTYPE),
+                np.empty(0, dtype=np.float64),
+            )
+        destinations = np.concatenate([b[0] for b in batches])
+        values = np.concatenate([b[1] for b in batches])
+        if combiner is not None:
+            destinations, values = combiner.combine_bulk(destinations, values)
+        return destinations, values
+
+    def has_messages(self) -> bool:
+        """Whether any message (pending or deliverable) is in flight."""
+        for buf in self._buffers:
+            with buf.lock:
+                if buf.pending or buf.deliverable:
+                    return True
+        return False
+
+    def vertices_of_rank(self, rank: int) -> np.ndarray:
+        """Vertex ids owned by ``rank``."""
+        return np.nonzero(self.owner_of == rank)[0].astype(VERTEX_DTYPE)

@@ -1,0 +1,287 @@
+"""A Pregel-style "think like a vertex" engine over the mailbox router.
+
+The paper positions Pregel as the canonical bulk-synchronous,
+message-passing point of the TLAV space; this engine realizes that point
+inside our abstraction: the *frontier* is the set of non-halted vertices
+plus message recipients, the *operator* is the user's vertex program,
+the *loop* is the superstep iteration, and *convergence* is the Pregel
+rule — all vertices halted and no messages in flight.
+
+Vertices are distributed over ranks by a partition assignment; each
+superstep processes every rank's active vertices (ranks in parallel on
+the thread pool when ``parallel_ranks`` is set — each rank only touches
+its own vertices' values, so ranks are data-disjoint), routes messages
+through the :class:`~repro.comm.mailbox.MailboxRouter`, and barriers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CommunicationError, ConvergenceError
+from repro.comm.mailbox import MailboxRouter
+from repro.comm.messages import Combiner
+from repro.graph.graph import Graph
+from repro.execution.thread_pool import get_pool
+from repro.types import VERTEX_DTYPE
+
+
+class VertexContext:
+    """What one vertex sees during ``compute``: its state and its I/O.
+
+    The context object is reused across vertices within a rank for
+    allocation economy; vertex programs must not retain it.
+    """
+
+    __slots__ = (
+        "vertex",
+        "superstep",
+        "messages",
+        "_values",
+        "_graph",
+        "_out_destinations",
+        "_out_values",
+        "_halted",
+        "_agg_out",
+        "_agg_in",
+    )
+
+    def __init__(self, values: np.ndarray, graph: Graph) -> None:
+        self._values = values
+        self._graph = graph
+        self.vertex = -1
+        self.superstep = 0
+        self.messages: List[float] = []
+        self._out_destinations: List[int] = []
+        self._out_values: List[float] = []
+        self._halted = None  # bound per superstep
+        self._agg_out: Dict[str, float] = {}
+        self._agg_in: Dict[str, float] = {}
+
+    # -- state ------------------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """This vertex's current value."""
+        return float(self._values[self.vertex])
+
+    @value.setter
+    def value(self, v: float) -> None:
+        self._values[self.vertex] = v
+
+    def num_out_edges(self) -> int:
+        """Out-degree of this vertex."""
+        return self._graph.get_num_neighbors(self.vertex)
+
+    def out_neighbors(self) -> np.ndarray:
+        """Out-neighbor ids of this vertex."""
+        return self._graph.get_neighbors(self.vertex)
+
+    def out_edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(neighbor ids, edge weights) of this vertex's out-edges."""
+        csr = self._graph.csr()
+        return csr.get_neighbors(self.vertex), csr.get_neighbor_weights(self.vertex)
+
+    # -- messaging ---------------------------------------------------------------------
+
+    def send(self, destination: int, value: float) -> None:
+        """Queue a message for delivery next superstep."""
+        self._out_destinations.append(int(destination))
+        self._out_values.append(float(value))
+
+    def send_to_neighbors(self, value: float) -> None:
+        """Queue the same message to every out-neighbor."""
+        for n in self.out_neighbors():
+            self._out_destinations.append(int(n))
+            self._out_values.append(float(value))
+
+    # -- aggregators ---------------------------------------------------------------------
+
+    def aggregate(self, name: str, value: float) -> None:
+        """Add ``value`` into the named global sum-aggregator.
+
+        Aggregated totals from superstep t are visible to every vertex in
+        superstep t+1 via :meth:`aggregated` — the Pregel paper's
+        aggregator mechanism (sum fold), used e.g. to pool dangling
+        PageRank mass.
+        """
+        self._agg_out[name] = self._agg_out.get(name, 0.0) + float(value)
+
+    def aggregated(self, name: str, default: float = 0.0) -> float:
+        """Last superstep's total for the named aggregator."""
+        return self._agg_in.get(name, default)
+
+    # -- control -----------------------------------------------------------------------
+
+    def vote_to_halt(self) -> None:
+        """Deactivate this vertex until a message reawakens it."""
+        self._halted[self.vertex] = True
+
+
+class VertexProgram(abc.ABC):
+    """User algorithm: one ``compute`` invocation per active vertex per
+    superstep, exactly the Pregel API shape."""
+
+    @abc.abstractmethod
+    def compute(self, ctx: VertexContext) -> None:
+        """Read ``ctx.messages``, update ``ctx.value``, send, maybe halt."""
+
+    #: Optional combiner class used to fold this program's messages.
+    combiner: Optional[Combiner] = None
+
+
+@dataclass
+class PregelStats:
+    """Per-run accounting mirrored on the engine after :meth:`run`."""
+
+    supersteps: int = 0
+    total_messages: int = 0
+    remote_messages: int = 0
+    local_messages: int = 0
+
+
+class PregelEngine:
+    """Superstep driver for vertex programs.
+
+    Parameters
+    ----------
+    graph:
+        The graph (vertex programs traverse out-edges).
+    owner_of:
+        Optional vertex->rank assignment (default: single rank 0); plug a
+        :mod:`repro.partition` assignment here to simulate distribution.
+    parallel_ranks:
+        Process ranks concurrently on the thread pool (ranks are
+        data-disjoint, so this is race-free).
+    max_supersteps:
+        Safety cap; exceeding it raises ConvergenceError.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        owner_of: Optional[np.ndarray] = None,
+        parallel_ranks: bool = False,
+        max_supersteps: int = 10_000,
+    ) -> None:
+        self.graph = graph
+        n = graph.n_vertices
+        if owner_of is None:
+            owner_of = np.zeros(n, dtype=np.int64)
+        owner_of = np.asarray(owner_of, dtype=np.int64).ravel()
+        if owner_of.shape[0] != n:
+            raise CommunicationError(
+                f"owner_of must have one entry per vertex ({n}), got "
+                f"{owner_of.shape[0]}"
+            )
+        self.owner_of = owner_of
+        self.n_ranks = int(owner_of.max()) + 1 if n else 1
+        self.parallel_ranks = parallel_ranks
+        self.max_supersteps = max_supersteps
+        self.stats = PregelStats()
+
+    def run(
+        self,
+        program: VertexProgram,
+        initial_values: np.ndarray,
+        *,
+        initially_active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run ``program`` to Pregel termination; return the value vector.
+
+        ``initially_active`` restricts superstep-0 activity (default: all
+        vertices are active, the Pregel convention).
+        """
+        n = self.graph.n_vertices
+        values = np.asarray(initial_values, dtype=np.float64).copy()
+        if values.shape[0] != n:
+            raise CommunicationError(
+                f"initial_values must have one entry per vertex ({n}), got "
+                f"{values.shape[0]}"
+            )
+        halted = np.zeros(n, dtype=bool)
+        if initially_active is not None:
+            halted[:] = True
+            halted[np.asarray(initially_active, dtype=VERTEX_DTYPE)] = False
+        router = MailboxRouter(self.owner_of, self.n_ranks, delivery="superstep")
+        combiner = program.combiner
+        self.stats = PregelStats()
+        rank_vertices = [router.vertices_of_rank(r) for r in range(self.n_ranks)]
+        aggregates: Dict[str, float] = {}
+
+        for superstep in range(self.max_supersteps):
+            # Deliver messages sent last superstep.
+            router.flush_barrier()
+            inboxes: List[Dict[int, List[float]]] = []
+            rank_active: List[np.ndarray] = []
+            any_active = False
+            for rank in range(self.n_ranks):
+                dsts, vals = router.receive(rank, combiner)
+                inbox: Dict[int, List[float]] = {}
+                for d, v in zip(dsts.tolist(), vals.tolist()):
+                    inbox.setdefault(d, []).append(v)
+                # Message receipt reactivates halted vertices.
+                if dsts.size:
+                    halted[dsts] = False
+                inboxes.append(inbox)
+            for rank in range(self.n_ranks):
+                verts = rank_vertices[rank]
+                active = verts[~halted[verts]] if verts.size else verts
+                rank_active.append(active)
+                if active.size:
+                    any_active = True
+            if not any_active and not router.has_messages():
+                self.stats.supersteps = superstep
+                self._fold_router_stats(router)
+                return values
+
+            rank_aggregates: List[Dict[str, float]] = [
+                {} for _ in range(self.n_ranks)
+            ]
+
+            def run_rank(rank: int) -> None:
+                ctx = VertexContext(values, self.graph)
+                ctx.superstep = superstep
+                ctx._halted = halted
+                ctx._agg_in = aggregates
+                inbox = inboxes[rank]
+                for v in rank_active[rank]:
+                    v = int(v)
+                    ctx.vertex = v
+                    ctx.messages = inbox.get(v, [])
+                    program.compute(ctx)
+                if ctx._out_destinations:
+                    router.send(
+                        np.asarray(ctx._out_destinations, dtype=VERTEX_DTYPE),
+                        np.asarray(ctx._out_values, dtype=np.float64),
+                        from_rank=rank,
+                    )
+                    self.stats.total_messages += len(ctx._out_destinations)
+                rank_aggregates[rank] = ctx._agg_out
+
+            if self.parallel_ranks and self.n_ranks > 1:
+                pool = get_pool(min(self.n_ranks, 8))
+                pool.run_tasks(
+                    [lambda r=r: run_rank(r) for r in range(self.n_ranks)]
+                )
+            else:
+                for rank in range(self.n_ranks):
+                    run_rank(rank)
+            # Fold per-rank aggregator sums; visible next superstep.
+            aggregates = {}
+            for partial in rank_aggregates:
+                for key, val in partial.items():
+                    aggregates[key] = aggregates.get(key, 0.0) + val
+        raise ConvergenceError(
+            f"Pregel program did not terminate within "
+            f"{self.max_supersteps} supersteps"
+        )
+
+    def _fold_router_stats(self, router: MailboxRouter) -> None:
+        self.stats.remote_messages = router.remote_messages
+        self.stats.local_messages = router.local_messages

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the framework.
+
+All library-raised exceptions derive from :class:`GraphAnalyticsError` so
+callers can catch framework failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class GraphAnalyticsError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class GraphFormatError(GraphAnalyticsError):
+    """A graph representation is structurally invalid (bad offsets, out of
+    range column indices, mismatched array lengths, ...)."""
+
+
+class GraphViewError(GraphAnalyticsError):
+    """A graph view (CSR/CSC/COO/...) required by an operation is missing
+    and cannot be derived, or an unknown view name was requested."""
+
+
+class FrontierError(GraphAnalyticsError):
+    """Invalid frontier operation (e.g. vertex out of range, popping from a
+    drained queue frontier, mixing vertex and edge frontiers)."""
+
+
+class ExecutionPolicyError(GraphAnalyticsError):
+    """An operator was invoked with an execution policy it does not
+    support, or an unknown policy object."""
+
+
+class ConvergenceError(GraphAnalyticsError):
+    """An iterative loop failed to converge within its iteration budget."""
+
+
+class PartitionError(GraphAnalyticsError):
+    """Invalid partitioning request or malformed partition assignment."""
+
+
+class CommunicationError(GraphAnalyticsError):
+    """Misuse of the message-passing substrate (unknown destination rank,
+    sending after channels are closed, ...)."""
+
+
+class GraphIOError(GraphAnalyticsError):
+    """A graph file could not be parsed."""

@@ -1,0 +1,60 @@
+"""Execution policies and engines — the timing-pillar mechanism (§III-A).
+
+"Our abstraction additionally allows [operators] to be expressed with
+different execution policies as a parameter to control synchronization
+behavior and parallelism.  Much like the C++ standard library's
+execution policies, these policies are unique types to allow for
+overloading of traversal and transformation operators."
+
+Four policies are provided:
+
+* :data:`seq` — sequential, in the invoking thread.
+* :data:`par` — parallel synchronous: work is chunked across a thread
+  pool and a barrier joins all chunks before the operator returns (the
+  BSP superstep contract).
+* :data:`par_nosync` — parallel asynchronous: work items are tasks on a
+  shared queue with **no barrier between work items**; completion is
+  detected by quiescence (outstanding-work counting), the Atos model.
+* :data:`par_vector` — data-parallel bulk execution via NumPy array
+  kernels: every frontier element is processed "simultaneously" by
+  vectorized operations with a single implicit barrier at the end.  This
+  is the honest Python analog of the paper's device-wide GPU kernels and
+  the performance path (DESIGN.md substitution table).
+"""
+
+from repro.execution.policy import (
+    ExecutionPolicy,
+    SequencedPolicy,
+    ParallelPolicy,
+    ParallelNoSyncPolicy,
+    VectorPolicy,
+    seq,
+    par,
+    par_nosync,
+    par_vector,
+    resolve_policy,
+)
+from repro.execution.atomics import AtomicArray, bulk_min_relax, bulk_max_relax
+from repro.execution.thread_pool import ThreadPool, get_pool
+from repro.execution.scheduler import AsyncScheduler
+from repro.execution.stealing import WorkStealingScheduler
+
+__all__ = [
+    "ExecutionPolicy",
+    "SequencedPolicy",
+    "ParallelPolicy",
+    "ParallelNoSyncPolicy",
+    "VectorPolicy",
+    "seq",
+    "par",
+    "par_nosync",
+    "par_vector",
+    "resolve_policy",
+    "AtomicArray",
+    "bulk_min_relax",
+    "bulk_max_relax",
+    "ThreadPool",
+    "get_pool",
+    "AsyncScheduler",
+    "WorkStealingScheduler",
+]

@@ -1,0 +1,119 @@
+"""Asynchronous task scheduler — the ``par_nosync`` engine.
+
+Implements the Atos-style model the paper adopts for asynchrony
+(§III-A, §IV-B "++Asynchrony and Message-Passing"): work items live on a
+shared queue; workers pull whenever they are free, process, and push any
+newly generated items back — **no superstep barriers anywhere**.
+Termination is quiescence: an outstanding-work counter reaches zero with
+the queue empty.
+
+Because items are processed the moment a worker is free, a vertex may be
+processed several times with progressively better values (e.g. SSSP
+relaxations); the contract is that ``process`` must be *monotone* (safe
+to re-run with stale inputs), which label-correcting graph algorithms
+satisfy by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ExecutionPolicyError
+from repro.frontier.queue import AsyncQueueFrontier
+from repro.utils.counters import WorkCounter
+
+#: ``process(item, push)`` — handle one work item, calling ``push(new_item)``
+#: for each follow-on item it generates.
+ProcessFn = Callable[[int, Callable[[int], None]], None]
+
+
+class AsyncScheduler:
+    """Quiescence-detecting asynchronous work-queue executor.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker thread count.
+    poll_timeout:
+        Seconds a worker blocks on an empty queue before re-checking the
+        stop flag (bounds shutdown latency, not correctness).
+    """
+
+    def __init__(self, num_workers: int = 4, *, poll_timeout: float = 0.01) -> None:
+        if num_workers < 1:
+            raise ExecutionPolicyError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        self.num_workers = num_workers
+        self.poll_timeout = poll_timeout
+
+    def run(
+        self,
+        process: ProcessFn,
+        initial_items: Iterable[int],
+        capacity: int,
+        *,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Drive ``process`` over ``initial_items`` and everything they spawn.
+
+        Returns the total number of items processed.  Raises
+        :class:`TimeoutError` if quiescence is not reached in ``timeout``
+        seconds; re-raises the first worker exception, if any.
+        """
+        queue = AsyncQueueFrontier(capacity)
+        counter = WorkCounter()
+        processed = [0] * self.num_workers
+        stop = threading.Event()
+        errors: List[BaseException] = []
+        errors_lock = threading.Lock()
+
+        items = list(initial_items)
+        # Count before enqueueing so the counter can never hit zero while
+        # seeded items are still in flight.
+        counter.add(len(items))
+        queue.add_many(items)
+
+        def push(item: int) -> None:
+            counter.add(1)
+            queue.add(item)
+
+        def worker(worker_id: int) -> None:
+            while not stop.is_set():
+                item = queue.pop(timeout=self.poll_timeout)
+                if item is None:
+                    continue
+                try:
+                    process(item, push)
+                    processed[worker_id] += 1
+                except BaseException as exc:  # propagate to the caller
+                    with errors_lock:
+                        errors.append(exc)
+                    stop.set()
+                finally:
+                    counter.done()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(i,), name=f"repro-async-{i}", daemon=True
+            )
+            for i in range(self.num_workers)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            if items:
+                quiesced = counter.wait_for_quiescence(timeout=timeout)
+                if not quiesced and not errors:
+                    raise TimeoutError(
+                        f"async run did not quiesce within {timeout}s "
+                        f"({counter.outstanding} items outstanding)"
+                    )
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+        return sum(processed)

@@ -1,0 +1,102 @@
+"""Persistent thread pool backing the parallel-synchronous (``par``) policy.
+
+Spawning threads per operator call would dominate runtime, so one pool
+per worker count is cached process-wide and reused across operators and
+iterations — the analog of a framework's persistent device context.
+
+:meth:`ThreadPool.parallel_for` is the BSP primitive: it splits an index
+space into chunks, runs them on the workers, and **joins all chunks
+before returning** (the barrier that makes ``par`` synchronous).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+_DEFAULT_CAP = 8
+
+
+def default_worker_count() -> int:
+    """Pool default: available CPUs, capped (GIL makes huge pools useless)."""
+    return max(1, min(os.cpu_count() or 1, _DEFAULT_CAP))
+
+
+class ThreadPool:
+    """A thin barrier-providing wrapper over ``ThreadPoolExecutor``."""
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        self.num_workers = num_workers or default_worker_count()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="repro-worker"
+        )
+
+    def parallel_for(
+        self,
+        n_items: int,
+        body: Callable[[int, int], object],
+        *,
+        n_chunks: Optional[int] = None,
+    ) -> List[object]:
+        """Run ``body(start, stop)`` over a partition of ``range(n_items)``.
+
+        Blocks until every chunk finishes (the superstep barrier) and
+        returns the chunk results in index order.  Exceptions raised in
+        any chunk propagate to the caller after all chunks settle.
+        """
+        if n_items <= 0:
+            return []
+        n_chunks = n_chunks or self.num_workers
+        bounds = even_chunks(n_items, n_chunks)
+        if len(bounds) == 1:
+            # Single chunk: run inline, skip executor overhead.
+            return [body(0, n_items)]
+        futures = [self._executor.submit(body, s, e) for s, e in bounds]
+        wait(futures)
+        return [f.result() for f in futures]
+
+    def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run arbitrary thunks to completion; barrier before returning."""
+        if not tasks:
+            return []
+        futures = [self._executor.submit(t) for t in tasks]
+        wait(futures)
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        """Join all workers and release the executor."""
+        self._executor.shutdown(wait=True)
+
+
+def even_chunks(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous
+    near-equal ``(start, stop)`` spans (the vertex-balanced schedule).
+    Empty input yields no chunks."""
+    if n_items <= 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    bounds = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+_pools: Dict[int, ThreadPool] = {}
+_pools_lock = threading.Lock()
+
+
+def get_pool(num_workers: Optional[int] = None) -> ThreadPool:
+    """Fetch (or lazily create) the process-wide pool for a worker count."""
+    key = num_workers or default_worker_count()
+    with _pools_lock:
+        pool = _pools.get(key)
+        if pool is None:
+            pool = ThreadPool(key)
+            _pools[key] = pool
+        return pool

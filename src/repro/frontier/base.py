@@ -1,0 +1,104 @@
+"""The uniform frontier interface.
+
+"With thoughtful design, regardless of the underlying representation,
+the top-level interface to query the frontier (or presence of an active
+vertex or edge) remains the same." (§III-B)  This ABC is that interface;
+operators are written against it only, so swapping the representation
+never changes algorithm code.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Iterable, Union
+
+import numpy as np
+
+
+class FrontierKind(enum.Enum):
+    """What a frontier's elements denote — active vertices or active edges.
+
+    Vertex and edge frontiers are never mixed implicitly; operators check
+    the kind and raise :class:`~repro.errors.FrontierError` on mismatch.
+    """
+
+    VERTEX = "vertex"
+    EDGE = "edge"
+
+
+class Frontier(abc.ABC):
+    """Abstract active set of vertex or edge ids.
+
+    Concrete subclasses choose the storage (sparse vector, dense bitmap,
+    async queue) and therefore the communication model it supports; the
+    query surface below is representation-independent.
+
+    All frontiers know their ``capacity`` — the number of vertices (or
+    edges) in the underlying graph — so conversions between sparse and
+    dense forms are always well-defined.
+    """
+
+    kind: FrontierKind = FrontierKind.VERTEX
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+
+    # -- queries -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of active elements."""
+
+    def is_empty(self) -> bool:
+        """Whether no element is active — the default convergence signal
+        of the iterative loop (Listing 4: ``while (f.size() != 0)``)."""
+        return self.size() == 0
+
+    @abc.abstractmethod
+    def to_indices(self) -> np.ndarray:
+        """All active ids as a 1-D array (copy; safe to mutate)."""
+
+    @abc.abstractmethod
+    def __contains__(self, element: int) -> bool:
+        """Whether ``element`` is active."""
+
+    # -- mutation -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def add(self, element: int) -> None:
+        """Activate a single element (Listing 2's ``add_vertex``)."""
+
+    @abc.abstractmethod
+    def add_many(self, elements: Union[np.ndarray, Iterable[int]]) -> None:
+        """Activate many elements at once (bulk path used by operators)."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Deactivate everything."""
+
+    @abc.abstractmethod
+    def copy(self) -> "Frontier":
+        """Independent deep copy with the same representation."""
+
+    # -- convenience -----------------------------------------------------------------
+
+    def active_fraction(self) -> float:
+        """Active elements / capacity — drives representation heuristics."""
+        if self.capacity == 0:
+            return 0.0
+        return self.size() / self.capacity
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __iter__(self):
+        return iter(self.to_indices())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={self.size()}, "
+            f"capacity={self.capacity}, kind={self.kind.value})"
+        )

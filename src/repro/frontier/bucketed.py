@@ -1,0 +1,163 @@
+"""Bucketed (priority) frontier: active ids grouped by priority band.
+
+The representation behind priority-ordered traversal optimizations —
+delta-stepping's distance buckets and Gunrock's near-far split both
+instantiate it.  Elements carry a float priority; the frontier exposes
+the usual interface over the *current* bucket while later buckets wait,
+and :meth:`advance_bucket` rotates to the next non-empty band.
+
+Priorities may be updated by re-adding an element with a lower value;
+like the sparse frontier, stale duplicates are permitted and are
+filtered by the algorithm's own monotonicity check on pop (the same
+lazy-deletion discipline as a binary-heap Dijkstra).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.errors import FrontierError
+from repro.frontier.base import Frontier, FrontierKind
+from repro.types import VERTEX_DTYPE
+
+
+class BucketedFrontier(Frontier):
+    """Vertex frontier with float priorities quantized into width-``delta``
+    buckets.
+
+    ``current_bucket`` indexes the active band; ids added with a priority
+    inside an earlier band are clamped into the current one (they are
+    late arrivals that must still be processed).
+    """
+
+    kind = FrontierKind.VERTEX
+
+    def __init__(self, capacity: int, delta: float) -> None:
+        super().__init__(capacity)
+        if delta <= 0:
+            raise FrontierError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+        self._buckets: dict[int, list] = {}
+        self.current_bucket = 0
+
+    @classmethod
+    def from_priorities(
+        cls,
+        ids: Union[np.ndarray, Iterable[int]],
+        priorities: Union[np.ndarray, Iterable[float]],
+        capacity: int,
+        delta: float,
+    ) -> "BucketedFrontier":
+        f = cls(capacity, delta)
+        f.add_with_priorities(ids, priorities)
+        return f
+
+    # -- priority insertion -------------------------------------------------------
+
+    def bucket_of(self, priority: float) -> int:
+        """Bucket index a priority falls into (clamped to current)."""
+        return max(int(priority / self.delta), self.current_bucket)
+
+    def add_with_priority(self, element: int, priority: float) -> None:
+        """Activate ``element`` in the bucket its priority maps to."""
+        if not (0 <= element < self.capacity):
+            raise FrontierError(
+                f"vertex {element} out of range [0, {self.capacity})"
+            )
+        self._buckets.setdefault(self.bucket_of(priority), []).append(
+            int(element)
+        )
+
+    def add_with_priorities(self, ids, priorities) -> None:
+        """Bulk insert: one priority per id, vectorized bucketing."""
+        ids = np.asarray(
+            ids if isinstance(ids, np.ndarray) else list(ids),
+            dtype=VERTEX_DTYPE,
+        ).ravel()
+        priorities = np.asarray(
+            priorities
+            if isinstance(priorities, np.ndarray)
+            else list(priorities),
+            dtype=np.float64,
+        ).ravel()
+        if ids.shape != priorities.shape:
+            raise FrontierError(
+                f"ids and priorities must have equal length, got "
+                f"{ids.shape[0]} and {priorities.shape[0]}"
+            )
+        if ids.size == 0:
+            return
+        if int(ids.min()) < 0 or int(ids.max()) >= self.capacity:
+            raise FrontierError(
+                f"vertex ids out of range [0, {self.capacity})"
+            )
+        buckets = np.maximum(
+            (priorities / self.delta).astype(np.int64), self.current_bucket
+        )
+        for b in np.unique(buckets):
+            self._buckets.setdefault(int(b), []).extend(
+                ids[buckets == b].tolist()
+            )
+
+    # -- frontier interface over the current bucket ---------------------------------
+
+    def size(self) -> int:
+        """Active elements in the *current* bucket."""
+        return len(self._buckets.get(self.current_bucket, []))
+
+    def total_size(self) -> int:
+        """Elements across all pending buckets."""
+        return sum(len(v) for v in self._buckets.values())
+
+    def to_indices(self) -> np.ndarray:
+        return np.asarray(
+            self._buckets.get(self.current_bucket, []), dtype=VERTEX_DTYPE
+        )
+
+    def __contains__(self, element: int) -> bool:
+        return element in self._buckets.get(self.current_bucket, [])
+
+    def add(self, element: int) -> None:
+        """Interface add: lands in the current bucket."""
+        self.add_with_priority(element, self.current_bucket * self.delta)
+
+    def add_many(self, elements) -> None:
+        for e in np.asarray(list(elements), dtype=VERTEX_DTYPE).ravel():
+            self.add(int(e))
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def copy(self) -> "BucketedFrontier":
+        f = BucketedFrontier(self.capacity, self.delta)
+        f.current_bucket = self.current_bucket
+        f._buckets = {k: list(v) for k, v in self._buckets.items()}
+        return f
+
+    # -- bucket rotation ---------------------------------------------------------------
+
+    def take_current(self) -> np.ndarray:
+        """Drain and return the current bucket's ids."""
+        items = self._buckets.pop(self.current_bucket, [])
+        return np.asarray(items, dtype=VERTEX_DTYPE)
+
+    def advance_bucket(self) -> bool:
+        """Move to the next non-empty bucket.  False when none remain."""
+        pending = [
+            b
+            for b, items in self._buckets.items()
+            if items and b > self.current_bucket
+        ]
+        if not pending:
+            # Maybe the current bucket itself still has late arrivals.
+            if self._buckets.get(self.current_bucket):
+                return True
+            return False
+        self.current_bucket = min(pending)
+        return True
+
+    def is_exhausted(self) -> bool:
+        """No elements anywhere (the loop's convergence signal)."""
+        return self.total_size() == 0

@@ -1,0 +1,124 @@
+"""Dense vertex frontier: a boolean bitmap (§IV-B).
+
+"A dense frontier can be represented as a boolean array, where each
+element is true only if the corresponding vertex or edge is active."
+Membership is O(1), set-union is a vectorized OR, and — unlike the
+sparse vector — duplicates are impossible by construction.  The natural
+representation for the *pull* direction, which asks "is any in-neighbor
+of v active?" per candidate v.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.frontier.base import Frontier, FrontierKind
+from repro.types import FLAG_DTYPE, VERTEX_DTYPE
+from repro.utils.validation import check_vertex_in_range, check_vertices_in_range
+
+
+class DenseFrontier(Frontier):
+    """Active vertices stored as a capacity-length boolean bitmap."""
+
+    kind = FrontierKind.VERTEX
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._flags = np.zeros(capacity, dtype=FLAG_DTYPE)
+        self._count = 0  # cached popcount; kept exact by all mutators
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_indices(
+        cls, indices: Union[np.ndarray, Iterable[int]], capacity: int
+    ) -> "DenseFrontier":
+        f = cls(capacity)
+        f.add_many(indices)
+        return f
+
+    @classmethod
+    def from_flags(cls, flags: np.ndarray) -> "DenseFrontier":
+        """Adopt an existing boolean array (copied) as the bitmap."""
+        flags = np.asarray(flags, dtype=FLAG_DTYPE).ravel()
+        f = cls(flags.shape[0])
+        f._flags = flags.copy()
+        f._count = int(flags.sum())
+        return f
+
+    # -- queries ----------------------------------------------------------------------
+
+    def size(self) -> int:
+        return self._count
+
+    def to_indices(self) -> np.ndarray:
+        return np.nonzero(self._flags)[0].astype(VERTEX_DTYPE)
+
+    def flags_view(self) -> np.ndarray:
+        """Zero-copy view of the bitmap (hot path for pull advance)."""
+        return self._flags
+
+    def __contains__(self, element: int) -> bool:
+        if not (0 <= element < self.capacity):
+            return False
+        return bool(self._flags[element])
+
+    # -- mutation --------------------------------------------------------------------
+
+    def add(self, element: int) -> None:
+        element = check_vertex_in_range(element, self.capacity)
+        if not self._flags[element]:
+            self._flags[element] = True
+            self._count += 1
+
+    def add_many(self, elements: Union[np.ndarray, Iterable[int]]) -> None:
+        arr = np.asarray(
+            elements if isinstance(elements, np.ndarray) else list(elements),
+            dtype=VERTEX_DTYPE,
+        ).ravel()
+        if arr.size == 0:
+            return
+        check_vertices_in_range(arr, self.capacity)
+        before = self._count
+        self._flags[arr] = True
+        # Recount only when something could have changed; the bitmap OR is
+        # idempotent so duplicates in `arr` are free.
+        self._count = int(self._flags.sum()) if arr.size else before
+
+    def remove(self, element: int) -> None:
+        """Deactivate one element (no-op if already inactive)."""
+        element = check_vertex_in_range(element, self.capacity)
+        if self._flags[element]:
+            self._flags[element] = False
+            self._count -= 1
+
+    def clear(self) -> None:
+        self._flags[:] = False
+        self._count = 0
+
+    def copy(self) -> "DenseFrontier":
+        return DenseFrontier.from_flags(self._flags)
+
+    # -- set algebra (bitmap-only fast paths) -------------------------------------------
+
+    def union_(self, other: "DenseFrontier") -> "DenseFrontier":
+        """In-place union with another dense frontier of equal capacity."""
+        self._check_compatible(other)
+        np.logical_or(self._flags, other._flags, out=self._flags)
+        self._count = int(self._flags.sum())
+        return self
+
+    def difference_(self, other: "DenseFrontier") -> "DenseFrontier":
+        """In-place removal of ``other``'s elements (e.g. visited mask)."""
+        self._check_compatible(other)
+        self._flags &= ~other._flags
+        self._count = int(self._flags.sum())
+        return self
+
+    def _check_compatible(self, other: "DenseFrontier") -> None:
+        if self.capacity != other.capacity:
+            raise ValueError(
+                f"capacity mismatch: {self.capacity} vs {other.capacity}"
+            )

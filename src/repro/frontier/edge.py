@@ -1,0 +1,123 @@
+"""Edge frontier: the active set holds *edge* ids, not vertex ids.
+
+"The frontier type, expressed as either a set of active vertices or a
+set of active edges ... allows for both edge and vertex-centric
+programs" (§III-C).  Edge ids are CSR positions; the companion helpers
+resolve them back to (src, dst, weight) tuples in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.errors import FrontierError
+from repro.frontier.base import Frontier, FrontierKind
+from repro.graph.graph import Graph
+from repro.types import EDGE_DTYPE
+
+_INITIAL_ROOM = 16
+
+
+class EdgeFrontier(Frontier):
+    """Active edges stored as a growable vector of CSR edge ids."""
+
+    kind = FrontierKind.EDGE
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._data = np.empty(_INITIAL_ROOM, dtype=EDGE_DTYPE)
+        self._size = 0
+
+    @classmethod
+    def from_indices(
+        cls, indices: Union[np.ndarray, Iterable[int]], capacity: int
+    ) -> "EdgeFrontier":
+        f = cls(capacity)
+        f.add_many(indices)
+        return f
+
+    @classmethod
+    def all_edges(cls, graph: Graph) -> "EdgeFrontier":
+        """A frontier activating every edge — the start state of
+        edge-centric programs like triangle counting."""
+        n = graph.n_edges
+        f = cls(n)
+        f.add_many(np.arange(n, dtype=EDGE_DTYPE))
+        return f
+
+    # -- queries ----------------------------------------------------------------------
+
+    def size(self) -> int:
+        return self._size
+
+    def to_indices(self) -> np.ndarray:
+        return self._data[: self._size].copy()
+
+    def indices_view(self) -> np.ndarray:
+        """Zero-copy view of the active edge ids."""
+        return self._data[: self._size]
+
+    def __contains__(self, element: int) -> bool:
+        return bool(np.any(self._data[: self._size] == element))
+
+    def resolve(
+        self, graph: Graph
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk-resolve the active edges to ``(sources, dests, weights)``."""
+        csr = graph.csr()
+        eids = self._data[: self._size]
+        if eids.size and (int(eids.min()) < 0 or int(eids.max()) >= graph.n_edges):
+            raise FrontierError(
+                f"edge ids out of range [0, {graph.n_edges}) in frontier"
+            )
+        return (
+            csr.source_of_edges(eids),
+            csr.column_indices[eids],
+            csr.values[eids],
+        )
+
+    # -- mutation --------------------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= self._data.shape[0]:
+            return
+        new_room = max(needed, self._data.shape[0] * 2)
+        grown = np.empty(new_room, dtype=EDGE_DTYPE)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    def add(self, element: int) -> None:
+        if not (0 <= element < self.capacity):
+            raise FrontierError(
+                f"edge id {element} out of range [0, {self.capacity})"
+            )
+        self._reserve(1)
+        self._data[self._size] = element
+        self._size += 1
+
+    def add_many(self, elements: Union[np.ndarray, Iterable[int]]) -> None:
+        arr = np.asarray(
+            elements if isinstance(elements, np.ndarray) else list(elements),
+            dtype=EDGE_DTYPE,
+        ).ravel()
+        if arr.size == 0:
+            return
+        if int(arr.min()) < 0 or int(arr.max()) >= self.capacity:
+            raise FrontierError(
+                f"edge ids must lie in [0, {self.capacity}); got range "
+                f"[{int(arr.min())}, {int(arr.max())}]"
+            )
+        self._reserve(arr.shape[0])
+        self._data[self._size : self._size + arr.shape[0]] = arr
+        self._size += arr.shape[0]
+
+    def clear(self) -> None:
+        self._size = 0
+
+    def copy(self) -> "EdgeFrontier":
+        f = EdgeFrontier(self.capacity)
+        f.add_many(self._data[: self._size])
+        return f

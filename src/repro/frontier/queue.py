@@ -1,0 +1,134 @@
+"""Asynchronous queue frontier: elements as messages (§III-B, ``++Asynchrony``).
+
+"When represented as an asynchronous queue [Chen et al., Atos], a
+frontier can communicate its elements using messages."  This frontier is
+a thread-safe multi-producer/multi-consumer queue: workers *pop* active
+vertices whenever they are free (no superstep barrier) and *push* newly
+activated ones, so the same object is both the active set and the
+communication channel.
+
+Unlike the bulk frontiers it supports destructive consumption
+(:meth:`pop`, :meth:`pop_chunk`); the outstanding-work accounting needed
+for asynchronous termination detection lives in the scheduler's
+:class:`~repro.utils.counters.WorkCounter`, not here.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import FrontierError
+from repro.frontier.base import Frontier, FrontierKind
+from repro.types import VERTEX_DTYPE
+from repro.utils.validation import check_vertex_in_range, check_vertices_in_range
+
+
+class AsyncQueueFrontier(Frontier):
+    """Active vertices stored in a locked MPMC deque.
+
+    The lock is coarse but operations are O(1) appends/pops; chunked pops
+    (:meth:`pop_chunk`) amortize lock traffic for bulk consumers.
+    """
+
+    kind = FrontierKind.VERTEX
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_indices(
+        cls, indices: Union[np.ndarray, Iterable[int]], capacity: int
+    ) -> "AsyncQueueFrontier":
+        f = cls(capacity)
+        f.add_many(indices)
+        return f
+
+    # -- queries ----------------------------------------------------------------------
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def to_indices(self) -> np.ndarray:
+        """Snapshot of the queued ids *without* consuming them."""
+        with self._lock:
+            return np.asarray(list(self._queue), dtype=VERTEX_DTYPE)
+
+    def __contains__(self, element: int) -> bool:
+        with self._lock:
+            return element in self._queue
+
+    # -- message passing (producer side) ----------------------------------------------
+
+    def add(self, element: int) -> None:
+        element = check_vertex_in_range(element, self.capacity)
+        with self._lock:
+            self._queue.append(element)
+            self._not_empty.notify()
+
+    def add_many(self, elements: Union[np.ndarray, Iterable[int]]) -> None:
+        arr = np.asarray(
+            elements if isinstance(elements, np.ndarray) else list(elements),
+            dtype=VERTEX_DTYPE,
+        ).ravel()
+        if arr.size == 0:
+            return
+        check_vertices_in_range(arr, self.capacity)
+        items = arr.tolist()
+        with self._lock:
+            self._queue.extend(items)
+            self._not_empty.notify(len(items))
+
+    # -- message passing (consumer side) ----------------------------------------------
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Dequeue one vertex; block up to ``timeout`` seconds when empty.
+
+        Returns ``None`` on timeout (and immediately when ``timeout`` is 0
+        and the queue is empty) — callers use ``None`` as the "no work
+        right now" signal while termination detection runs elsewhere.
+        """
+        with self._lock:
+            if not self._queue and timeout != 0:
+                self._not_empty.wait_for(lambda: bool(self._queue), timeout=timeout)
+            if not self._queue:
+                return None
+            return int(self._queue.popleft())
+
+    def pop_chunk(self, max_items: int) -> List[int]:
+        """Dequeue up to ``max_items`` vertices without blocking."""
+        if max_items <= 0:
+            raise FrontierError(f"max_items must be positive, got {max_items}")
+        out: List[int] = []
+        with self._lock:
+            while self._queue and len(out) < max_items:
+                out.append(int(self._queue.popleft()))
+        return out
+
+    def drain(self) -> np.ndarray:
+        """Dequeue everything at once (used to seed a BSP superstep from a
+        queue-fed frontier)."""
+        with self._lock:
+            items = np.asarray(list(self._queue), dtype=VERTEX_DTYPE)
+            self._queue.clear()
+        return items
+
+    # -- mutation --------------------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._queue.clear()
+
+    def copy(self) -> "AsyncQueueFrontier":
+        f = AsyncQueueFrontier(self.capacity)
+        f.add_many(self.to_indices())
+        return f

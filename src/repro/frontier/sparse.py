@@ -1,0 +1,124 @@
+"""Sparse vertex frontier: a vector of active ids (Listing 2).
+
+The default shared-memory representation.  Storage is an over-allocated
+NumPy array grown geometrically, so scalar ``add`` is amortized O(1)
+and bulk ``add_many`` is one vectorized copy — the Python translation of
+``std::vector<int> active_vertices``.
+
+Duplicates are permitted (a vertex discovered by several parents appears
+several times), exactly as in the paper's Listing 3 output frontier; the
+``uniquify`` operator removes them when an algorithm needs set semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.errors import FrontierError
+from repro.frontier.base import Frontier, FrontierKind
+from repro.types import VERTEX_DTYPE
+from repro.utils.validation import check_vertex_in_range, check_vertices_in_range
+
+_INITIAL_ROOM = 16
+
+
+class SparseFrontier(Frontier):
+    """Active vertices stored as a growable id vector."""
+
+    kind = FrontierKind.VERTEX
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._data = np.empty(_INITIAL_ROOM, dtype=VERTEX_DTYPE)
+        self._size = 0
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_indices(
+        cls, indices: Union[np.ndarray, Iterable[int]], capacity: int
+    ) -> "SparseFrontier":
+        """Build a frontier holding exactly ``indices``."""
+        f = cls(capacity)
+        f.add_many(indices)
+        return f
+
+    # -- queries ----------------------------------------------------------------------
+
+    def size(self) -> int:
+        return self._size
+
+    def to_indices(self) -> np.ndarray:
+        return self._data[: self._size].copy()
+
+    def indices_view(self) -> np.ndarray:
+        """Zero-copy view of the active ids — operators use this on the
+        hot path; callers must not grow the frontier while holding it."""
+        return self._data[: self._size]
+
+    def get_active_vertex(self, i: int) -> int:
+        """The i-th active vertex (Listing 2's positional query)."""
+        if not (0 <= i < self._size):
+            raise FrontierError(
+                f"active index {i} out of range [0, {self._size})"
+            )
+        return int(self._data[i])
+
+    def __contains__(self, element: int) -> bool:
+        return bool(np.any(self._data[: self._size] == element))
+
+    # -- mutation --------------------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= self._data.shape[0]:
+            return
+        new_room = max(needed, self._data.shape[0] * 2)
+        grown = np.empty(new_room, dtype=VERTEX_DTYPE)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    def add(self, element: int) -> None:
+        element = check_vertex_in_range(element, self.capacity)
+        self._reserve(1)
+        self._data[self._size] = element
+        self._size += 1
+
+    def add_vertex(self, v: int) -> None:
+        """Alias matching Listing 2's method name."""
+        self.add(v)
+
+    def add_many(self, elements: Union[np.ndarray, Iterable[int]]) -> None:
+        arr = np.asarray(
+            elements if isinstance(elements, np.ndarray) else list(elements),
+            dtype=VERTEX_DTYPE,
+        ).ravel()
+        if arr.size == 0:
+            return
+        check_vertices_in_range(arr, self.capacity)
+        self._reserve(arr.shape[0])
+        self._data[self._size : self._size + arr.shape[0]] = arr
+        self._size += arr.shape[0]
+
+    def clear(self) -> None:
+        self._size = 0
+
+    def copy(self) -> "SparseFrontier":
+        f = SparseFrontier(self.capacity)
+        f.add_many(self._data[: self._size])
+        return f
+
+    # -- set maintenance ---------------------------------------------------------------
+
+    def uniquify(self) -> "SparseFrontier":
+        """Remove duplicate ids in place (sorts as a side effect).
+
+        Returns ``self`` for chaining.
+        """
+        if self._size:
+            unique = np.unique(self._data[: self._size])
+            self._data[: unique.shape[0]] = unique
+            self._size = unique.shape[0]
+        return self

@@ -1,0 +1,46 @@
+"""Graph data structures: the first essential component.
+
+The paper (§IV-A, Listing 1) represents a graph internally with sparse
+matrix formats — CSR for push traversal, CSC for pull — but exposes a
+*graph-focused* API (``get_edges``, ``get_dest_vertex``,
+``get_edge_weight``).  :class:`~repro.graph.graph.Graph` is the facade
+holding one or more format views behind that API; the format classes
+(:class:`~repro.graph.csr.CSRMatrix`, :class:`~repro.graph.csc.CSCMatrix`,
+:class:`~repro.graph.coo.COOMatrix`,
+:class:`~repro.graph.adjacency.AdjacencyList`) are the interchangeable
+underlying representations ("variadic inheritance" in the C++ original,
+composition-of-views here).
+"""
+
+from repro.graph.properties import GraphProperties
+from repro.graph.csr import CSRMatrix
+from repro.graph.csc import CSCMatrix
+from repro.graph.coo import COOMatrix
+from repro.graph.adjacency import AdjacencyList
+from repro.graph.graph import Graph
+from repro.graph.builder import (
+    from_edge_array,
+    from_edge_list,
+    from_csr_arrays,
+    from_scipy_sparse,
+    from_networkx,
+)
+from repro.graph.transpose import transpose_csr
+from repro.graph.validate import validate_csr, validate_graph
+
+__all__ = [
+    "GraphProperties",
+    "CSRMatrix",
+    "CSCMatrix",
+    "COOMatrix",
+    "AdjacencyList",
+    "Graph",
+    "from_edge_array",
+    "from_edge_list",
+    "from_csr_arrays",
+    "from_scipy_sparse",
+    "from_networkx",
+    "transpose_csr",
+    "validate_csr",
+    "validate_graph",
+]

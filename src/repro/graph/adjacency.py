@@ -1,0 +1,113 @@
+"""Adjacency-list graph representation.
+
+The third underlying format the paper names (§IV-A).  Each vertex owns a
+pair of growable arrays (neighbors, weights), which makes this the only
+*mutable* representation — incremental edge insertion lands here, and the
+builder converts to CSR/CSC once the graph is frozen.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+
+class AdjacencyList:
+    """A mutable adjacency-list graph.
+
+    Neighbors are kept as Python lists while building (amortized O(1)
+    append) and converted to NumPy arrays on :meth:`freeze` / CSR export.
+    """
+
+    __slots__ = ("n_vertices", "_neighbors", "_weights")
+
+    def __init__(self, n_vertices: int) -> None:
+        if n_vertices < 0:
+            raise GraphFormatError(f"n_vertices must be >= 0, got {n_vertices}")
+        self.n_vertices = int(n_vertices)
+        self._neighbors: List[List[int]] = [[] for _ in range(self.n_vertices)]
+        self._weights: List[List[float]] = [[] for _ in range(self.n_vertices)]
+
+    # -- construction -----------------------------------------------------------
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
+        """Append the directed edge ``(src, dst)``."""
+        if not (0 <= src < self.n_vertices and 0 <= dst < self.n_vertices):
+            raise GraphFormatError(
+                f"edge ({src}, {dst}) out of range for n_vertices={self.n_vertices}"
+            )
+        self._neighbors[src].append(int(dst))
+        self._weights[src].append(float(weight))
+
+    def add_edges(self, edges: Iterable[Tuple[int, int, float]]) -> None:
+        """Append many ``(src, dst, weight)`` triples."""
+        for src, dst, weight in edges:
+            self.add_edge(src, dst, weight)
+
+    def add_undirected_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Append both arc directions of an undirected edge."""
+        self.add_edge(u, v, weight)
+        if u != v:
+            self.add_edge(v, u, weight)
+
+    # -- native-graph API ---------------------------------------------------------
+
+    def get_num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.n_vertices
+
+    def get_num_edges(self) -> int:
+        """Number of stored directed edges."""
+        return sum(len(nbrs) for nbrs in self._neighbors)
+
+    def get_num_neighbors(self, v: int) -> int:
+        """Out-degree of vertex ``v``."""
+        return len(self._neighbors[v])
+
+    def get_neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbor ids of vertex ``v`` (copied into an array)."""
+        return np.asarray(self._neighbors[v], dtype=VERTEX_DTYPE)
+
+    def get_neighbor_weights(self, v: int) -> np.ndarray:
+        """Out-edge weights of vertex ``v`` (copied into an array)."""
+        return np.asarray(self._weights[v], dtype=WEIGHT_DTYPE)
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(src, dst, weight)`` triples in insertion order per vertex."""
+        for v, (nbrs, wts) in enumerate(zip(self._neighbors, self._weights)):
+            for dst, w in zip(nbrs, wts):
+                yield v, dst, w
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``(u, v)`` was inserted."""
+        return v in self._neighbors[u]
+
+    # -- conversion --------------------------------------------------------------
+
+    def to_csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Export ``(row_offsets, column_indices, values)`` CSR arrays."""
+        degrees = np.fromiter(
+            (len(nbrs) for nbrs in self._neighbors),
+            dtype=np.int64,
+            count=self.n_vertices,
+        )
+        row_offsets = np.zeros(self.n_vertices + 1, dtype=np.int64)
+        np.cumsum(degrees, out=row_offsets[1:])
+        n_edges = int(row_offsets[-1])
+        column_indices = np.empty(n_edges, dtype=VERTEX_DTYPE)
+        values = np.empty(n_edges, dtype=WEIGHT_DTYPE)
+        for v in range(self.n_vertices):
+            s, e = int(row_offsets[v]), int(row_offsets[v + 1])
+            column_indices[s:e] = self._neighbors[v]
+            values[s:e] = self._weights[v]
+        return row_offsets, column_indices, values
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjacencyList(n_vertices={self.n_vertices}, "
+            f"n_edges={self.get_num_edges()})"
+        )

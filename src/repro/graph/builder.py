@@ -1,0 +1,218 @@
+"""Graph builders: every ingestion path normalizes through COO into CSR.
+
+These free functions are the public construction API.  They take edge
+data in whatever shape the caller has (arrays, tuples, scipy matrices,
+networkx graphs), clean it (optional dedup, self-loop removal,
+symmetrization), and return a :class:`~repro.graph.graph.Graph` whose CSR
+view is materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOMatrix
+from repro.graph.csr import CSRMatrix
+from repro.graph.graph import Graph
+from repro.graph.properties import GraphProperties
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+
+def _finalize(
+    coo: COOMatrix,
+    *,
+    directed: bool,
+    weighted: bool,
+    remove_self_loops: bool,
+    deduplicate: bool,
+    combine: str,
+) -> Graph:
+    if remove_self_loops:
+        coo = coo.without_self_loops()
+    if not directed:
+        coo = coo.symmetrized()
+        # Symmetrization always introduces duplicates for inputs that list
+        # both directions, so dedup is forced for undirected graphs.
+        deduplicate = True
+    if deduplicate:
+        coo = coo.deduplicated(combine=combine)
+    ro, ci, vals = coo.to_csr_arrays()
+    csr = CSRMatrix(coo.n_rows, coo.n_cols, ro, ci, vals)
+    has_loops = bool(np.any(coo.rows == coo.cols)) if coo.rows.size else False
+    props = GraphProperties(
+        directed=directed, weighted=weighted, has_self_loops=has_loops
+    )
+    return Graph({"csr": csr, "coo": coo}, props)
+
+
+def from_edge_array(
+    sources,
+    destinations,
+    weights=None,
+    *,
+    n_vertices: Optional[int] = None,
+    directed: bool = True,
+    remove_self_loops: bool = False,
+    deduplicate: bool = False,
+    combine: str = "min",
+) -> Graph:
+    """Build a graph from parallel source/destination (and weight) arrays.
+
+    Parameters
+    ----------
+    sources, destinations:
+        Array-likes of vertex ids, equal length.
+    weights:
+        Optional array-like of edge weights; unweighted graphs get unit
+        weights so the traversal API stays uniform.
+    n_vertices:
+        Vertex count; inferred as ``max(id) + 1`` when omitted.
+    directed:
+        When ``False``, both arc directions are materialized and duplicate
+        arcs merged.
+    remove_self_loops, deduplicate, combine:
+        Cleaning options; ``combine`` picks how duplicate-edge weights merge
+        (default ``"min"``, the safe choice for shortest paths).
+    """
+    src = np.asarray(sources, dtype=VERTEX_DTYPE).ravel()
+    dst = np.asarray(destinations, dtype=VERTEX_DTYPE).ravel()
+    if src.shape != dst.shape:
+        raise GraphFormatError(
+            f"sources and destinations must have equal length, got "
+            f"{src.shape[0]} and {dst.shape[0]}"
+        )
+    weighted = weights is not None
+    if weighted:
+        vals = np.asarray(weights, dtype=WEIGHT_DTYPE).ravel()
+        if vals.shape != src.shape:
+            raise GraphFormatError(
+                f"weights length {vals.shape[0]} != edge count {src.shape[0]}"
+            )
+    else:
+        vals = np.ones(src.shape[0], dtype=WEIGHT_DTYPE)
+    if n_vertices is None:
+        n_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    coo = COOMatrix(n_vertices, n_vertices, src, dst, vals)
+    return _finalize(
+        coo,
+        directed=directed,
+        weighted=weighted,
+        remove_self_loops=remove_self_loops,
+        deduplicate=deduplicate,
+        combine=combine,
+    )
+
+
+def from_edge_list(
+    edges: Iterable[Sequence],
+    *,
+    n_vertices: Optional[int] = None,
+    directed: bool = True,
+    **kwargs,
+) -> Graph:
+    """Build a graph from an iterable of ``(src, dst)`` or ``(src, dst, w)``.
+
+    Tuples of both arities may be mixed; 2-tuples get unit weight, and the
+    graph is flagged weighted only when at least one 3-tuple appears.
+    """
+    srcs, dsts, wts = [], [], []
+    any_weighted = False
+    for edge in edges:
+        if len(edge) == 2:
+            s, d = edge
+            w = 1.0
+        elif len(edge) == 3:
+            s, d, w = edge
+            any_weighted = True
+        else:
+            raise GraphFormatError(
+                f"edges must be (src, dst) or (src, dst, weight); got "
+                f"length-{len(edge)} entry"
+            )
+        srcs.append(s)
+        dsts.append(d)
+        wts.append(w)
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(wts, dtype=WEIGHT_DTYPE) if any_weighted else None,
+        n_vertices=n_vertices,
+        directed=directed,
+        **kwargs,
+    )
+
+
+def from_csr_arrays(
+    row_offsets,
+    column_indices,
+    values=None,
+    *,
+    n_vertices: Optional[int] = None,
+    directed: bool = True,
+) -> Graph:
+    """Wrap pre-built CSR arrays directly (zero-copy where dtypes match)."""
+    ro = np.asarray(row_offsets)
+    if n_vertices is None:
+        n_vertices = ro.shape[0] - 1
+    ci = np.asarray(column_indices)
+    weighted = values is not None
+    vals = (
+        np.asarray(values)
+        if weighted
+        else np.ones(ci.shape[0], dtype=WEIGHT_DTYPE)
+    )
+    csr = CSRMatrix(n_vertices, n_vertices, ro, ci, vals)
+    props = GraphProperties(directed=directed, weighted=weighted)
+    return Graph({"csr": csr}, props)
+
+
+def from_scipy_sparse(matrix, *, directed: bool = True) -> Graph:
+    """Build from any :mod:`scipy.sparse` matrix (square required)."""
+    import scipy.sparse as sp
+
+    if matrix.shape[0] != matrix.shape[1]:
+        raise GraphFormatError(
+            f"adjacency matrix must be square, got shape {matrix.shape}"
+        )
+    csr = sp.csr_matrix(matrix)
+    csr.sum_duplicates()
+    return from_csr_arrays(
+        csr.indptr.astype(np.int64),
+        csr.indices.astype(VERTEX_DTYPE),
+        csr.data.astype(WEIGHT_DTYPE),
+        directed=directed,
+    )
+
+
+def from_networkx(nx_graph, *, weight_attr: str = "weight") -> Graph:
+    """Build from a :mod:`networkx` graph.
+
+    Nodes are relabeled to ``0..n-1`` in ``nx_graph.nodes`` order;
+    undirected inputs are symmetrized.  Used mostly by tests to validate
+    against networkx reference algorithms.
+    """
+    import networkx as nx
+
+    nodes = list(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    srcs, dsts, wts = [], [], []
+    weighted = False
+    for u, v, data in nx_graph.edges(data=True):
+        srcs.append(index[u])
+        dsts.append(index[v])
+        if weight_attr in data:
+            weighted = True
+            wts.append(float(data[weight_attr]))
+        else:
+            wts.append(1.0)
+    directed = isinstance(nx_graph, (nx.DiGraph, nx.MultiDiGraph))
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(wts, dtype=WEIGHT_DTYPE) if weighted else None,
+        n_vertices=len(nodes),
+        directed=directed,
+    )

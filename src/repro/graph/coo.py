@@ -1,0 +1,161 @@
+"""Coordinate-list (edge list) graph representation.
+
+COO is the ingestion and edge-centric format: three parallel arrays
+``(rows, cols, vals)``.  Builders normalize input through COO, and the
+edge-frontier path uses it for edge-centric programs (§III-C component 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.types import EDGE_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+
+
+class COOMatrix:
+    """A graph stored as coordinate (edge-list) triples."""
+
+    __slots__ = ("n_rows", "n_cols", "rows", "cols", "vals")
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.rows = np.ascontiguousarray(rows, dtype=VERTEX_DTYPE)
+        self.cols = np.ascontiguousarray(cols, dtype=VERTEX_DTYPE)
+        self.vals = np.ascontiguousarray(vals, dtype=WEIGHT_DTYPE)
+        if not (self.rows.shape == self.cols.shape == self.vals.shape):
+            raise GraphFormatError(
+                f"COO arrays must have equal lengths, got rows={self.rows.shape}, "
+                f"cols={self.cols.shape}, vals={self.vals.shape}"
+            )
+        if self.rows.size:
+            if int(self.rows.min()) < 0 or int(self.cols.min()) < 0:
+                raise GraphFormatError("COO indices must be non-negative")
+            if int(self.rows.max()) >= self.n_rows:
+                raise GraphFormatError(
+                    f"row index {int(self.rows.max())} out of range for "
+                    f"n_rows={self.n_rows}"
+                )
+            if int(self.cols.max()) >= self.n_cols:
+                raise GraphFormatError(
+                    f"col index {int(self.cols.max())} out of range for "
+                    f"n_cols={self.n_cols}"
+                )
+
+    def get_num_vertices(self) -> int:
+        """Number of vertices (rows)."""
+        return self.n_rows
+
+    def get_num_edges(self) -> int:
+        """Number of stored edge triples."""
+        return int(self.rows.shape[0])
+
+    def get_edge(self, e: int) -> Tuple[int, int, float]:
+        """The ``(src, dst, weight)`` triple of edge ``e``."""
+        return int(self.rows[e]), int(self.cols[e]), float(self.vals[e])
+
+    def sorted_by_row(self) -> "COOMatrix":
+        """Return a copy sorted by (row, col) — CSR construction order."""
+        order = np.lexsort((self.cols, self.rows))
+        return COOMatrix(
+            self.n_rows,
+            self.n_cols,
+            self.rows[order],
+            self.cols[order],
+            self.vals[order],
+        )
+
+    def deduplicated(self, *, combine: str = "first") -> "COOMatrix":
+        """Return a copy with duplicate ``(row, col)`` pairs merged.
+
+        ``combine`` selects how duplicate weights merge: ``"first"`` keeps
+        the first occurrence, ``"sum"`` adds them, ``"min"``/``"max"`` take
+        the extreme (the right choice for multi-edges feeding SSSP).
+        """
+        if self.rows.size == 0:
+            return self.copy()
+        order = np.lexsort((self.cols, self.rows))
+        r, c, v = self.rows[order], self.cols[order], self.vals[order]
+        new_group = np.empty(r.shape[0], dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        group_ids = np.cumsum(new_group) - 1
+        n_groups = int(group_ids[-1]) + 1
+        out_r = r[new_group]
+        out_c = c[new_group]
+        if combine == "first":
+            out_v = v[new_group]
+        elif combine == "sum":
+            out_v = np.zeros(n_groups, dtype=WEIGHT_DTYPE)
+            np.add.at(out_v, group_ids, v)
+        elif combine == "min":
+            out_v = np.full(n_groups, np.inf, dtype=WEIGHT_DTYPE)
+            np.minimum.at(out_v, group_ids, v)
+        elif combine == "max":
+            out_v = np.full(n_groups, -np.inf, dtype=WEIGHT_DTYPE)
+            np.maximum.at(out_v, group_ids, v)
+        else:
+            raise ValueError(
+                f"combine must be one of 'first', 'sum', 'min', 'max'; got {combine!r}"
+            )
+        return COOMatrix(self.n_rows, self.n_cols, out_r, out_c, out_v)
+
+    def without_self_loops(self) -> "COOMatrix":
+        """Return a copy with ``(v, v)`` edges removed."""
+        keep = self.rows != self.cols
+        return COOMatrix(
+            self.n_rows, self.n_cols, self.rows[keep], self.cols[keep], self.vals[keep]
+        )
+
+    def symmetrized(self) -> "COOMatrix":
+        """Return a copy with the reverse of every edge added.
+
+        Used to materialize undirected graphs; duplicates are *not* merged
+        here (call :meth:`deduplicated` after if the input may already
+        contain both directions).
+        """
+        return COOMatrix(
+            self.n_rows,
+            self.n_cols,
+            np.concatenate([self.rows, self.cols]),
+            np.concatenate([self.cols, self.rows]),
+            np.concatenate([self.vals, self.vals]),
+        )
+
+    def to_csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build CSR ``(row_offsets, column_indices, values)`` arrays.
+
+        Counting sort over rows: O(V + E), no comparison sort needed, and
+        within each row the original edge order is preserved (stable).
+        """
+        counts = np.bincount(self.rows, minlength=self.n_rows).astype(EDGE_DTYPE)
+        row_offsets = np.zeros(self.n_rows + 1, dtype=EDGE_DTYPE)
+        np.cumsum(counts, out=row_offsets[1:])
+        order = np.argsort(self.rows, kind="stable")
+        return row_offsets, self.cols[order], self.vals[order]
+
+    def transposed(self) -> "COOMatrix":
+        """Return the transpose (rows and cols swapped)."""
+        return COOMatrix(self.n_cols, self.n_rows, self.cols, self.rows, self.vals)
+
+    def copy(self) -> "COOMatrix":
+        """Deep copy (independent arrays)."""
+        return COOMatrix(
+            self.n_rows, self.n_cols, self.rows.copy(), self.cols.copy(), self.vals.copy()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"COOMatrix(n_rows={self.n_rows}, n_cols={self.n_cols}, "
+            f"n_edges={self.get_num_edges()})"
+        )

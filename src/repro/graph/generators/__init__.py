@@ -1,0 +1,45 @@
+"""Seeded synthetic graph generators.
+
+These stand in for the hardware-testbed datasets a GPU evaluation would
+load (DESIGN.md substitution table): scale-free R-MAT/Kronecker graphs
+stress load balancing and push/pull direction choice, high-diameter
+lattices stress iteration counts (road networks), Erdős–Rényi gives
+uniform-degree controls, and the pathological shapes (star, chain,
+complete) pin down corner cases in tests.
+
+Every generator takes a ``seed`` and is deterministic given one.
+"""
+
+from repro.graph.generators.random_graphs import erdos_renyi_gnp, erdos_renyi_gnm
+from repro.graph.generators.rmat import rmat
+from repro.graph.generators.kronecker import kronecker
+from repro.graph.generators.smallworld import watts_strogatz
+from repro.graph.generators.preferential import barabasi_albert
+from repro.graph.generators.lattice import grid_2d, torus_2d
+from repro.graph.generators.synthetic import (
+    star,
+    chain,
+    complete,
+    binary_tree,
+    bipartite_random,
+)
+from repro.graph.generators.sbm import stochastic_block_model
+from repro.graph.generators.weights import with_random_weights
+
+__all__ = [
+    "erdos_renyi_gnp",
+    "erdos_renyi_gnm",
+    "rmat",
+    "kronecker",
+    "watts_strogatz",
+    "barabasi_albert",
+    "grid_2d",
+    "torus_2d",
+    "star",
+    "chain",
+    "complete",
+    "binary_tree",
+    "bipartite_random",
+    "stochastic_block_model",
+    "with_random_weights",
+]

@@ -1,0 +1,95 @@
+"""2-D lattice graphs: the road-network-like, high-diameter workload.
+
+Grids have uniform degree and diameter Θ(rows + cols), which maximizes
+superstep count — the regime where the paper's asynchronous timing model
+pays for itself (pillar benchmark P1 contrasts grids against RMAT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int
+
+
+def _grid_edges(rows: int, cols: int, wrap: bool):
+    """Horizontal and vertical neighbor pairs of a rows×cols grid.
+
+    Vertex ``(r, c)`` has id ``r * cols + c``.  With ``wrap`` the lattice
+    closes into a torus.
+    """
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    srcs = []
+    dsts = []
+    # horizontal edges
+    if cols > 1:
+        srcs.append(ids[:, :-1].ravel())
+        dsts.append(ids[:, 1:].ravel())
+    # vertical edges
+    if rows > 1:
+        srcs.append(ids[:-1, :].ravel())
+        dsts.append(ids[1:, :].ravel())
+    if wrap:
+        if cols > 2:
+            srcs.append(ids[:, -1].ravel())
+            dsts.append(ids[:, 0].ravel())
+        if rows > 2:
+            srcs.append(ids[-1, :].ravel())
+            dsts.append(ids[0, :].ravel())
+    if not srcs:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(srcs), np.concatenate(dsts)
+
+
+def grid_2d(
+    rows: int,
+    cols: int,
+    *,
+    weighted: bool = False,
+    weight_range: tuple = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> Graph:
+    """Undirected rows×cols grid (4-neighborhood, open boundary)."""
+    rows = check_nonnegative_int(rows, "rows")
+    cols = check_nonnegative_int(cols, "cols")
+    src, dst = _grid_edges(rows, cols, wrap=False)
+    weights = None
+    if weighted:
+        rng = resolve_rng(seed)
+        weights = rng.uniform(*weight_range, size=src.shape[0]).astype(WEIGHT_DTYPE)
+    return from_edge_array(
+        src.astype(VERTEX_DTYPE),
+        dst.astype(VERTEX_DTYPE),
+        weights,
+        n_vertices=rows * cols,
+        directed=False,
+    )
+
+
+def torus_2d(
+    rows: int,
+    cols: int,
+    *,
+    weighted: bool = False,
+    weight_range: tuple = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> Graph:
+    """Undirected rows×cols torus (grid with wraparound edges)."""
+    rows = check_nonnegative_int(rows, "rows")
+    cols = check_nonnegative_int(cols, "cols")
+    src, dst = _grid_edges(rows, cols, wrap=True)
+    weights = None
+    if weighted:
+        rng = resolve_rng(seed)
+        weights = rng.uniform(*weight_range, size=src.shape[0]).astype(WEIGHT_DTYPE)
+    return from_edge_array(
+        src.astype(VERTEX_DTYPE),
+        dst.astype(VERTEX_DTYPE),
+        weights,
+        n_vertices=rows * cols,
+        directed=False,
+    )

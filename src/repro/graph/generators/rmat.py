@@ -1,0 +1,83 @@
+"""R-MAT recursive-matrix graphs (Chakrabarti et al.): the scale-free,
+power-law-degree workload class GPU graph frameworks are benchmarked on.
+
+Skewed degree distributions are exactly what stresses the load-balancing
+and push-vs-pull axes of the abstraction, so R-MAT instances drive the
+pillar benchmarks P1/P3/F2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    directed: bool = True,
+    weighted: bool = False,
+    weight_range: tuple = (1.0, 10.0),
+    deduplicate: bool = True,
+    seed: SeedLike = None,
+) -> Graph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters follow the Graph500 convention: ``(a, b, c, d)`` quadrant
+    probabilities with ``d = 1 - a - b - c`` (defaults are the Graph500
+    values), ``edge_factor`` edges per vertex before deduplication.
+
+    The sampler is fully vectorized: for each of the ``scale`` bit levels
+    it draws the quadrant for *all* edges at once and shifts the bit into
+    the (row, col) accumulators — O(scale · E) work with no Python-level
+    per-edge loop.
+    """
+    scale = check_nonnegative_int(scale, "scale")
+    edge_factor = check_nonnegative_int(edge_factor, "edge_factor")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or max(a, b, c, d) > 1:
+        raise ValueError(
+            f"quadrant probabilities must be in [0,1] and sum to 1; got "
+            f"a={a}, b={b}, c={c}, d={d:.4f}"
+        )
+    rng = resolve_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    # Quadrant thresholds for a single uniform draw per (edge, level):
+    #   [0, a)        -> (0, 0)
+    #   [a, a+b)      -> (0, 1)
+    #   [a+b, a+b+c)  -> (1, 0)
+    #   [a+b+c, 1)    -> (1, 1)
+    t1, t2, t3 = a, a + b, a + b + c
+    for _level in range(scale):
+        u = rng.random(m)
+        row_bit = (u >= t2).astype(np.int64)
+        col_bit = ((u >= t1) & (u < t2) | (u >= t3)).astype(np.int64)
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    src = rows.astype(VERTEX_DTYPE)
+    dst = cols.astype(VERTEX_DTYPE)
+    weights = None
+    if weighted:
+        weights = rng.uniform(*weight_range, size=m).astype(WEIGHT_DTYPE)
+    return from_edge_array(
+        src,
+        dst,
+        weights,
+        n_vertices=n,
+        directed=directed,
+        remove_self_loops=True,
+        deduplicate=deduplicate,
+        combine="min",
+    )

@@ -1,0 +1,74 @@
+"""Watts–Strogatz small-world graphs: ring lattices with rewired shortcuts.
+
+Small-world instances have near-uniform degree but small diameter — the
+regime where BSP supersteps are few and wide, a useful contrast to the
+deep-and-narrow lattice workloads in the timing-pillar benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int, check_probability
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    p: float,
+    *,
+    weighted: bool = False,
+    weight_range: tuple = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> Graph:
+    """Watts–Strogatz graph: ring of ``n`` vertices, each joined to its
+    ``k`` nearest neighbors, with each edge rewired to a random endpoint
+    with probability ``p``.  Always undirected.
+
+    ``k`` must be even and less than ``n``.  The construction is
+    vectorized: all ring edges are laid out at once, a Bernoulli mask
+    selects rewires, and collisions (duplicate or self edges created by
+    rewiring) are cleaned by the builder's dedup pass — matching the
+    standard algorithm's semantics of "skip rewires that would duplicate".
+    """
+    n = check_nonnegative_int(n, "n")
+    k = check_nonnegative_int(k, "k")
+    p = check_probability(p, "p")
+    if k % 2 != 0:
+        raise ValueError(f"k must be even, got {k}")
+    if n > 0 and k >= n:
+        raise ValueError(f"k must be < n, got k={k}, n={n}")
+    rng = resolve_rng(seed)
+    if n == 0 or k == 0:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return from_edge_array(empty, empty, None, n_vertices=n, directed=False)
+    # Ring edges: vertex v connects to v+1 .. v+k/2 (mod n).
+    v = np.arange(n, dtype=np.int64)
+    srcs = np.repeat(v, k // 2)
+    offsets = np.tile(np.arange(1, k // 2 + 1, dtype=np.int64), n)
+    dsts = (srcs + offsets) % n
+    # Rewire: with probability p replace the destination with a uniform
+    # random vertex that is not the source.
+    rewire = rng.random(srcs.shape[0]) < p
+    n_rewire = int(rewire.sum())
+    if n_rewire:
+        new_dst = rng.integers(0, n - 1, size=n_rewire)
+        new_dst = new_dst + (new_dst >= srcs[rewire])  # skip self-loop
+        dsts = dsts.copy()
+        dsts[rewire] = new_dst
+    weights = None
+    if weighted:
+        weights = rng.uniform(*weight_range, size=srcs.shape[0]).astype(WEIGHT_DTYPE)
+    return from_edge_array(
+        srcs.astype(VERTEX_DTYPE),
+        dsts.astype(VERTEX_DTYPE),
+        weights,
+        n_vertices=n,
+        directed=False,
+        remove_self_loops=True,
+        deduplicate=True,
+    )

@@ -1,0 +1,105 @@
+"""Deterministic pathological shapes for tests and corner-case benches.
+
+Stars (maximal degree skew in one vertex), chains (maximal diameter),
+cliques (maximal density), balanced binary trees (textbook traversal
+shapes), and random bipartite graphs (two-phase frontiers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int, check_probability
+
+
+def star(n_leaves: int, *, directed: bool = False) -> Graph:
+    """A star: hub vertex 0 connected to ``n_leaves`` leaves.
+
+    The single-vertex-owns-all-edges shape; the worst case for
+    vertex-balanced load balancing (bench F2).
+    """
+    n_leaves = check_nonnegative_int(n_leaves, "n_leaves")
+    leaves = np.arange(1, n_leaves + 1, dtype=VERTEX_DTYPE)
+    hubs = np.zeros(n_leaves, dtype=VERTEX_DTYPE)
+    return from_edge_array(
+        hubs, leaves, None, n_vertices=n_leaves + 1, directed=directed
+    )
+
+
+def chain(n: int, *, directed: bool = False, weighted: bool = False) -> Graph:
+    """A path 0 – 1 – ... – (n-1): maximal diameter, one-vertex frontiers.
+
+    With ``weighted`` each edge ``i -> i+1`` carries weight ``i + 1``,
+    giving distances that are easy to assert in closed form.
+    """
+    n = check_nonnegative_int(n, "n")
+    if n < 2:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return from_edge_array(empty, empty, None, n_vertices=n, directed=directed)
+    src = np.arange(n - 1, dtype=VERTEX_DTYPE)
+    dst = src + 1
+    weights = (
+        np.arange(1, n, dtype=WEIGHT_DTYPE) if weighted else None
+    )
+    return from_edge_array(src, dst, weights, n_vertices=n, directed=directed)
+
+
+def complete(n: int, *, directed: bool = False) -> Graph:
+    """The complete graph K_n (no self-loops): single-superstep traversals."""
+    n = check_nonnegative_int(n, "n")
+    i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = i != j
+    return from_edge_array(
+        i[mask].astype(VERTEX_DTYPE),
+        j[mask].astype(VERTEX_DTYPE),
+        None,
+        n_vertices=n,
+        directed=True if directed else False,
+        deduplicate=not directed,
+    )
+
+
+def binary_tree(depth: int, *, directed: bool = False) -> Graph:
+    """A complete binary tree of the given depth (root = vertex 0).
+
+    ``depth=0`` is a single vertex; depth ``d`` has ``2**(d+1) - 1``
+    vertices.  BFS from the root visits exactly one level per superstep,
+    which tests assert.
+    """
+    depth = check_nonnegative_int(depth, "depth")
+    n = (1 << (depth + 1)) - 1
+    if n == 1:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return from_edge_array(empty, empty, None, n_vertices=1, directed=directed)
+    children = np.arange(1, n, dtype=VERTEX_DTYPE)
+    parents = ((children - 1) // 2).astype(VERTEX_DTYPE)
+    return from_edge_array(parents, children, None, n_vertices=n, directed=directed)
+
+
+def bipartite_random(
+    n_left: int,
+    n_right: int,
+    p: float,
+    *,
+    directed: bool = False,
+    seed: SeedLike = None,
+) -> Graph:
+    """Random bipartite graph: left ids ``0..n_left-1``, right ids
+    ``n_left..n_left+n_right-1``, each cross pair an edge w.p. ``p``."""
+    n_left = check_nonnegative_int(n_left, "n_left")
+    n_right = check_nonnegative_int(n_right, "n_right")
+    p = check_probability(p, "p")
+    rng = resolve_rng(seed)
+    mask = rng.random((n_left, n_right)) < p
+    li, ri = np.nonzero(mask)
+    return from_edge_array(
+        li.astype(VERTEX_DTYPE),
+        (ri + n_left).astype(VERTEX_DTYPE),
+        None,
+        n_vertices=n_left + n_right,
+        directed=directed,
+    )

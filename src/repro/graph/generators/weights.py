@@ -1,0 +1,52 @@
+"""Attach random edge weights to an existing graph."""
+
+from __future__ import annotations
+
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.types import WEIGHT_DTYPE
+
+
+def with_random_weights(
+    graph: Graph,
+    *,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: SeedLike = None,
+    symmetric: bool = None,
+) -> Graph:
+    """Return a copy of ``graph`` with uniform random weights in ``[low, high)``.
+
+    ``symmetric`` (default: ``not graph.properties.directed``) forces
+    ``w(u, v) == w(v, u)``, which undirected shortest-path semantics need.
+    Symmetry is imposed by drawing a weight per unordered pair
+    ``(min(u,v), max(u,v))`` with a pair-keyed hash of one shared random
+    table, so both arcs look up the same value.
+    """
+    import numpy as np
+
+    if high < low:
+        raise ValueError(f"need low <= high, got low={low}, high={high}")
+    rng = resolve_rng(seed)
+    coo = graph.coo()
+    if symmetric is None:
+        symmetric = not graph.properties.directed
+    if symmetric:
+        lo = np.minimum(coo.rows, coo.cols).astype(np.int64)
+        hi = np.maximum(coo.rows, coo.cols).astype(np.int64)
+        keys = lo * graph.n_vertices + hi
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        pair_weights = rng.uniform(low, high, size=uniq.shape[0]).astype(WEIGHT_DTYPE)
+        weights = pair_weights[inverse]
+    else:
+        weights = rng.uniform(low, high, size=coo.rows.shape[0]).astype(WEIGHT_DTYPE)
+    built = from_edge_array(
+        coo.rows,
+        coo.cols,
+        weights,
+        n_vertices=graph.n_vertices,
+        directed=True,  # both directions already materialized in the COO
+    )
+    built.properties = graph.properties.with_(weighted=True)
+    return built

@@ -1,0 +1,25 @@
+"""Graph file I/O: edge lists, Matrix Market, DIMACS, and a binary snapshot.
+
+These cover the interchange formats real graph datasets ship in (SNAP
+edge lists, SuiteSparse ``.mtx``, DIMACS shortest-path challenge ``.gr``)
+plus a fast ``.npz`` snapshot for benchmark reuse.
+"""
+
+from repro.graph.io.edgelist import read_edgelist, write_edgelist
+from repro.graph.io.matrix_market import read_matrix_market, write_matrix_market
+from repro.graph.io.dimacs import read_dimacs, write_dimacs
+from repro.graph.io.binary import load_graph_npz, save_graph_npz
+from repro.graph.io.metis_format import read_metis_graph, write_metis_graph
+
+__all__ = [
+    "read_metis_graph",
+    "write_metis_graph",
+    "read_edgelist",
+    "write_edgelist",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_dimacs",
+    "write_dimacs",
+    "load_graph_npz",
+    "save_graph_npz",
+]

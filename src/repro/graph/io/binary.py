@@ -1,0 +1,67 @@
+"""Fast binary graph snapshots (``.npz``) for benchmark reuse.
+
+Saves the CSR arrays plus properties; loading is a zero-parse
+``numpy.load``, so repeated benchmark runs skip generator/parser cost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graph.csr import CSRMatrix
+from repro.graph.graph import Graph
+from repro.graph.properties import GraphProperties
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph_npz(graph: Graph, path: PathLike) -> None:
+    """Serialize ``graph``'s CSR view (and properties) to a ``.npz`` file."""
+    csr = graph.csr()
+    props = graph.properties
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        n_vertices=np.int64(csr.n_rows),
+        row_offsets=csr.row_offsets,
+        column_indices=csr.column_indices,
+        values=csr.values,
+        directed=np.bool_(props.directed),
+        weighted=np.bool_(props.weighted),
+        has_self_loops=np.bool_(props.has_self_loops),
+        sorted_neighbors=np.bool_(props.sorted_neighbors),
+    )
+
+
+def load_graph_npz(path: PathLike) -> Graph:
+    """Load a graph saved by :func:`save_graph_npz`."""
+    with np.load(path) as data:
+        try:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise GraphIOError(
+                    f"{path}: unsupported snapshot version {version}"
+                )
+            n = int(data["n_vertices"])
+            csr = CSRMatrix(
+                n,
+                n,
+                data["row_offsets"],
+                data["column_indices"],
+                data["values"],
+            )
+            props = GraphProperties(
+                directed=bool(data["directed"]),
+                weighted=bool(data["weighted"]),
+                has_self_loops=bool(data["has_self_loops"]),
+                sorted_neighbors=bool(data["sorted_neighbors"]),
+            )
+        except KeyError as exc:
+            raise GraphIOError(f"{path}: missing snapshot field {exc}") from exc
+    return Graph({"csr": csr}, props)

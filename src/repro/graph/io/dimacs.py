@@ -1,0 +1,96 @@
+"""DIMACS shortest-path challenge format (``.gr`` files).
+
+``p sp <n> <m>`` problem line, ``a <src> <dst> <weight>`` arc lines,
+``c`` comments, 1-based vertex ids.  The format the USA road-network
+benchmark graphs ship in — our road-like lattice benchmarks mirror it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_dimacs(path: PathLike, *, directed: bool = True) -> Graph:
+    """Parse a DIMACS ``.gr`` file into a :class:`Graph`."""
+    n_vertices = None
+    n_arcs = None
+    srcs: list = []
+    dsts: list = []
+    wts: list = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            body = line.strip()
+            if not body or body.startswith("c"):
+                continue
+            if body.startswith("p"):
+                parts = body.split()
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphIOError(
+                        f"{path}:{lineno}: malformed problem line {body!r}"
+                    )
+                n_vertices = int(parts[2])
+                n_arcs = int(parts[3])
+            elif body.startswith("a"):
+                if n_vertices is None:
+                    raise GraphIOError(
+                        f"{path}:{lineno}: arc line before problem line"
+                    )
+                parts = body.split()
+                if len(parts) != 4:
+                    raise GraphIOError(
+                        f"{path}:{lineno}: malformed arc line {body!r}"
+                    )
+                try:
+                    s = int(parts[1]) - 1
+                    d = int(parts[2]) - 1
+                    w = float(parts[3])
+                except ValueError as exc:
+                    raise GraphIOError(
+                        f"{path}:{lineno}: malformed arc line {body!r} ({exc})"
+                    ) from exc
+                if not (0 <= s < n_vertices and 0 <= d < n_vertices):
+                    raise GraphIOError(
+                        f"{path}:{lineno}: arc ({s + 1}, {d + 1}) out of "
+                        f"range for {n_vertices} vertices"
+                    )
+                srcs.append(s)
+                dsts.append(d)
+                wts.append(w)
+            else:
+                raise GraphIOError(
+                    f"{path}:{lineno}: unrecognized line {body!r}"
+                )
+    if n_vertices is None:
+        raise GraphIOError(f"{path}: no problem line found")
+    if n_arcs is not None and len(srcs) != n_arcs:
+        raise GraphIOError(
+            f"{path}: problem line declares {n_arcs} arcs but found {len(srcs)}"
+        )
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(wts, dtype=WEIGHT_DTYPE),
+        n_vertices=n_vertices,
+        directed=directed,
+    )
+
+
+def write_dimacs(graph: Graph, path: PathLike) -> None:
+    """Write the graph in DIMACS ``.gr`` form (1-based, integer-ish weights
+    kept as written floats)."""
+    coo = graph.coo()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("c written by repro\n")
+        fh.write(f"p sp {graph.n_vertices} {coo.get_num_edges()}\n")
+        for s, d, w in zip(coo.rows, coo.cols, coo.vals):
+            fh.write(f"a {int(s) + 1} {int(d) + 1} {float(w):g}\n")

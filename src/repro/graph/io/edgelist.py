@@ -1,0 +1,94 @@
+"""Whitespace-separated edge-list files (the SNAP dataset format).
+
+Lines are ``src dst [weight]``; ``#`` and ``%`` start comments.  Vertex
+ids must be non-negative integers; the vertex count is ``max(id) + 1``
+unless given explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edgelist(
+    path: PathLike,
+    *,
+    directed: bool = True,
+    n_vertices: Optional[int] = None,
+    comments: str = "#%",
+    **builder_kwargs,
+) -> Graph:
+    """Parse an edge-list file into a :class:`Graph`.
+
+    Raises :class:`GraphIOError` with the offending line number on any
+    malformed line.
+    """
+    srcs, dsts, wts = [], [], []
+    weighted = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            body = line.strip()
+            if not body or body[0] in comments:
+                continue
+            parts = body.split()
+            try:
+                if len(parts) == 2:
+                    s, d = int(parts[0]), int(parts[1])
+                    w = 1.0
+                elif len(parts) >= 3:
+                    s, d, w = int(parts[0]), int(parts[1]), float(parts[2])
+                    weighted = True
+                else:
+                    raise ValueError("expected 'src dst [weight]'")
+            except ValueError as exc:
+                raise GraphIOError(
+                    f"{path}:{lineno}: malformed edge line {body!r} ({exc})"
+                ) from exc
+            if s < 0 or d < 0:
+                raise GraphIOError(
+                    f"{path}:{lineno}: vertex ids must be non-negative, got "
+                    f"({s}, {d})"
+                )
+            srcs.append(s)
+            dsts.append(d)
+            wts.append(w)
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(wts, dtype=WEIGHT_DTYPE) if weighted else None,
+        n_vertices=n_vertices,
+        directed=directed,
+        **builder_kwargs,
+    )
+
+
+def write_edgelist(graph: Graph, path: PathLike, *, write_weights: bool = None) -> None:
+    """Write the graph's edges as ``src dst [weight]`` lines.
+
+    ``write_weights`` defaults to the graph's ``weighted`` property.
+    Undirected graphs are written with both stored arc directions (a
+    round-trip through ``read_edgelist(directed=True)`` reproduces the
+    stored structure exactly).
+    """
+    if write_weights is None:
+        write_weights = graph.properties.weighted
+    coo = graph.coo()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# repro edge list: {graph.n_vertices} vertices, "
+                 f"{coo.get_num_edges()} edges\n")
+        if write_weights:
+            for s, d, w in zip(coo.rows, coo.cols, coo.vals):
+                fh.write(f"{int(s)} {int(d)} {float(w):g}\n")
+        else:
+            for s, d in zip(coo.rows, coo.cols):
+                fh.write(f"{int(s)} {int(d)}\n")

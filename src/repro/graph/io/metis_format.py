@@ -1,0 +1,139 @@
+"""METIS graph file format (``.graph``) — the partitioner-world format.
+
+Header ``<n> <m> [fmt]`` (``m`` = undirected edge count), then line i+1
+lists vertex i's neighbors, 1-based; with ``fmt`` containing the edge-
+weight flag (001) each neighbor is followed by its weight.  Comments
+start with ``%``.  This is the input format of METIS itself — natural to
+support given the partitioning pillar — and doubles as a second
+adjacency-oriented text format in the I/O suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_metis_graph(path: PathLike) -> Graph:
+    """Parse a METIS ``.graph`` file into an undirected :class:`Graph`.
+
+    Supports unweighted (``fmt`` absent or ``0``/``000``) and
+    edge-weighted (``fmt`` ending in ``1``) files; vertex weights
+    (``fmt`` = ``01x``/``1xx``) are rejected explicitly rather than
+    misparsed.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = None
+        lines = []
+        for raw in fh:
+            body = raw.strip()
+            if not body or body.startswith("%"):
+                # Blank adjacency lines matter (isolated vertices), but
+                # only after the header.
+                if header is not None and not body.startswith("%"):
+                    lines.append("")
+                continue
+            if header is None:
+                header = body
+            else:
+                lines.append(body)
+    if header is None:
+        raise GraphIOError(f"{path}: empty file")
+    parts = header.split()
+    if len(parts) < 2:
+        raise GraphIOError(f"{path}: malformed header {header!r}")
+    n = int(parts[0])
+    m = int(parts[1])
+    fmt = parts[2] if len(parts) > 2 else "0"
+    fmt = fmt.zfill(3)
+    if fmt[1] == "1" or fmt[0] == "1":
+        raise GraphIOError(
+            f"{path}: vertex weights/sizes (fmt={fmt}) are not supported"
+        )
+    has_edge_weights = fmt[2] == "1"
+    if len(lines) < n:
+        # Trailing isolated vertices may simply be missing lines.
+        lines += [""] * (n - len(lines))
+
+    srcs: list = []
+    dsts: list = []
+    wts: list = []
+    for v in range(n):
+        tokens = lines[v].split()
+        if has_edge_weights:
+            if len(tokens) % 2 != 0:
+                raise GraphIOError(
+                    f"{path}: vertex {v + 1} has an odd token count with "
+                    f"edge weights enabled"
+                )
+            pairs = zip(tokens[0::2], tokens[1::2])
+            for nbr, w in pairs:
+                u = int(nbr) - 1
+                if not (0 <= u < n):
+                    raise GraphIOError(
+                        f"{path}: neighbor {nbr} of vertex {v + 1} out of range"
+                    )
+                srcs.append(v)
+                dsts.append(u)
+                wts.append(float(w))
+        else:
+            for nbr in tokens:
+                u = int(nbr) - 1
+                if not (0 <= u < n):
+                    raise GraphIOError(
+                        f"{path}: neighbor {nbr} of vertex {v + 1} out of range"
+                    )
+                srcs.append(v)
+                dsts.append(u)
+                wts.append(1.0)
+    if len(srcs) != 2 * m:
+        raise GraphIOError(
+            f"{path}: header declares {m} undirected edges "
+            f"({2 * m} arcs) but adjacency lists contain {len(srcs)}"
+        )
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(wts, dtype=WEIGHT_DTYPE) if has_edge_weights else None,
+        n_vertices=n,
+        directed=False,
+    )
+
+
+def write_metis_graph(graph: Graph, path: PathLike) -> None:
+    """Write an undirected graph in METIS ``.graph`` form.
+
+    Directed inputs are rejected (METIS graphs are undirected by
+    definition); weights are written when the graph is weighted.
+    """
+    if graph.properties.directed:
+        raise GraphIOError("METIS .graph files are undirected")
+    csr = graph.csr()
+    n = graph.n_vertices
+    m = graph.n_edges // 2
+    weighted = graph.properties.weighted
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("% written by repro\n")
+        fh.write(f"{n} {m} {'001' if weighted else '0'}\n")
+        for v in range(n):
+            nbrs = csr.get_neighbors(v)
+            if weighted:
+                wts = csr.get_neighbor_weights(v)
+                fh.write(
+                    " ".join(
+                        f"{int(u) + 1} {float(w):g}"
+                        for u, w in zip(nbrs, wts)
+                    )
+                    + "\n"
+                )
+            else:
+                fh.write(" ".join(str(int(u) + 1) for u in nbrs) + "\n")

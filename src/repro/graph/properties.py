@@ -1,0 +1,49 @@
+"""Graph metadata carried alongside every representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """Structural metadata shared by all views of one graph.
+
+    Attributes
+    ----------
+    directed:
+        ``True`` when edges are one-way.  Undirected graphs are stored with
+        both arc directions materialized (the standard CSR convention), so
+        operators never need to special-case them.
+    weighted:
+        ``True`` when edge weights are meaningful; unweighted graphs carry a
+        unit weight array so the traversal API stays uniform (Listing 1's
+        ``get_edge_weight`` always works).
+    has_self_loops:
+        Whether ``(v, v)`` edges may be present.
+    sorted_neighbors:
+        Whether each vertex's neighbor list is sorted by destination id —
+        required by the segmented-intersection operator (triangle
+        counting) and enables binary-searched membership queries.
+    """
+
+    directed: bool = True
+    weighted: bool = True
+    has_self_loops: bool = False
+    sorted_neighbors: bool = False
+
+    def with_(self, **changes) -> "GraphProperties":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary used in reprs and logs."""
+        bits = [
+            "directed" if self.directed else "undirected",
+            "weighted" if self.weighted else "unweighted",
+        ]
+        if self.has_self_loops:
+            bits.append("self-loops")
+        if self.sorted_neighbors:
+            bits.append("sorted")
+        return ", ".join(bits)

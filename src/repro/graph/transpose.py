@@ -1,0 +1,58 @@
+"""Graph transposition: CSR <-> CSC in linear time.
+
+Storing both the original and the transposed representation is how the
+abstraction supports push *and* pull traversals "at the cost of memory
+space" (§III-C / §IV-A sidebar).  The conversion is a stable counting
+sort over destinations — O(V + E), no comparison sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csc import CSCMatrix
+from repro.graph.csr import CSRMatrix
+from repro.types import EDGE_DTYPE
+
+
+def transpose_csr(csr: CSRMatrix) -> CSCMatrix:
+    """Build the CSC view of ``csr`` (same logical graph, pull layout).
+
+    The returned CSC groups edges by destination; within one destination,
+    sources appear in increasing order (stability of the counting sort over
+    a row-sorted input), which pull-side intersection kernels rely on.
+    """
+    n_rows, n_cols = csr.n_rows, csr.n_cols
+    n_edges = csr.get_num_edges()
+
+    counts = np.bincount(csr.column_indices, minlength=n_cols).astype(EDGE_DTYPE)
+    col_offsets = np.zeros(n_cols + 1, dtype=EDGE_DTYPE)
+    np.cumsum(counts, out=col_offsets[1:])
+
+    # Stable scatter of each edge into its destination's segment.
+    order = np.argsort(csr.column_indices, kind="stable")
+    sources = csr.source_of_edges(np.arange(n_edges, dtype=EDGE_DTYPE))
+    row_indices = sources[order]
+    values = csr.values[order]
+    return CSCMatrix(n_rows, n_cols, col_offsets, row_indices, values)
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """Rebuild the CSR (push) view from a CSC (pull) view."""
+    n_rows, n_cols = csc.n_rows, csc.n_cols
+    n_edges = csc.get_num_edges()
+
+    counts = np.bincount(csc.row_indices, minlength=n_rows).astype(EDGE_DTYPE)
+    row_offsets = np.zeros(n_rows + 1, dtype=EDGE_DTYPE)
+    np.cumsum(counts, out=row_offsets[1:])
+
+    order = np.argsort(csc.row_indices, kind="stable")
+    destinations = (
+        np.searchsorted(
+            csc.col_offsets, np.arange(n_edges, dtype=EDGE_DTYPE), side="right"
+        )
+        - 1
+    )
+    column_indices = destinations[order].astype(csc.row_indices.dtype)
+    values = csc.values[order]
+    return CSRMatrix(n_rows, n_cols, row_offsets, column_indices, values)

@@ -1,0 +1,106 @@
+"""Structural validation of graph representations.
+
+Validation is deliberately separate from construction: the format classes
+check only cheap shape invariants in their constructors so bulk pipelines
+stay fast, while these functions perform the full O(V + E) audit used by
+tests, loaders, and debugging sessions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csc import CSCMatrix
+from repro.graph.csr import CSRMatrix
+
+
+def validate_csr(csr: CSRMatrix) -> None:
+    """Fully audit a CSR structure; raise :class:`GraphFormatError` on fault.
+
+    Checks: monotone offsets anchored at 0 and n_edges, column indices in
+    range, finite weights.
+    """
+    ro = csr.row_offsets
+    if ro[0] != 0:
+        raise GraphFormatError(f"row_offsets[0] must be 0, got {int(ro[0])}")
+    if np.any(np.diff(ro) < 0):
+        bad = int(np.argmax(np.diff(ro) < 0))
+        raise GraphFormatError(f"row_offsets decreases at row {bad}")
+    n_edges = int(ro[-1])
+    if csr.column_indices.shape[0] != n_edges:
+        raise GraphFormatError(
+            f"column_indices length {csr.column_indices.shape[0]} != "
+            f"row_offsets[-1] = {n_edges}"
+        )
+    if n_edges:
+        cmin = int(csr.column_indices.min())
+        cmax = int(csr.column_indices.max())
+        if cmin < 0 or cmax >= csr.n_cols:
+            raise GraphFormatError(
+                f"column indices must lie in [0, {csr.n_cols}); found "
+                f"range [{cmin}, {cmax}]"
+            )
+        if not np.all(np.isfinite(csr.values)):
+            raise GraphFormatError("edge weights must be finite")
+
+
+def validate_csc(csc: CSCMatrix) -> None:
+    """Fully audit a CSC structure (mirror of :func:`validate_csr`)."""
+    co = csc.col_offsets
+    if co[0] != 0:
+        raise GraphFormatError(f"col_offsets[0] must be 0, got {int(co[0])}")
+    if np.any(np.diff(co) < 0):
+        bad = int(np.argmax(np.diff(co) < 0))
+        raise GraphFormatError(f"col_offsets decreases at column {bad}")
+    n_edges = int(co[-1])
+    if csc.row_indices.shape[0] != n_edges:
+        raise GraphFormatError(
+            f"row_indices length {csc.row_indices.shape[0]} != "
+            f"col_offsets[-1] = {n_edges}"
+        )
+    if n_edges:
+        rmin = int(csc.row_indices.min())
+        rmax = int(csc.row_indices.max())
+        if rmin < 0 or rmax >= csc.n_rows:
+            raise GraphFormatError(
+                f"row indices must lie in [0, {csc.n_rows}); found "
+                f"range [{rmin}, {rmax}]"
+            )
+        if not np.all(np.isfinite(csc.values)):
+            raise GraphFormatError("edge weights must be finite")
+
+
+def validate_graph(graph) -> None:
+    """Audit every materialized view of a :class:`~repro.graph.graph.Graph`
+    and verify cross-view consistency (same vertex and edge counts, and the
+    CSC really is the transpose of the CSR).
+    """
+    csr = graph.view("csr") if graph.has_view("csr") else None
+    csc = graph.view("csc") if graph.has_view("csc") else None
+    if csr is not None:
+        validate_csr(csr)
+    if csc is not None:
+        validate_csc(csc)
+    if csr is not None and csc is not None:
+        if csr.get_num_edges() != csc.get_num_edges():
+            raise GraphFormatError(
+                f"CSR has {csr.get_num_edges()} edges but CSC has "
+                f"{csc.get_num_edges()}"
+            )
+        # Compare edge multisets: (src, dst, weight) triples must agree.
+        n = csr.get_num_edges()
+        src_r = csr.source_of_edges(np.arange(n))
+        dst_r = csr.column_indices
+        order_r = np.lexsort((csr.values, dst_r, src_r))
+        dst_c = (
+            np.searchsorted(csc.col_offsets, np.arange(n), side="right") - 1
+        ).astype(dst_r.dtype)
+        src_c = csc.row_indices
+        order_c = np.lexsort((csc.values, dst_c, src_c))
+        if not (
+            np.array_equal(src_r[order_r], src_c[order_c])
+            and np.array_equal(dst_r[order_r], dst_c[order_c])
+            and np.allclose(csr.values[order_r], csc.values[order_c])
+        ):
+            raise GraphFormatError("CSC view is not the transpose of the CSR view")

@@ -1,0 +1,69 @@
+"""The asynchronous enactor: the barrier-free counterpart of Listing 4.
+
+Where the BSP enactor alternates whole-frontier supersteps with a
+convergence check, the asynchronous enactor has **no iterations at
+all**: every active vertex is an independent task on the scheduler's
+queue, a task may enqueue new tasks (its activated neighbors — this is
+also exactly the message-passing reading: the queue entry *is* the
+message), and the "loop" completes at quiescence.
+
+Tasks must be *monotone* — safe under re-execution and stale reads —
+which label-correcting algorithms (SSSP relaxation, BFS level-settling
+with atomic min, CC label propagation) satisfy; the framework cannot
+check this, so the contract is documented here and verified per
+algorithm by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Union
+
+from repro.frontier.base import Frontier
+from repro.graph.graph import Graph
+from repro.execution.scheduler import AsyncScheduler, ProcessFn
+
+
+class AsyncEnactor:
+    """Runs a per-vertex process function to quiescence.
+
+    Parameters
+    ----------
+    graph:
+        Graph being processed.
+    num_workers:
+        Scheduler worker threads.
+    timeout:
+        Overall quiescence deadline in seconds (``None`` = unbounded);
+        the safety valve replacing the BSP enactor's ``max_iterations``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        num_workers: int = 4,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        self.graph = graph
+        self.scheduler = AsyncScheduler(num_workers)
+        self.timeout = timeout
+
+    def run(
+        self,
+        initial: Union[Frontier, Iterable[int]],
+        process: ProcessFn,
+    ) -> int:
+        """Process ``initial`` and everything it transitively activates.
+
+        ``process(vertex, push)`` handles one active vertex and calls
+        ``push(u)`` for every vertex it re-activates.  Returns the total
+        number of tasks processed (≥ the number of distinct vertices
+        touched, since re-activation re-processes).
+        """
+        if isinstance(initial, Frontier):
+            items = [int(v) for v in initial.to_indices()]
+        else:
+            items = [int(v) for v in initial]
+        return self.scheduler.run(
+            process, items, self.graph.n_vertices, timeout=self.timeout
+        )

@@ -1,0 +1,119 @@
+"""The bulk-synchronous enactor: Listing 4's while-loop, reified.
+
+An :class:`Enactor` owns the loop scaffolding every BSP graph algorithm
+shares — iterate, call the algorithm's per-superstep step function
+(itself built from operators), evaluate the convergence condition,
+record stats — so algorithm modules contain only their operator
+composition and lambdas, exactly as the paper's SSSP listing contains
+only the expand call and its condition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Union
+
+from repro.errors import ConvergenceError
+from repro.frontier.base import Frontier
+from repro.graph.graph import Graph
+from repro.loop.convergence import (
+    ConvergenceCondition,
+    EmptyFrontier,
+    LoopState,
+)
+from repro.utils.counters import IterationStats, RunStats
+
+#: ``step(frontier, state) -> next_frontier`` — one superstep of the
+#: algorithm, composed of operator calls.
+StepFn = Callable[[Frontier, LoopState], Frontier]
+
+
+class Enactor:
+    """Runs a step function to convergence under the BSP timing model.
+
+    Parameters
+    ----------
+    graph:
+        Graph being processed (used for work accounting).
+    convergence:
+        Condition checked *after* each superstep; defaults to
+        :class:`~repro.loop.convergence.EmptyFrontier`.
+    max_iterations:
+        Hard safety cap; exceeding it raises
+        :class:`~repro.errors.ConvergenceError` (a diverging algorithm
+        should fail loudly, not spin).
+    collect_stats:
+        Record per-iteration frontier sizes / timings (tiny overhead;
+        disable for microbenchmarks).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        convergence: Optional[ConvergenceCondition] = None,
+        max_iterations: int = 1_000_000,
+        collect_stats: bool = True,
+    ) -> None:
+        if max_iterations < 0:
+            raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
+        self.graph = graph
+        self.convergence = convergence or EmptyFrontier()
+        self.max_iterations = max_iterations
+        self.collect_stats = collect_stats
+
+    def run(
+        self,
+        initial_frontier: Frontier,
+        step: StepFn,
+        *,
+        context: Optional[dict] = None,
+    ) -> RunStats:
+        """Drive ``step`` until the convergence condition holds.
+
+        The condition is evaluated once before the first superstep (a
+        pre-converged input runs zero steps) and after every superstep.
+        Returns the :class:`~repro.utils.counters.RunStats` record.
+        """
+        self.convergence.reset()
+        state = LoopState(iteration=0, frontier=initial_frontier)
+        if context:
+            state.context.update(context)
+        stats = RunStats()
+        degrees = self.graph.csr().degrees() if self.collect_stats else None
+
+        if self.convergence(state):
+            stats.converged = True
+            return stats
+
+        frontier = initial_frontier
+        while True:
+            if state.iteration >= self.max_iterations:
+                raise ConvergenceError(
+                    f"loop exceeded max_iterations={self.max_iterations} "
+                    f"without converging (frontier size "
+                    f"{frontier.size() if frontier is not None else 'n/a'})"
+                )
+            in_size = frontier.size() if frontier is not None else 0
+            if self.collect_stats:
+                edges_touched = (
+                    int(degrees[frontier.to_indices()].sum())
+                    if frontier is not None and in_size
+                    else 0
+                )
+                t0 = time.perf_counter()
+            frontier = step(frontier, state)
+            state.iteration += 1
+            state.frontier = frontier
+            if self.collect_stats:
+                stats.record(
+                    IterationStats(
+                        iteration=state.iteration - 1,
+                        frontier_size=in_size,
+                        edges_touched=edges_touched,
+                        seconds=time.perf_counter() - t0,
+                    )
+                )
+            if self.convergence(state):
+                stats.converged = True
+                return stats

@@ -1,0 +1,141 @@
+"""Priority-ordered enactor: the loop structure for bucketed frontiers.
+
+Completes the enactor family (BSP :class:`~repro.loop.enactor.Enactor`,
+asynchronous :class:`~repro.loop.async_enactor.AsyncEnactor`): drives a
+:class:`~repro.frontier.bucketed.BucketedFrontier` bucket by bucket,
+running the algorithm's step over the current bucket to a fixed point
+before rotating to the next — the loop skeleton delta-stepping and
+near-far share, extracted so new priority algorithms only supply their
+relaxation step.
+
+The step contract extends the BSP one with priorities: ``step`` receives
+the current bucket's vertex ids and returns ``(ids, priorities)`` of
+the elements it re-activated; the enactor re-buckets them (same-bucket
+improvements re-enter the inner fixed point, later buckets wait).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.frontier.bucketed import BucketedFrontier
+from repro.graph.graph import Graph
+from repro.utils.counters import IterationStats, RunStats
+
+#: ``step(bucket_ids, bucket_index) -> (activated_ids, activated_priorities)``
+PriorityStepFn = Callable[[np.ndarray, int], Tuple[np.ndarray, np.ndarray]]
+
+
+class PriorityEnactor:
+    """Runs a priority step function bucket by bucket to exhaustion."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        max_buckets: int = 1_000_000,
+        collect_stats: bool = True,
+    ) -> None:
+        if max_buckets < 0:
+            raise ValueError(f"max_buckets must be >= 0, got {max_buckets}")
+        self.graph = graph
+        self.max_buckets = max_buckets
+        self.collect_stats = collect_stats
+
+    def run(self, frontier: BucketedFrontier, step: PriorityStepFn) -> RunStats:
+        """Drain every bucket; return per-bucket stats.
+
+        Raises :class:`~repro.errors.ConvergenceError` past
+        ``max_buckets`` processed buckets (a diverging priority loop —
+        e.g. a non-monotone step that keeps lowering priorities — fails
+        loudly).
+        """
+        stats = RunStats()
+        degrees = self.graph.csr().degrees() if self.collect_stats else None
+        buckets_done = 0
+        while not frontier.is_exhausted():
+            if buckets_done >= self.max_buckets:
+                raise ConvergenceError(
+                    f"priority loop exceeded max_buckets={self.max_buckets}"
+                )
+            t0 = time.perf_counter()
+            edges_touched = 0
+            processed = 0
+            # Inner fixed point over the current bucket: the step may
+            # re-activate elements back into it.
+            while frontier.size():
+                ids = frontier.take_current()
+                processed += ids.shape[0]
+                if self.collect_stats and ids.size:
+                    edges_touched += int(degrees[ids].sum())
+                activated_ids, activated_priorities = step(
+                    ids, frontier.current_bucket
+                )
+                if len(activated_ids):
+                    frontier.add_with_priorities(
+                        activated_ids, activated_priorities
+                    )
+            if self.collect_stats:
+                stats.record(
+                    IterationStats(
+                        iteration=frontier.current_bucket,
+                        frontier_size=processed,
+                        edges_touched=edges_touched,
+                        seconds=time.perf_counter() - t0,
+                    )
+                )
+            buckets_done += 1
+            if not frontier.advance_bucket():
+                break
+        stats.converged = True
+        return stats
+
+
+def sssp_bucketed(
+    graph: Graph,
+    source: int,
+    *,
+    delta: Optional[float] = None,
+    policy=None,
+):
+    """SSSP on the priority enactor — light-edge delta-stepping expressed
+    as ~20 lines of step function (the refactoring payoff the enactor
+    exists for).  All edges are treated as "light" (relaxed inside the
+    bucket fixed point), which is correct for any delta and simply does
+    a little extra work versus the specialized light/heavy split in
+    :func:`repro.algorithms.sssp.sssp_delta_stepping`.
+    """
+    from repro.algorithms.sssp import SSSPResult
+    from repro.execution.atomics import bulk_min_relax
+    from repro.types import INF, VALUE_DTYPE
+    from repro.utils.validation import check_vertex_in_range
+
+    n = graph.n_vertices
+    source = check_vertex_in_range(source, n)
+    csr = graph.csr()
+    if delta is None:
+        delta = float(csr.values.mean()) if graph.n_edges else 1.0
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+
+    dist = np.full(n, INF, dtype=VALUE_DTYPE)
+    dist[source] = 0.0
+
+    def step(ids, bucket_index):
+        srcs, dsts, _, weights = csr.expand_vertices(ids)
+        if srcs.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        candidates = dist[srcs] + weights
+        improved = bulk_min_relax(dist, dsts, candidates)
+        winners = dsts[improved]
+        return winners.astype(np.int64), dist[winners].astype(np.float64)
+
+    frontier = BucketedFrontier(n, delta)
+    frontier.add_with_priority(source, 0.0)
+    enactor = PriorityEnactor(graph)
+    stats = enactor.run(frontier, step)
+    return SSSPResult(distances=dist, source=source, stats=stats)

@@ -1,0 +1,148 @@
+"""Edge/vertex condition handling: scalar lambdas vs bulk array kernels.
+
+The paper's operators take C++ lambdas over the tuple {source,
+destination, edge, weight} (§III-C).  In Python the same user condition
+can be written two ways:
+
+* **scalar** — ``cond(src, dst, edge, weight) -> bool``, called once per
+  edge (readable, used by ``seq``);
+* **bulk** — the identical signature but over ndarrays, returning a
+  boolean ndarray (the vectorized form the ``par_vector`` policy needs).
+
+Many NumPy-expressed conditions are *both* (arithmetic and comparisons
+broadcast), so :func:`apply_edge_condition` first tries the bulk call
+and transparently falls back to a scalar loop when the result is not a
+well-formed mask.  Authors can skip the probe by decorating with
+:func:`bulk_condition` or :func:`scalar_condition`.
+
+Precision note: the scalar form receives Python ``float`` (float64)
+weights while the bulk form receives the stored ``float32`` arrays, and
+NumPy evaluates comparisons against Python scalars in the array's
+dtype.  A threshold that is not exactly representable in float32 can
+therefore classify a boundary edge differently between the two forms.
+When exact scalar/bulk agreement matters (the policy-equivalence tests
+rely on it), round constants through ``np.float32`` first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+_BULK_ATTR = "__repro_bulk_condition__"
+
+
+def bulk_condition(fn: Callable) -> Callable:
+    """Mark ``fn`` as vectorized: it accepts ndarrays and returns a mask."""
+    setattr(fn, _BULK_ATTR, True)
+    return fn
+
+
+def scalar_condition(fn: Callable) -> Callable:
+    """Mark ``fn`` as scalar-only: it must be looped, never probed."""
+    setattr(fn, _BULK_ATTR, False)
+    return fn
+
+
+def _loop_condition(
+    condition: Callable,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    edges: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    out = np.empty(sources.shape[0], dtype=bool)
+    for k in range(sources.shape[0]):
+        out[k] = bool(
+            condition(
+                int(sources[k]), int(dests[k]), int(edges[k]), float(weights[k])
+            )
+        )
+    return out
+
+
+def apply_edge_condition(
+    condition: Callable,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    edges: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Evaluate ``condition`` over a batch of edges; return a boolean mask.
+
+    Dispatch order: explicit marking via the decorators, else probe the
+    bulk call and fall back to the scalar loop on failure.  A bulk result
+    must be a boolean-convertible array of the batch length; anything
+    else (scalar ``bool`` from a condition that used ``if``, wrong
+    length, exception) triggers the fallback.
+    """
+    n = sources.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=bool)
+    marked = getattr(condition, _BULK_ATTR, None)
+    if marked is False:
+        return _loop_condition(condition, sources, dests, edges, weights)
+    try:
+        result = condition(sources, dests, edges, weights)
+    except Exception:
+        if marked is True:
+            raise
+        return _loop_condition(condition, sources, dests, edges, weights)
+    result = np.asarray(result)
+    if result.shape == (n,):
+        return result.astype(bool, copy=False)
+    if marked is True:
+        raise ValueError(
+            f"bulk condition returned shape {result.shape}, expected ({n},)"
+        )
+    return _loop_condition(condition, sources, dests, edges, weights)
+
+
+_BULK_PRED_ATTR = "__repro_bulk_predicate__"
+
+
+def bulk_predicate(fn: Callable) -> Callable:
+    """Mark a vertex predicate ``fn(vertices) -> mask`` as vectorized."""
+    setattr(fn, _BULK_PRED_ATTR, True)
+    return fn
+
+
+def scalar_predicate(fn: Callable) -> Callable:
+    """Mark a vertex predicate as scalar-only."""
+    setattr(fn, _BULK_PRED_ATTR, False)
+    return fn
+
+
+def apply_vertex_predicate(predicate: Callable, vertices: np.ndarray) -> np.ndarray:
+    """Evaluate a per-vertex predicate over a batch; return a boolean mask.
+
+    Same probe-then-fallback protocol as :func:`apply_edge_condition`.
+    """
+    n = vertices.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=bool)
+    marked = getattr(predicate, _BULK_PRED_ATTR, None)
+
+    def loop() -> np.ndarray:
+        out = np.empty(n, dtype=bool)
+        for k in range(n):
+            out[k] = bool(predicate(int(vertices[k])))
+        return out
+
+    if marked is False:
+        return loop()
+    try:
+        result = predicate(vertices)
+    except Exception:
+        if marked is True:
+            raise
+        return loop()
+    result = np.asarray(result)
+    if result.shape == (n,):
+        return result.astype(bool, copy=False)
+    if marked is True:
+        raise ValueError(
+            f"bulk predicate returned shape {result.shape}, expected ({n},)"
+        )
+    return loop()

@@ -1,0 +1,104 @@
+"""Filter: frontier contraction by a per-vertex predicate.
+
+The companion of advance — "operators ... transform, expand, or
+*contract* the frontiers" (§IV-C).  BFS uses it to drop already-visited
+discoveries; k-core uses it to keep only vertices below the degree
+threshold.  Overloaded on policy like every operator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.errors import ExecutionPolicyError, FrontierError
+from repro.frontier.base import Frontier, FrontierKind
+from repro.frontier.dense import DenseFrontier
+from repro.frontier.sparse import SparseFrontier
+from repro.operators.conditions import apply_vertex_predicate
+from repro.execution.policy import (
+    ExecutionPolicy,
+    ParallelNoSyncPolicy,
+    ParallelPolicy,
+    SequencedPolicy,
+    VectorPolicy,
+    resolve_policy,
+)
+from repro.execution.thread_pool import even_chunks, get_pool
+
+
+def filter_frontier(
+    policy: Union[str, ExecutionPolicy],
+    frontier: Frontier,
+    predicate: Callable,
+    *,
+    output_representation: str = "sparse",
+) -> Frontier:
+    """Keep only the active vertices for which ``predicate(v)`` is true.
+
+    ``predicate`` may be scalar (``v -> bool``) or bulk
+    (``ndarray -> mask``); see :mod:`repro.operators.conditions`.
+    The output preserves input multiplicity (duplicates that pass remain
+    duplicated) except with a dense output, whose bitmap dedups.
+    """
+    policy = resolve_policy(policy)
+    if frontier.kind is not FrontierKind.VERTEX:
+        raise FrontierError("filter_frontier requires a vertex frontier")
+    if output_representation == "sparse":
+        output: Frontier = SparseFrontier(frontier.capacity)
+    elif output_representation == "dense":
+        output = DenseFrontier(frontier.capacity)
+    else:
+        raise FrontierError(
+            f"unknown output representation {output_representation!r}"
+        )
+    vertices = (
+        frontier.indices_view()
+        if isinstance(frontier, SparseFrontier)
+        else frontier.to_indices()
+    )
+    if vertices.size == 0:
+        return output
+
+    if isinstance(policy, SequencedPolicy):
+        for v in vertices:
+            if predicate(int(v)):
+                output.add(int(v))
+        return output
+    if isinstance(policy, VectorPolicy):
+        mask = apply_vertex_predicate(predicate, vertices)
+        output.add_many(vertices[mask])
+        return output
+    if isinstance(policy, (ParallelPolicy, ParallelNoSyncPolicy)):
+        pool = get_pool(policy.num_workers)
+        chunks = even_chunks(
+            vertices.shape[0], policy.num_workers or pool.num_workers
+        )
+        if isinstance(policy, ParallelPolicy):
+            results = pool.run_tasks(
+                [
+                    (lambda s=s, e=e: vertices[s:e][
+                        apply_vertex_predicate(predicate, vertices[s:e])
+                    ])
+                    for s, e in chunks
+                ]
+            )
+            for passed in results:
+                output.add_many(passed)
+        else:
+            lock = threading.Lock()
+
+            def body(s, e):
+                passed = vertices[s:e][
+                    apply_vertex_predicate(predicate, vertices[s:e])
+                ]
+                with lock:
+                    output.add_many(passed)
+
+            pool.run_tasks([lambda s=s, e=e: body(s, e) for s, e in chunks])
+        return output
+    raise ExecutionPolicyError(
+        f"filter_frontier has no overload for policy {policy!r}"
+    )

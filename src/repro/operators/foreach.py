@@ -1,0 +1,82 @@
+"""For-each: per-element compute over a frontier or the whole vertex set.
+
+The "transformation" operator family: PageRank's rank update, CC's
+pointer assignments, initialization sweeps.  The function mutates shared
+per-vertex arrays (shared-memory communication model); with threaded
+policies the caller is responsible for making the body race-free
+(element-local writes or :class:`~repro.execution.atomics.AtomicArray`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.errors import ExecutionPolicyError
+from repro.frontier.base import Frontier
+from repro.frontier.sparse import SparseFrontier
+from repro.execution.policy import (
+    ExecutionPolicy,
+    ParallelNoSyncPolicy,
+    ParallelPolicy,
+    SequencedPolicy,
+    VectorPolicy,
+    resolve_policy,
+)
+from repro.execution.thread_pool import even_chunks, get_pool
+from repro.types import VERTEX_DTYPE
+
+
+def for_each(
+    policy: Union[str, ExecutionPolicy],
+    elements: Union[Frontier, np.ndarray, int],
+    fn: Callable,
+) -> None:
+    """Apply ``fn`` to every element.
+
+    ``elements`` may be a frontier (its active set), an index array, or
+    an integer ``n`` (meaning ``0..n-1`` — the "over all vertices" sweep).
+
+    ``fn`` contract by policy:
+
+    * ``seq`` / ``par`` / ``par_nosync`` — scalar ``fn(v)`` per element;
+      the threaded overloads chunk the index space (``par`` barriers at
+      the end, ``par_nosync`` runs chunks unordered — identical here
+      since for_each returns nothing, but the overload exists so timing
+      measurements compare like with like).
+    * ``par_vector`` — **one** call ``fn(indices_array)``; the body is
+      expected to use NumPy fancy indexing itself.
+    """
+    policy = resolve_policy(policy)
+    if isinstance(elements, Frontier):
+        indices = (
+            elements.indices_view()
+            if isinstance(elements, SparseFrontier)
+            else elements.to_indices()
+        )
+    elif isinstance(elements, (int, np.integer)):
+        indices = np.arange(int(elements), dtype=VERTEX_DTYPE)
+    else:
+        indices = np.asarray(elements).ravel()
+    if indices.size == 0:
+        return
+
+    if isinstance(policy, SequencedPolicy):
+        for v in indices:
+            fn(int(v))
+        return
+    if isinstance(policy, VectorPolicy):
+        fn(indices)
+        return
+    if isinstance(policy, (ParallelPolicy, ParallelNoSyncPolicy)):
+        pool = get_pool(policy.num_workers)
+        chunks = even_chunks(indices.shape[0], policy.num_workers or pool.num_workers)
+
+        def body(start, stop):
+            for v in indices[start:stop]:
+                fn(int(v))
+
+        pool.run_tasks([lambda s=s, e=e: body(s, e) for s, e in chunks])
+        return
+    raise ExecutionPolicyError(f"for_each has no overload for policy {policy!r}")

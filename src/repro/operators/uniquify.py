@@ -1,0 +1,62 @@
+"""Uniquify: remove duplicate ids from a frontier.
+
+Push advance may emit a vertex once per discovering parent; algorithms
+needing set semantics dedup between supersteps.  Two strategies:
+
+* **sort** — ``np.unique`` on the id vector: O(k log k), output sorted
+  (deterministic downstream iteration order).
+* **bitmap** — scatter into a capacity-length flag array and gather
+  back: O(k + n), wins when the frontier is a large fraction of the
+  graph.  Equivalent to a round-trip through the dense representation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import FrontierError
+from repro.frontier.base import Frontier, FrontierKind
+from repro.frontier.dense import DenseFrontier
+from repro.frontier.sparse import SparseFrontier
+from repro.execution.policy import ExecutionPolicy, resolve_policy
+from repro.types import VERTEX_DTYPE
+
+
+def uniquify(
+    policy: Union[str, ExecutionPolicy],
+    frontier: Frontier,
+    *,
+    strategy: str = "auto",
+) -> Frontier:
+    """Return a duplicate-free sparse frontier with the same active set.
+
+    ``strategy``: ``"sort"``, ``"bitmap"``, or ``"auto"`` (bitmap once
+    the frontier exceeds ~10% of capacity, else sort).  Dense frontiers
+    are already duplicate-free and are returned unchanged.
+    """
+    resolve_policy(policy)  # validated for interface uniformity
+    if frontier.kind is not FrontierKind.VERTEX:
+        raise FrontierError("uniquify requires a vertex frontier")
+    if isinstance(frontier, DenseFrontier):
+        return frontier
+    indices = frontier.to_indices()
+    out = SparseFrontier(frontier.capacity)
+    if indices.size == 0:
+        return out
+    if strategy == "auto":
+        strategy = (
+            "bitmap" if indices.size > max(64, frontier.capacity // 10) else "sort"
+        )
+    if strategy == "sort":
+        out.add_many(np.unique(indices))
+    elif strategy == "bitmap":
+        flags = np.zeros(frontier.capacity, dtype=bool)
+        flags[indices] = True
+        out.add_many(np.nonzero(flags)[0].astype(VERTEX_DTYPE))
+    else:
+        raise ValueError(
+            f"strategy must be 'sort', 'bitmap', or 'auto', got {strategy!r}"
+        )
+    return out

@@ -1,0 +1,39 @@
+"""Index-based partitionings: contiguous ranges and round-robin.
+
+Contiguous chunks are the implicit partitioning of 1-D data
+decompositions (and surprisingly strong on lattice graphs, whose vertex
+numbering is spatially coherent); round-robin is the worst case for
+locality and serves as the bench's anti-baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.partition.base import PartitionAssignment
+from repro.utils.validation import check_nonnegative_int
+
+
+def contiguous_partition(graph: Graph, n_parts: int) -> PartitionAssignment:
+    """Split ``0..n-1`` into ``n_parts`` near-equal contiguous ranges."""
+    n_parts = check_nonnegative_int(n_parts, "n_parts")
+    n = graph.n_vertices
+    if n_parts == 0 or n == 0:
+        return PartitionAssignment(np.zeros(n, dtype=np.int64), max(n_parts, 1))
+    bounds = np.linspace(0, n, n_parts + 1).astype(np.int64)
+    assignment = np.zeros(n, dtype=np.int64)
+    for p in range(n_parts):
+        assignment[bounds[p] : bounds[p + 1]] = p
+    return PartitionAssignment(assignment, n_parts)
+
+
+def round_robin_partition(graph: Graph, n_parts: int) -> PartitionAssignment:
+    """Assign vertex v to part ``v % n_parts``."""
+    n_parts = check_nonnegative_int(n_parts, "n_parts")
+    n = graph.n_vertices
+    if n_parts == 0:
+        return PartitionAssignment(np.zeros(n, dtype=np.int64), 1)
+    return PartitionAssignment(
+        np.arange(n, dtype=np.int64) % n_parts, n_parts
+    )

@@ -1,0 +1,259 @@
+"""A from-scratch multilevel k-way partitioner in the METIS family.
+
+The paper's Table I names METIS [Karypis & Kumar 1998] as the captured
+partitioning heuristic; with no external METIS available we implement
+the same three-phase multilevel scheme (DESIGN.md substitution table):
+
+1. **Coarsening** — repeated heavy-edge matching: each vertex matches
+   its heaviest-edge unmatched neighbor; matched pairs merge into one
+   coarse vertex carrying summed vertex weight and summed parallel-edge
+   weights.  Stops when the graph is small (≤ ``coarsen_to``) or a pass
+   shrinks it by <10% (diminishing returns).
+2. **Initial partitioning** — greedy growing on the coarsest graph:
+   vertices in heavy-first order go to the part that maximizes local
+   edge affinity subject to the balance cap.
+3. **Uncoarsening + refinement** — project the assignment back level by
+   level, after each projection running Fiduccia–Mattheyses-style
+   boundary passes: move the boundary vertex with the best positive
+   gain (external minus internal edge weight) whose move keeps balance,
+   repeating until a pass finds no improving move.
+
+This is a heuristic re-implementation, not a METIS clone; the
+partitioning bench shows it reproduces the qualitative result that
+matters to the paper's claim — edge cuts far below random at comparable
+balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.partition.base import PartitionAssignment
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_nonnegative_int
+
+
+@dataclass
+class _Level:
+    """One coarsening level: adjacency (CSR arrays) + vertex weights +
+    the fine->coarse projection map."""
+
+    n: int
+    offsets: np.ndarray
+    neighbors: np.ndarray
+    edge_weights: np.ndarray
+    vertex_weights: np.ndarray
+    fine_to_coarse: Optional[np.ndarray]  # None at the finest level
+
+
+def _level_from_graph(graph: Graph) -> _Level:
+    csr = graph.csr()
+    return _Level(
+        n=graph.n_vertices,
+        offsets=csr.row_offsets.astype(np.int64),
+        neighbors=csr.column_indices.astype(np.int64),
+        edge_weights=np.ones(csr.get_num_edges(), dtype=np.float64),
+        vertex_weights=np.ones(graph.n_vertices, dtype=np.float64),
+        fine_to_coarse=None,
+    )
+
+
+def _heavy_edge_matching(level: _Level, rng: np.random.Generator) -> np.ndarray:
+    """Return match[v] = partner (or v itself when unmatched)."""
+    n = level.n
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for v in order:
+        v = int(v)
+        if match[v] != -1:
+            continue
+        best = -1
+        best_w = -1.0
+        for k in range(int(level.offsets[v]), int(level.offsets[v + 1])):
+            u = int(level.neighbors[k])
+            if u == v or match[u] != -1:
+                continue
+            w = float(level.edge_weights[k])
+            if w > best_w:
+                best_w = w
+                best = u
+        if best == -1:
+            match[v] = v
+        else:
+            match[v] = best
+            match[best] = v
+    return match
+
+
+def _coarsen(level: _Level, rng: np.random.Generator) -> Optional[_Level]:
+    match = _heavy_edge_matching(level, rng)
+    # Coarse ids: one per matched pair / singleton, pair leader = min id.
+    leader = np.minimum(np.arange(level.n, dtype=np.int64), match)
+    uniq, coarse_of = np.unique(leader, return_inverse=True)
+    n_coarse = uniq.shape[0]
+    if n_coarse >= level.n * 0.9:  # pass stalled; stop coarsening
+        return None
+    # Aggregate edges: (coarse_src, coarse_dst) with summed weights,
+    # self-edges dropped.
+    src = np.repeat(
+        np.arange(level.n, dtype=np.int64), np.diff(level.offsets)
+    )
+    csrc = coarse_of[src]
+    cdst = coarse_of[level.neighbors]
+    keep = csrc != cdst
+    csrc, cdst, w = csrc[keep], cdst[keep], level.edge_weights[keep]
+    keys = csrc * n_coarse + cdst
+    uniq_keys, inverse = np.unique(keys, return_inverse=True)
+    agg_w = np.zeros(uniq_keys.shape[0], dtype=np.float64)
+    np.add.at(agg_w, inverse, w)
+    agg_src = (uniq_keys // n_coarse).astype(np.int64)
+    agg_dst = (uniq_keys % n_coarse).astype(np.int64)
+    counts = np.bincount(agg_src, minlength=n_coarse)
+    offsets = np.zeros(n_coarse + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    # uniq_keys are sorted by (src, dst) already.
+    vertex_weights = np.zeros(n_coarse, dtype=np.float64)
+    np.add.at(vertex_weights, coarse_of, level.vertex_weights)
+    return _Level(
+        n=n_coarse,
+        offsets=offsets,
+        neighbors=agg_dst,
+        edge_weights=agg_w,
+        vertex_weights=vertex_weights,
+        fine_to_coarse=coarse_of,
+    )
+
+
+def _initial_partition(
+    level: _Level, n_parts: int, max_load: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy growing: heavy vertices first, each to its best-affinity
+    part under the balance cap."""
+    n = level.n
+    parts = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(n_parts, dtype=np.float64)
+    order = np.argsort(-level.vertex_weights, kind="stable")
+    affinity = np.zeros(n_parts, dtype=np.float64)
+    for v in order:
+        v = int(v)
+        affinity[:] = 0.0
+        for k in range(int(level.offsets[v]), int(level.offsets[v + 1])):
+            u = int(level.neighbors[k])
+            if parts[u] >= 0:
+                affinity[parts[u]] += level.edge_weights[k]
+        vw = level.vertex_weights[v]
+        feasible = loads + vw <= max_load
+        if not np.any(feasible):
+            # Balance cap saturated everywhere: least-loaded part.
+            target = int(np.argmin(loads))
+        else:
+            masked = np.where(feasible, affinity, -np.inf)
+            best = float(masked.max())
+            candidates = np.nonzero(masked == best)[0]
+            # Tie-break toward the lighter part for balance.
+            target = int(candidates[np.argmin(loads[candidates])])
+        parts[v] = target
+        loads[target] += vw
+    return parts
+
+
+def _fm_refine(
+    level: _Level,
+    parts: np.ndarray,
+    n_parts: int,
+    max_load: float,
+    *,
+    max_passes: int = 4,
+) -> None:
+    """In-place FM-style boundary refinement (greedy positive-gain moves)."""
+    loads = np.zeros(n_parts, dtype=np.float64)
+    np.add.at(loads, parts, level.vertex_weights)
+    for _pass in range(max_passes):
+        moved = 0
+        for v in range(level.n):
+            p = int(parts[v])
+            start, stop = int(level.offsets[v]), int(level.offsets[v + 1])
+            if start == stop:
+                continue
+            # Per-part incident edge weight.
+            conn = {}
+            for k in range(start, stop):
+                q = int(parts[level.neighbors[k]])
+                conn[q] = conn.get(q, 0.0) + float(level.edge_weights[k])
+            internal = conn.get(p, 0.0)
+            best_gain = 0.0
+            best_part = -1
+            vw = float(level.vertex_weights[v])
+            for q, external in conn.items():
+                if q == p:
+                    continue
+                gain = external - internal
+                if gain > best_gain and loads[q] + vw <= max_load:
+                    best_gain = gain
+                    best_part = q
+            if best_part >= 0:
+                parts[v] = best_part
+                loads[p] -= vw
+                loads[best_part] += vw
+                moved += 1
+        if moved == 0:
+            return
+
+
+def metis_like_partition(
+    graph: Graph,
+    n_parts: int,
+    *,
+    balance_factor: float = 1.05,
+    coarsen_to: int = 200,
+    refine_passes: int = 4,
+    seed: SeedLike = None,
+) -> PartitionAssignment:
+    """Multilevel k-way partition (see module docstring).
+
+    Parameters
+    ----------
+    balance_factor:
+        Allowed max-load over perfect balance (METIS's ubfactor analog).
+    coarsen_to:
+        Stop coarsening when ≤ ``max(coarsen_to, 4·n_parts)`` coarse
+        vertices remain.
+    refine_passes:
+        FM passes per uncoarsening level.
+    """
+    n_parts = check_nonnegative_int(n_parts, "n_parts")
+    if n_parts == 0:
+        raise ValueError("n_parts must be >= 1")
+    n = graph.n_vertices
+    if n == 0 or n_parts == 1:
+        return PartitionAssignment(np.zeros(n, dtype=np.int64), max(n_parts, 1))
+    rng = resolve_rng(seed)
+
+    # Phase 1: coarsen.
+    levels: List[_Level] = [_level_from_graph(graph)]
+    floor = max(coarsen_to, 4 * n_parts)
+    while levels[-1].n > floor:
+        nxt = _coarsen(levels[-1], rng)
+        if nxt is None:
+            break
+        levels.append(nxt)
+
+    total_weight = float(levels[0].vertex_weights.sum())
+    max_load = balance_factor * total_weight / n_parts
+
+    # Phase 2: initial partition at the coarsest level.
+    parts = _initial_partition(levels[-1], n_parts, max_load, rng)
+    _fm_refine(levels[-1], parts, n_parts, max_load, max_passes=refine_passes)
+
+    # Phase 3: project back and refine at every level.
+    for li in range(len(levels) - 1, 0, -1):
+        proj = levels[li].fine_to_coarse
+        parts = parts[proj]
+        _fm_refine(
+            levels[li - 1], parts, n_parts, max_load, max_passes=refine_passes
+        )
+    return PartitionAssignment(parts, n_parts)

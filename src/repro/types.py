@@ -1,0 +1,104 @@
+"""Shared scalar types, dtypes, and constants for the framework.
+
+The native-graph abstraction in the paper is written against C++ integral
+vertex/edge identifiers and ``float`` weights.  We pin the NumPy dtypes here
+so every subsystem (graph formats, frontiers, operators) agrees on layouts
+and so tests can assert them.
+
+Conventions
+-----------
+* **Vertex ids** are non-negative ``int32`` indices ``0 .. n_vertices-1``.
+* **Edge ids** are positions into the CSR ``column_indices`` array
+  (``int64`` so graphs with more than 2^31 edges still index correctly).
+* **Weights** are ``float32``, matching the paper's Listing 1
+  (``std::vector<float> values``).
+* ``INVALID_VERTEX`` / ``INVALID_EDGE`` are sentinels used by frontiers to
+  mark lazily-deleted slots (mirroring Gunrock's invalid markers).
+* ``INF`` is the "unreached" distance initializer from Listing 4
+  (``std::numeric_limits<float>::max()``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+# -- dtypes -----------------------------------------------------------------
+
+#: dtype used to store vertex identifiers.
+VERTEX_DTYPE = np.dtype(np.int32)
+
+#: dtype used to store edge identifiers (CSR positions).
+EDGE_DTYPE = np.dtype(np.int64)
+
+#: dtype used to store edge weights.
+WEIGHT_DTYPE = np.dtype(np.float32)
+
+#: dtype used for per-vertex floating point properties (distances, ranks).
+VALUE_DTYPE = np.dtype(np.float32)
+
+#: dtype used for dense boolean frontier bitmaps.
+FLAG_DTYPE = np.dtype(np.bool_)
+
+# -- sentinels and limits -----------------------------------------------------
+
+#: Marker for "no vertex" (lazily deleted frontier slot, unset parent, ...).
+INVALID_VERTEX: int = -1
+
+#: Marker for "no edge".
+INVALID_EDGE: int = -1
+
+#: Unreached distance, mirroring std::numeric_limits<float>::max().
+INF: float = float(np.finfo(np.float32).max)
+
+#: Maximum representable vertex id.
+MAX_VERTEX: int = int(np.iinfo(VERTEX_DTYPE).max)
+
+# -- type aliases --------------------------------------------------------------
+
+#: Scalar vertex id as accepted at API boundaries.
+VertexId = int
+
+#: Scalar edge id as accepted at API boundaries.
+EdgeId = int
+
+#: Edge weight scalar.
+Weight = float
+
+#: A per-edge user condition ``(src, dst, edge, weight) -> bool`` as in
+#: Listing 3/4.  Scalar form; the vectorized form receives ndarrays of the
+#: same four quantities and returns a boolean ndarray.
+EdgeCondition = Callable[[int, int, int, float], bool]
+
+#: Vectorized per-edge condition over ndarrays.
+BulkEdgeCondition = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray
+]
+
+#: Either form of edge condition.
+AnyEdgeCondition = Union[EdgeCondition, BulkEdgeCondition]
+
+
+def as_vertex_array(values, *, copy: bool = False) -> np.ndarray:
+    """Return ``values`` as a 1-D contiguous array of :data:`VERTEX_DTYPE`.
+
+    Accepts any array-like of integers.  Raises :class:`ValueError` when the
+    input has more than one dimension (vertex sets are always flat).
+    """
+    arr = np.array(values, dtype=VERTEX_DTYPE, copy=copy or None)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"vertex arrays must be 1-D, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def as_weight_array(values, *, copy: bool = False) -> np.ndarray:
+    """Return ``values`` as a 1-D contiguous array of :data:`WEIGHT_DTYPE`."""
+    arr = np.array(values, dtype=WEIGHT_DTYPE, copy=copy or None)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"weight arrays must be 1-D, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)

@@ -1,0 +1,22 @@
+"""Shared utilities: timing, RNG management, validation, counters."""
+
+from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.timing import Timer, WallClock
+from repro.utils.counters import WorkCounter, IterationStats
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_probability,
+    check_vertex_in_range,
+)
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rngs",
+    "Timer",
+    "WallClock",
+    "WorkCounter",
+    "IterationStats",
+    "check_nonnegative_int",
+    "check_probability",
+    "check_vertex_in_range",
+]

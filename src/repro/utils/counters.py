@@ -1,0 +1,105 @@
+"""Work accounting: edges touched, frontier sizes, per-iteration stats.
+
+The asynchronous execution path additionally uses :class:`WorkCounter` for
+termination detection — the classic "count outstanding tasks; quiesce when
+zero" scheme the Atos scheduler [Chen et al. 2021] relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class WorkCounter:
+    """Thread-safe outstanding-work counter with quiescence signalling.
+
+    Workers call :meth:`add` when they enqueue tasks and :meth:`done` when a
+    task retires.  :meth:`wait_for_quiescence` blocks until the count drops
+    to zero — the asynchronous loop's convergence condition.
+    """
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError("initial count must be >= 0")
+        self._count = initial
+        self._lock = threading.Lock()
+        self._zero = threading.Condition(self._lock)
+
+    def add(self, n: int = 1) -> None:
+        """Register ``n`` newly enqueued work items."""
+        if n < 0:
+            raise ValueError("cannot add negative work; use done()")
+        with self._lock:
+            self._count += n
+
+    def done(self, n: int = 1) -> None:
+        """Retire ``n`` work items; signals quiescence at zero."""
+        with self._lock:
+            self._count -= n
+            if self._count < 0:
+                self._count = 0
+                raise RuntimeError("WorkCounter went negative: done() without add()")
+            if self._count == 0:
+                self._zero.notify_all()
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._count
+
+    def wait_for_quiescence(self, timeout: float | None = None) -> bool:
+        """Block until no work is outstanding.  Returns ``False`` on timeout."""
+        with self._lock:
+            return self._zero.wait_for(lambda: self._count == 0, timeout=timeout)
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration record emitted by enactors.
+
+    ``frontier_size`` is the number of active elements entering the
+    iteration; ``edges_touched`` the number of edges the advance examined;
+    ``seconds`` the superstep wall time.
+    """
+
+    iteration: int
+    frontier_size: int
+    edges_touched: int
+    seconds: float
+
+
+@dataclass
+class RunStats:
+    """Aggregated stats for one full algorithm run."""
+
+    iterations: List[IterationStats] = field(default_factory=list)
+    converged: bool = False
+
+    def record(self, stats: IterationStats) -> None:
+        """Append one iteration record."""
+        self.iterations.append(stats)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_edges_touched(self) -> int:
+        return sum(s.edges_touched for s in self.iterations)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.iterations)
+
+    @property
+    def mteps(self) -> float:
+        """Millions of traversed edges per second (0 when untimed)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_edges_touched / self.total_seconds / 1e6
+
+    def frontier_profile(self) -> Dict[int, int]:
+        """Map iteration index -> frontier size (the BFS 'bell curve')."""
+        return {s.iteration: s.frontier_size for s in self.iterations}

@@ -1,0 +1,85 @@
+"""Lightweight wall-clock timing used by enactors and benchmarks.
+
+The iterative loop structure (essential component 4 in the paper) reports
+per-superstep timings; the benchmark harness aggregates them into the
+MTEPS-style rows the evaluation tables print.  ``perf_counter`` is used
+throughout — monotonic and the highest-resolution clock Python exposes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class WallClock:
+    """A start/stop stopwatch accumulating total elapsed seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "WallClock":
+        """Begin timing; returns self for chaining."""
+        if self._start is not None:
+            raise RuntimeError("WallClock already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing; returns accumulated elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("WallClock is not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def reset(self) -> None:
+        """Zero the accumulator and stop any running measurement."""
+        self._start = None
+        self.elapsed = 0.0
+
+
+@dataclass
+class Timer:
+    """Context-manager timer recording a list of lap durations.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> len(t.laps)
+    1
+    """
+
+    laps: List[float] = field(default_factory=list)
+    _t0: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None
+        self.laps.append(time.perf_counter() - self._t0)
+        self._t0 = None
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def last(self) -> float:
+        if not self.laps:
+            raise RuntimeError("Timer has no completed laps")
+        return self.laps[-1]
+
+    @property
+    def mean(self) -> float:
+        if not self.laps:
+            raise RuntimeError("Timer has no completed laps")
+        return self.total / len(self.laps)

@@ -1,0 +1,53 @@
+"""Argument validation helpers shared across subsystems."""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.errors import FrontierError
+
+
+def check_nonnegative_int(value, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_vertex_in_range(vertex, n_vertices: int) -> int:
+    """Validate a scalar vertex id against the graph size."""
+    if isinstance(vertex, bool) or not isinstance(
+        vertex, (numbers.Integral, np.integer)
+    ):
+        raise TypeError(f"vertex id must be an integer, got {type(vertex).__name__}")
+    v = int(vertex)
+    if not (0 <= v < n_vertices):
+        raise FrontierError(f"vertex {v} out of range [0, {n_vertices})")
+    return v
+
+
+def check_vertices_in_range(vertices: np.ndarray, n_vertices: int) -> None:
+    """Validate an array of vertex ids against the graph size."""
+    if vertices.size == 0:
+        return
+    lo = int(vertices.min())
+    hi = int(vertices.max())
+    if lo < 0 or hi >= n_vertices:
+        raise FrontierError(
+            f"vertex ids must lie in [0, {n_vertices}); got range [{lo}, {hi}]"
+        )

@@ -1,0 +1,94 @@
+"""Shared fixtures: canonical small graphs and policy parametrization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.execution import par, par_nosync, par_vector, seq
+from repro.graph import from_edge_list
+from repro.graph.generators import (
+    erdos_renyi_gnp,
+    grid_2d,
+    rmat,
+    watts_strogatz,
+)
+
+ALL_POLICIES = [seq, par, par_nosync, par_vector]
+POLICY_IDS = [p.name for p in ALL_POLICIES]
+
+
+@pytest.fixture(params=ALL_POLICIES, ids=POLICY_IDS)
+def policy(request):
+    """Every execution policy; tests using this assert policy-invariance."""
+    return request.param
+
+
+@pytest.fixture
+def diamond_graph():
+    """The 4-vertex weighted diamond: two paths 0→3, lengths 3 and 5.
+
+    ::
+
+          0
+        1/ \\4
+        1    2
+        2\\ /1
+          3
+    """
+    return from_edge_list(
+        [(0, 1, 1.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 1.0)],
+        n_vertices=4,
+        directed=True,
+    )
+
+
+@pytest.fixture
+def triangle_graph():
+    """Undirected triangle with unit weights."""
+    return from_edge_list(
+        [(0, 1), (1, 2), (0, 2)], n_vertices=3, directed=False
+    )
+
+
+@pytest.fixture
+def two_component_graph():
+    """Two disjoint undirected paths: {0,1,2} and {3,4}."""
+    return from_edge_list(
+        [(0, 1), (1, 2), (3, 4)], n_vertices=5, directed=False
+    )
+
+
+@pytest.fixture
+def small_grid():
+    """8x8 unweighted grid, undirected."""
+    return grid_2d(8, 8)
+
+
+@pytest.fixture
+def weighted_grid():
+    """10x10 grid with symmetric random weights, seed-pinned."""
+    return grid_2d(10, 10, weighted=True, seed=42)
+
+
+@pytest.fixture
+def small_rmat():
+    """Scale-8 weighted R-MAT, directed, seed-pinned."""
+    return rmat(8, 8, weighted=True, seed=7)
+
+
+@pytest.fixture
+def small_er():
+    """Sparse directed weighted G(n, p), seed-pinned."""
+    return erdos_renyi_gnp(200, 0.03, weighted=True, seed=11)
+
+
+@pytest.fixture
+def small_ws():
+    """Small-world graph with triangles, undirected, seed-pinned."""
+    return watts_strogatz(150, 6, 0.1, seed=13)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on algorithm invariants over random
+graphs — beyond fixed oracles, these pin the *structural* contracts:
+triangle inequality of SSSP outputs, BFS level consistency, CC label
+idempotence, coloring properness, PageRank stochasticity.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    bfs,
+    connected_components,
+    graph_coloring,
+    kcore_decomposition,
+    pagerank,
+    sssp,
+)
+from repro.algorithms.color import verify_coloring
+from repro.graph import from_edge_array
+from repro.types import INF, VERTEX_DTYPE, WEIGHT_DTYPE
+
+N = 24
+
+
+@st.composite
+def random_graphs(draw, weighted=False, directed=True):
+    """Small random digraphs as raw edge arrays (hypothesis-shrinkable)."""
+    n_edges = draw(st.integers(min_value=0, max_value=80))
+    srcs = draw(
+        st.lists(
+            st.integers(0, N - 1), min_size=n_edges, max_size=n_edges
+        )
+    )
+    dsts = draw(
+        st.lists(
+            st.integers(0, N - 1), min_size=n_edges, max_size=n_edges
+        )
+    )
+    weights = None
+    if weighted:
+        weights = np.asarray(
+            draw(
+                st.lists(
+                    st.floats(0.1, 10.0, allow_nan=False),
+                    min_size=n_edges,
+                    max_size=n_edges,
+                )
+            ),
+            dtype=WEIGHT_DTYPE,
+        )
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        weights,
+        n_vertices=N,
+        directed=directed,
+        remove_self_loops=True,
+        deduplicate=True,
+    )
+
+
+@given(random_graphs(weighted=True))
+@settings(max_examples=40, deadline=None)
+def test_sssp_edge_relaxation_fixed_point(g):
+    """At convergence no edge can relax: d[v] <= d[u] + w(u,v)."""
+    dist = sssp(g, 0).distances
+    for u, v, _, w in g.iter_edges():
+        if dist[u] < INF:
+            assert dist[v] <= dist[u] + w + 1e-3
+
+
+@given(random_graphs(weighted=True))
+@settings(max_examples=40, deadline=None)
+def test_sssp_source_zero_and_nonnegative(g):
+    dist = sssp(g, 0).distances
+    assert dist[0] == 0.0
+    assert np.all(dist >= 0)
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_bfs_level_consistency(g):
+    """Levels of adjacent reached vertices differ by at most 1 along
+    forward edges, and parents sit exactly one level up."""
+    r = bfs(g, 0)
+    for u, v, _, _ in g.iter_edges():
+        if r.levels[u] >= 0:
+            assert r.levels[v] != -1
+            assert r.levels[v] <= r.levels[u] + 1
+
+
+@given(random_graphs(directed=False))
+@settings(max_examples=40, deadline=None)
+def test_cc_labels_are_class_representatives(g):
+    """Labels are idempotent (label[label] == label) and edges never
+    cross labels."""
+    r = connected_components(g)
+    assert np.array_equal(r.labels[r.labels], r.labels)
+    for u, v, _, _ in g.iter_edges():
+        assert r.labels[u] == r.labels[v]
+    assert r.n_components == np.unique(r.labels).shape[0]
+
+
+@given(random_graphs(directed=False))
+@settings(max_examples=40, deadline=None)
+def test_cc_methods_agree(g):
+    a = connected_components(g, method="label_propagation")
+    b = connected_components(g, method="hooking")
+    assert np.array_equal(a.labels, b.labels)
+
+
+@given(random_graphs(directed=False))
+@settings(max_examples=30, deadline=None)
+def test_coloring_always_proper(g):
+    r = graph_coloring(g, seed=0)
+    assert verify_coloring(g, r.colors)
+    assert r.n_colors <= int(g.out_degrees().max(initial=0)) + 1
+
+
+@given(random_graphs(directed=False))
+@settings(max_examples=30, deadline=None)
+def test_kcore_definition_holds(g):
+    """Every vertex of core number k has >= k neighbors with core >= k."""
+    r = kcore_decomposition(g)
+    csr = g.csr()
+    for v in range(g.n_vertices):
+        k = r.core_numbers[v]
+        if k > 0:
+            nbrs = csr.get_neighbors(v)
+            assert np.count_nonzero(r.core_numbers[nbrs] >= k) >= k
+
+
+@given(random_graphs())
+@settings(max_examples=30, deadline=None)
+def test_pagerank_is_distribution(g):
+    r = pagerank(g)
+    assert np.all(r.ranks >= 0)
+    assert r.ranks.sum() == np.float64(1.0).__class__(1.0) or abs(
+        r.ranks.sum() - 1.0
+    ) < 1e-6
+
+
+@given(random_graphs(weighted=True), st.sampled_from(["seq", "par_vector"]))
+@settings(max_examples=25, deadline=None)
+def test_sssp_policy_equivalence_property(g, policy_name):
+    base = sssp(g, 0, policy="par_vector").distances
+    other = sssp(g, 0, policy=policy_name).distances
+    assert np.allclose(base, other, atol=1e-3)

@@ -1,0 +1,351 @@
+"""Tests for the remaining algorithm suite: PageRank, CC, BC, TC, k-core,
+coloring, SpMV, HITS, MST — each against a baseline or oracle."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality,
+    boruvka_mst,
+    connected_components,
+    graph_coloring,
+    hits,
+    kcore_decomposition,
+    pagerank,
+    power_iteration,
+    spmv,
+    triangle_count,
+)
+from repro.algorithms.color import verify_coloring
+from repro.baselines import (
+    kruskal_mst_weight,
+    nx_betweenness,
+    nx_components,
+    nx_core_numbers,
+    nx_pagerank,
+    nx_triangles,
+    sequential_pagerank,
+    union_find_components,
+)
+from repro.errors import GraphFormatError
+from repro.execution import par, par_vector, seq
+from repro.graph import from_edge_list
+from repro.graph.generators import (
+    chain,
+    complete,
+    erdos_renyi_gnp,
+    grid_2d,
+    rmat,
+    star,
+    watts_strogatz,
+)
+
+
+class TestPageRank:
+    def test_matches_networkx(self, small_rmat):
+        r = pagerank(small_rmat, tolerance=1e-10)
+        ref = nx_pagerank(small_rmat, tol=1e-12)
+        assert np.allclose(r.ranks, ref, atol=1e-6)
+        assert r.converged
+
+    def test_matches_independent_baseline(self, small_grid):
+        r = pagerank(small_grid, tolerance=1e-10)
+        ref = sequential_pagerank(small_grid, tolerance=1e-10)
+        assert np.allclose(r.ranks, ref, atol=1e-8)
+
+    @pytest.mark.parametrize("pol", [seq, par, par_vector], ids=lambda p: p.name)
+    def test_policy_invariance(self, small_grid, pol):
+        a = pagerank(small_grid, policy=pol, tolerance=1e-10)
+        b = pagerank(small_grid, policy=par_vector, tolerance=1e-10)
+        assert np.allclose(a.ranks, b.ranks, atol=1e-10)
+
+    def test_ranks_sum_to_one(self, small_rmat):
+        r = pagerank(small_rmat)
+        assert r.ranks.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_dangling_vertices_handled(self):
+        g = from_edge_list([(0, 1), (0, 2)], n_vertices=3)  # 1, 2 dangle
+        r = pagerank(g, tolerance=1e-12)
+        ref = nx_pagerank(g)
+        assert np.allclose(r.ranks, ref, atol=1e-6)
+
+    def test_iteration_cap_respected(self, small_rmat):
+        r = pagerank(small_rmat, max_iterations=3, tolerance=0.0)
+        assert r.iterations <= 3
+        assert not r.converged
+
+    def test_damping_zero_is_uniform(self, small_rmat):
+        r = pagerank(small_rmat, damping=0.0)
+        assert np.allclose(r.ranks, 1.0 / small_rmat.n_vertices)
+
+    def test_invalid_damping_rejected(self, small_rmat):
+        with pytest.raises(ValueError):
+            pagerank(small_rmat, damping=1.5)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n_vertices=0)
+        assert pagerank(g).converged
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("method", ["label_propagation", "hooking"])
+    def test_component_count(self, method):
+        g = erdos_renyi_gnp(200, 0.01, seed=1, directed=False)
+        r = connected_components(g, method=method)
+        assert r.n_components == nx_components(g)
+
+    @pytest.mark.parametrize("method", ["label_propagation", "hooking"])
+    def test_labels_match_union_find(self, method, small_ws):
+        r = connected_components(small_ws, method=method)
+        assert np.array_equal(r.labels, union_find_components(small_ws))
+
+    def test_directed_weak_components(self):
+        g = from_edge_list([(0, 1), (2, 1)], n_vertices=4)  # 3 isolated
+        for method in ("label_propagation", "hooking"):
+            r = connected_components(g, method=method)
+            assert r.n_components == 2
+            assert r.labels[0] == r.labels[1] == r.labels[2]
+
+    def test_component_sizes(self, two_component_graph):
+        r = connected_components(two_component_graph)
+        assert sorted(r.component_sizes().tolist()) == [2, 3]
+
+    def test_unknown_method_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            connected_components(small_grid, method="magic")
+
+    def test_singleton_graph(self):
+        g = from_edge_list([], n_vertices=5)
+        r = connected_components(g)
+        assert r.n_components == 5
+
+
+class TestBetweenness:
+    def test_matches_networkx_exact(self, small_ws):
+        r = betweenness_centrality(small_ws)
+        assert np.allclose(r.centrality, nx_betweenness(small_ws), atol=1e-6)
+
+    def test_directed_graph(self):
+        g = rmat(6, 4, seed=3)
+        r = betweenness_centrality(g)
+        assert np.allclose(r.centrality, nx_betweenness(g), atol=1e-6)
+
+    def test_star_center_dominates(self):
+        g = star(20)
+        r = betweenness_centrality(g)
+        assert r.centrality[0] > 0
+        assert np.all(r.centrality[1:] == 0)
+
+    def test_chain_interior_maximal(self):
+        g = chain(9)
+        r = betweenness_centrality(g)
+        assert np.argmax(r.centrality) == 4  # middle vertex
+
+    def test_normalized(self, small_ws):
+        r = betweenness_centrality(small_ws, normalize=True)
+        ref = nx_betweenness(small_ws, normalized=True)
+        assert np.allclose(r.centrality, ref, atol=1e-6)
+
+    def test_sampled_sources_approximation(self, small_ws):
+        exact = betweenness_centrality(small_ws).centrality
+        approx = betweenness_centrality(
+            small_ws, sources=range(0, small_ws.n_vertices, 2)
+        ).centrality
+        # Sampling half the sources keeps the top vertex in the top decile.
+        top = int(np.argmax(exact))
+        assert approx[top] >= np.quantile(approx, 0.9)
+
+
+class TestTriangleCount:
+    @pytest.mark.parametrize(
+        "make_graph,expected_fn",
+        [
+            (lambda: complete(6), lambda g: 20),  # C(6,3)
+            (lambda: chain(10), lambda g: 0),
+            (lambda: watts_strogatz(150, 6, 0.1, seed=2), nx_triangles),
+            (lambda: erdos_renyi_gnp(80, 0.15, seed=4, directed=False), nx_triangles),
+        ],
+        ids=["complete", "chain", "smallworld", "er"],
+    )
+    def test_counts(self, make_graph, expected_fn):
+        g = make_graph()
+        assert triangle_count(g).total == expected_fn(g)
+
+    def test_directed_input_counts_underlying(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)], n_vertices=3)
+        assert triangle_count(g).total == 1
+
+    @pytest.mark.parametrize("pol", [seq, par, par_vector], ids=lambda p: p.name)
+    def test_policy_invariance(self, small_ws, pol):
+        assert triangle_count(small_ws, policy=pol).total == nx_triangles(small_ws)
+
+    def test_per_edge_counts_sum(self, small_ws):
+        r = triangle_count(small_ws)
+        assert r.per_edge.sum() == r.total
+
+
+class TestKCore:
+    def test_matches_networkx(self, small_ws):
+        r = kcore_decomposition(small_ws)
+        assert np.array_equal(r.core_numbers, nx_core_numbers(small_ws))
+
+    def test_er_graph(self):
+        g = erdos_renyi_gnp(120, 0.08, seed=5, directed=False)
+        r = kcore_decomposition(g)
+        assert np.array_equal(r.core_numbers, nx_core_numbers(g))
+
+    def test_complete_graph_core(self):
+        r = kcore_decomposition(complete(6))
+        assert np.all(r.core_numbers == 5)
+        assert r.max_core == 5
+
+    def test_chain_core_is_one(self):
+        r = kcore_decomposition(chain(10))
+        assert np.all(r.core_numbers == 1)
+
+    def test_core_subgraph_vertices(self, small_ws):
+        r = kcore_decomposition(small_ws)
+        k = r.max_core
+        members = r.core_subgraph_vertices(k)
+        assert members.size > 0
+        assert np.all(r.core_numbers[members] >= k)
+
+    def test_isolated_vertices_core_zero(self):
+        g = from_edge_list([(0, 1)], n_vertices=4, directed=False)
+        r = kcore_decomposition(g)
+        assert r.core_numbers.tolist() == [1, 1, 0, 0]
+
+
+class TestColoring:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: complete(8),
+            lambda: star(30),
+            lambda: grid_2d(10, 10),
+            lambda: rmat(8, 8, seed=6, directed=False),
+        ],
+        ids=["complete", "star", "grid", "rmat"],
+    )
+    def test_proper_coloring(self, make_graph):
+        g = make_graph()
+        r = graph_coloring(g)
+        assert verify_coloring(g, r.colors)
+        assert np.all(r.colors >= 0)
+
+    def test_complete_needs_n_colors(self):
+        assert graph_coloring(complete(7)).n_colors == 7
+
+    def test_star_needs_two(self):
+        assert graph_coloring(star(30)).n_colors == 2
+
+    def test_grid_at_most_delta_plus_one(self):
+        r = graph_coloring(grid_2d(12, 12))
+        assert r.n_colors <= 5  # Δ = 4
+
+    def test_deterministic_given_seed(self, small_ws):
+        a = graph_coloring(small_ws, seed=3)
+        b = graph_coloring(small_ws, seed=3)
+        assert np.array_equal(a.colors, b.colors)
+
+
+class TestSpMV:
+    @pytest.mark.parametrize("pol", [seq, par, par_vector], ids=lambda p: p.name)
+    def test_matches_scipy(self, small_rmat, pol, rng):
+        x = rng.random(small_rmat.n_vertices)
+        y = spmv(small_rmat, x, policy=pol)
+        ref = small_rmat.csr().to_scipy().astype(np.float64) @ x
+        assert np.allclose(y, ref, atol=1e-4)
+
+    def test_wrong_length_rejected(self, small_rmat):
+        with pytest.raises(ValueError):
+            spmv(small_rmat, np.ones(3))
+
+    def test_power_iteration_finds_dominant_eig(self):
+        g = complete(10)  # adjacency J - I: dominant eigenvalue n-1 = 9
+        vec, val, iters = power_iteration(g, tolerance=1e-12)
+        assert val == pytest.approx(9.0, abs=1e-6)
+        assert np.allclose(np.abs(vec), 1.0 / np.sqrt(10), atol=1e-6)
+
+    def test_power_iteration_empty(self):
+        g = from_edge_list([], n_vertices=0)
+        vec, val, iters = power_iteration(g)
+        assert val == 0.0
+
+
+class TestHITS:
+    def test_matches_networkx(self, small_rmat):
+        import networkx as nx
+
+        from repro.baselines import nx_graph_of
+
+        r = hits(small_rmat, tolerance=1e-12, max_iterations=2000)
+        hub_ref, auth_ref = nx.hits(nx_graph_of(small_rmat), max_iter=5000, tol=1e-14)
+        hr = np.array([hub_ref[v] for v in range(small_rmat.n_vertices)])
+        ar = np.array([auth_ref[v] for v in range(small_rmat.n_vertices)])
+        hr /= np.linalg.norm(hr)
+        ar /= np.linalg.norm(ar)
+        assert np.allclose(r.hubs, hr, atol=1e-6)
+        assert np.allclose(r.authorities, ar, atol=1e-6)
+
+    def test_bipartite_hub_authority_split(self):
+        # All edges left -> right: left are pure hubs, right pure authorities.
+        g = from_edge_list([(0, 2), (0, 3), (1, 3)], n_vertices=4)
+        r = hits(g)
+        assert np.all(r.hubs[[0, 1]] > 0) and np.allclose(r.hubs[[2, 3]], 0)
+        assert np.all(r.authorities[[2, 3]] > 0)
+        assert np.allclose(r.authorities[[0, 1]], 0)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n_vertices=0)
+        assert hits(g).converged
+
+
+class TestMST:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: grid_2d(8, 8, weighted=True, seed=1),
+            lambda: watts_strogatz(100, 6, 0.2, seed=2),
+            lambda: erdos_renyi_gnp(80, 0.1, seed=3, directed=False, weighted=True),
+        ],
+        ids=["grid", "smallworld", "er"],
+    )
+    def test_weight_matches_kruskal(self, make_graph):
+        g = make_graph()
+        r = boruvka_mst(g)
+        assert r.total_weight == pytest.approx(kruskal_mst_weight(g), rel=1e-5)
+
+    def test_spanning_tree_edge_count(self, weighted_grid):
+        r = boruvka_mst(weighted_grid)
+        assert r.n_edges == weighted_grid.n_vertices - r.n_components
+        assert r.n_components == 1
+
+    def test_forest_on_disconnected(self, two_component_graph):
+        r = boruvka_mst(two_component_graph)
+        assert r.n_components == 2
+        assert r.n_edges == 3  # (3-1) + (2-1)
+
+    def test_matches_networkx_weight(self, weighted_grid):
+        import networkx as nx
+
+        from repro.baselines import nx_graph_of
+
+        ref = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_tree(
+                nx_graph_of(weighted_grid)
+            ).edges(data=True)
+        )
+        assert boruvka_mst(weighted_grid).total_weight == pytest.approx(
+            ref, rel=1e-5
+        )
+
+    def test_directed_rejected(self, small_rmat):
+        with pytest.raises(GraphFormatError):
+            boruvka_mst(small_rmat)
+
+    def test_log_rounds(self):
+        g = chain(64)
+        r = boruvka_mst(g)
+        assert r.stats.num_iterations <= 7  # ~log2(64) + 1

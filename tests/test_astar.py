@@ -1,0 +1,96 @@
+"""Tests for A*: optimality, admissible-heuristic speedup, path validity."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.astar import astar, euclidean_heuristic, grid_heuristic
+from repro.baselines import dijkstra
+from repro.graph import from_edge_list
+from repro.graph.generators import chain, grid_2d
+from repro.types import INF
+
+
+class TestOptimality:
+    def test_matches_dijkstra_no_heuristic(self, weighted_grid):
+        ref = dijkstra(weighted_grid, 0)
+        for target in (5, 37, 99):
+            r = astar(weighted_grid, 0, target)
+            assert r.distance == pytest.approx(float(ref[target]), abs=1e-3)
+
+    def test_matches_dijkstra_with_grid_heuristic(self):
+        side = 12
+        g = grid_2d(side, side, weighted=True, seed=3)
+        ref = dijkstra(g, 0)
+        # Admissible scale: minimum edge weight lower-bounds per-hop cost.
+        min_w = float(g.csr().values.min())
+        for target in (side * side - 1, side * side // 2, 17):
+            r = astar(
+                g, 0, target,
+                heuristic=grid_heuristic(side, target, min_edge_weight=min_w),
+            )
+            assert r.distance == pytest.approx(float(ref[target]), abs=1e-3)
+
+    def test_euclidean_heuristic_optimal(self):
+        side = 10
+        g = grid_2d(side, side, weighted=True, seed=4)
+        ids = np.arange(side * side)
+        xs, ys = (ids % side).astype(float), (ids // side).astype(float)
+        min_w = float(g.csr().values.min())
+        target = side * side - 1
+        r = astar(
+            g, 0, target,
+            heuristic=euclidean_heuristic(xs, ys, target, scale=min_w),
+        )
+        assert r.distance == pytest.approx(float(dijkstra(g, 0)[target]), abs=1e-3)
+
+
+class TestSearchEffort:
+    def test_heuristic_settles_fewer_vertices(self):
+        """Goal-directed search on a unit grid must expand a corridor,
+        not the whole Dijkstra ball.
+
+        Note the target choice: for *opposite corners* every grid vertex
+        lies on some monotone shortest path (f = g + h is constant), so
+        A* legitimately prunes nothing — the informative case is a
+        target along one edge, where off-row vertices cost extra."""
+        side = 30
+        g = grid_2d(side, side)  # unit weights: Manhattan h is exact
+        target = side - 1  # same row as the source, far end
+        plain = astar(g, 0, target)
+        guided = astar(g, 0, target, heuristic=grid_heuristic(side, target))
+        assert guided.distance == plain.distance
+        assert guided.settled < plain.settled / 2
+
+    def test_early_exit_at_target(self):
+        g = chain(100, directed=True)
+        r = astar(g, 0, 5)
+        assert r.settled <= 7  # never explores past the target
+
+
+class TestPath:
+    def test_path_is_connected_and_costed(self, weighted_grid):
+        r = astar(weighted_grid, 3, 77)
+        assert r.path[0] == 3 and r.path[-1] == 77
+        csr = weighted_grid.csr()
+        total = 0.0
+        for a, b in zip(r.path, r.path[1:]):
+            assert weighted_grid.has_edge(a, b)
+            idx = csr.get_neighbors(a).tolist().index(b)
+            total += float(csr.get_neighbor_weights(a)[idx])
+        assert total == pytest.approx(r.distance, abs=1e-3)
+
+    def test_source_equals_target(self, weighted_grid):
+        r = astar(weighted_grid, 9, 9)
+        assert r.distance == 0.0
+        assert r.path == [9]
+
+    def test_unreachable(self, two_component_graph):
+        r = astar(two_component_graph, 0, 4)
+        assert not r.found
+        assert r.distance == INF
+        assert r.path == []
+
+    def test_directed_one_way(self):
+        g = from_edge_list([(0, 1, 2.0)], n_vertices=2)
+        assert astar(g, 0, 1).distance == 2.0
+        assert not astar(g, 1, 0).found

@@ -1,0 +1,175 @@
+"""Tests for the command-line interface (direct main() invocation)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import grid_2d
+from repro.graph.io import load_graph_npz, save_graph_npz
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph_npz(grid_2d(6, 6, weighted=True, seed=1), path)
+    return str(path)
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["rmat", "er", "grid", "ws", "ba"])
+    def test_kinds(self, tmp_path, kind, capsys):
+        out = str(tmp_path / f"{kind}.npz")
+        rc = main(
+            ["generate", kind, out, "--scale", "6", "--edge-factor", "4",
+             "--seed", "3"]
+        )
+        assert rc == 0
+        g = load_graph_npz(out)
+        assert g.n_vertices > 0 and g.n_edges > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_weighted_flag(self, tmp_path):
+        out = str(tmp_path / "w.npz")
+        main(["generate", "rmat", out, "--scale", "6", "--weighted"])
+        assert load_graph_npz(out).properties.weighted
+
+    def test_edgelist_output(self, tmp_path):
+        out = str(tmp_path / "g.txt")
+        main(["generate", "grid", out, "--scale", "4"])
+        assert "vertices" in open(out).readline()
+
+    def test_deterministic(self, tmp_path):
+        a = str(tmp_path / "a.npz")
+        b = str(tmp_path / "b.npz")
+        main(["generate", "rmat", a, "--scale", "6", "--seed", "9"])
+        main(["generate", "rmat", b, "--scale", "6", "--seed", "9"])
+        ga, gb = load_graph_npz(a), load_graph_npz(b)
+        assert np.array_equal(
+            ga.csr().column_indices, gb.csr().column_indices
+        )
+
+
+class TestInfo:
+    def test_plain(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "n_vertices" in out and "36" in out
+
+    def test_json_with_components(self, graph_file, capsys):
+        assert main(["info", graph_file, "--components", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["n_vertices"] == 36
+        assert info["n_components"] == 1
+
+
+class TestConvert:
+    @pytest.mark.parametrize("ext", ["mtx", "gr", "txt"])
+    def test_roundtrip_through_format(self, graph_file, tmp_path, ext, capsys):
+        mid = str(tmp_path / f"g.{ext}")
+        back = str(tmp_path / "back.npz")
+        assert main(["convert", graph_file, mid]) == 0
+        assert main(["convert", mid, back]) == 0
+        original = load_graph_npz(graph_file)
+        restored = load_graph_npz(back)
+        assert restored.n_vertices == original.n_vertices
+        assert restored.n_edges == original.n_edges
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "algorithm", ["sssp", "bfs", "pagerank", "cc", "kcore", "color"]
+    )
+    def test_algorithms(self, graph_file, algorithm, capsys):
+        assert main(["run", algorithm, graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "supersteps" in out
+
+    def test_tc(self, graph_file, capsys):
+        assert main(["run", "tc", graph_file]) == 0
+        assert "triangles: 0" in capsys.readouterr().out  # grids have none
+
+    def test_head_prints_values(self, graph_file, capsys):
+        main(["run", "sssp", graph_file, "--head", "3"])
+        assert "first 3 values" in capsys.readouterr().out
+
+    def test_output_npy(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "dist.npy")
+        main(["run", "sssp", graph_file, "--output", out])
+        dist = np.load(out)
+        assert dist.shape == (36,)
+        assert dist[0] == 0.0
+
+    def test_policy_flag(self, graph_file, capsys):
+        assert main(["run", "sssp", graph_file, "--policy", "seq"]) == 0
+
+    def test_sssp_matches_library(self, graph_file, tmp_path):
+        from repro.algorithms import sssp
+
+        out = str(tmp_path / "d.npy")
+        main(["run", "sssp", graph_file, "--output", out])
+        ref = sssp(load_graph_npz(graph_file), 0).distances
+        assert np.allclose(np.load(out), ref)
+
+
+class TestPartition:
+    @pytest.mark.parametrize(
+        "method", ["random", "contiguous", "ldg", "fennel", "metis"]
+    )
+    def test_methods(self, graph_file, method, capsys):
+        assert main(["partition", graph_file, "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "edge_cut=" in out and "balance=" in out
+
+    def test_assignment_output(self, graph_file, tmp_path):
+        out = str(tmp_path / "parts.npy")
+        main(["partition", graph_file, "--parts", "3", "--output", out])
+        assignment = np.load(out)
+        assert assignment.shape == (36,)
+        assert set(np.unique(assignment)) <= {0, 1, 2}
+
+
+class TestTable1:
+    def test_prints_and_verifies(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing" in out and "Partitioning" in out
+        assert "verified" in out
+
+
+class TestInfoStats:
+    def test_stats_flag(self, graph_file, capsys):
+        assert main(["info", graph_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "degree_skew" in out
+        assert "diameter_lower_bound" in out
+        assert "hints" in out
+
+    def test_stats_json(self, graph_file, capsys):
+        assert main(["info", graph_file, "--stats", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["diameter_lower_bound"] == 10  # 6x6 grid diameter
+
+
+class TestRunExtendedAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["ppr", "mis", "communities"])
+    def test_new_algorithms(self, graph_file, algorithm, capsys):
+        assert main(["run", algorithm, graph_file]) == 0
+        assert "supersteps" in capsys.readouterr().out
+
+    def test_ktruss(self, graph_file, capsys):
+        assert main(["run", "ktruss", graph_file]) == 0
+        assert "max truss: 2" in capsys.readouterr().out  # grid: no triangles
+
+    def test_mis_reports_size(self, graph_file, capsys):
+        main(["run", "mis", graph_file])
+        assert "independent set size:" in capsys.readouterr().out
+
+    def test_communities_reports_modularity(self, graph_file, capsys):
+        main(["run", "communities", graph_file])
+        assert "Q=" in capsys.readouterr().out
+
+    def test_scc(self, graph_file, capsys):
+        assert main(["run", "scc", graph_file]) == 0
+        assert "strongly connected" in capsys.readouterr().out

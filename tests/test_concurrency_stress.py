@@ -1,0 +1,154 @@
+"""Concurrency stress tests: the threaded paths under adversarial load.
+
+These are probabilistic race detectors — many workers, shared state,
+repeated rounds — asserting the linearizability and quiescence
+contracts that the unit tests check only once.  Kept small enough to
+run in seconds.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp import sssp, sssp_async
+from repro.baselines import dijkstra
+from repro.execution import AsyncScheduler, AtomicArray, par, par_nosync
+from repro.frontier import AsyncQueueFrontier, SparseFrontier
+from repro.graph.generators import rmat, star
+from repro.operators import neighbors_expand
+
+
+class TestAtomicsUnderContention:
+    def test_single_slot_min_hammer(self):
+        """All workers race min_at on one index (worst-case stripe
+        contention)."""
+        arr = AtomicArray(np.array([np.inf]), n_stripes=1)
+        samples = np.random.default_rng(0).random((6, 500))
+
+        def worker(tid):
+            for x in samples[tid]:
+                arr.min_at(0, float(x))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert arr.array[0] == samples.min()
+
+    def test_mixed_ops_conserve_invariants(self):
+        """Concurrent add_at on disjoint slots + CAS loops."""
+        arr = AtomicArray(np.zeros(4))
+
+        def adder(slot):
+            for _ in range(2000):
+                arr.add_at(slot, 1.0)
+
+        def caser():
+            for _ in range(500):
+                ok, seen = arr.compare_exchange(3, arr.load(3), arr.load(3))
+
+        threads = [threading.Thread(target=adder, args=(i,)) for i in range(3)]
+        threads.append(threading.Thread(target=caser))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert arr.array[:3].tolist() == [2000.0, 2000.0, 2000.0]
+
+
+class TestQueueFrontierUnderContention:
+    def test_producers_and_consumers_conserve_items(self):
+        q = AsyncQueueFrontier(100_000)
+        consumed = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def producer(base):
+            for i in range(2000):
+                q.add(base + i)
+
+        def consumer():
+            while not stop.is_set() or q.size():
+                chunk = q.pop_chunk(64)
+                if chunk:
+                    with lock:
+                        consumed.extend(chunk)
+
+        producers = [
+            threading.Thread(target=producer, args=(b,))
+            for b in (0, 2000, 4000)
+        ]
+        consumers = [threading.Thread(target=consumer) for _ in range(3)]
+        for t in consumers:
+            t.start()
+        for t in producers:
+            t.start()
+        for t in producers:
+            t.join()
+        stop.set()
+        for t in consumers:
+            t.join()
+        assert sorted(consumed) == list(range(6000))
+
+
+class TestSchedulerStress:
+    def test_fanout_tree_quiesces_exactly_once_per_node(self):
+        """Each task spawns 2 children to depth 10: the scheduler must
+        process exactly 2^11 - 1 tasks, no drops, no duplicates."""
+        sched = AsyncScheduler(6)
+        seen = []
+        lock = threading.Lock()
+
+        def process(item, push):
+            with lock:
+                seen.append(item)
+            if item < (1 << 10):
+                push(2 * item)
+                push(2 * item + 1)
+
+        total = sched.run(process, [1], 1 << 12, timeout=30)
+        assert total == (1 << 11) - 1
+        assert sorted(seen) == list(range(1, 1 << 11))
+
+    def test_repeated_runs_are_independent(self):
+        sched = AsyncScheduler(4)
+        for _ in range(5):
+            count = sched.run(lambda i, push: None, range(50), 100, timeout=10)
+            assert count == 50
+
+
+class TestThreadedOperatorsStress:
+    def test_par_advance_repeated_equivalence(self, small_rmat):
+        """20 repetitions of the threaded advance must all equal seq —
+        catches schedule-dependent races."""
+        from repro.execution import seq
+
+        f = SparseFrontier.from_indices(
+            np.arange(small_rmat.n_vertices, dtype=np.int32),
+            small_rmat.n_vertices,
+        )
+        cond = lambda s, d, e, w: w < 5.0
+        expected = np.sort(
+            neighbors_expand(seq, small_rmat, f, cond).to_indices()
+        )
+        for pol in (par.with_workers(7), par_nosync.with_workers(5)):
+            for _ in range(10):
+                got = np.sort(
+                    neighbors_expand(pol, small_rmat, f, cond).to_indices()
+                )
+                assert np.array_equal(got, expected)
+
+    def test_async_sssp_star_hammer(self):
+        """A directed star from the hub: every worker relaxes a disjoint
+        leaf, but all read the hub concurrently."""
+        g = star(2000, directed=True)
+        r = sssp_async(g, 0, num_workers=6, timeout=60)
+        assert np.all(r.distances[1:] == 1.0)
+
+    def test_threaded_sssp_repeated(self, weighted_grid):
+        ref = dijkstra(weighted_grid, 0)
+        for _ in range(3):
+            r = sssp(weighted_grid, 0, policy=par.with_workers(6))
+            assert np.allclose(r.distances, ref, atol=1e-2)

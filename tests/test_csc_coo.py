@@ -1,0 +1,154 @@
+"""Tests for CSC and COO representations and transposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOMatrix
+from repro.graph.csc import CSCMatrix
+from repro.graph.csr import CSRMatrix
+from repro.graph.transpose import csc_to_csr, transpose_csr
+
+
+@pytest.fixture
+def csr():
+    return CSRMatrix(
+        4,
+        4,
+        np.array([0, 2, 3, 3, 4]),
+        np.array([1, 2, 2, 0]),
+        np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+
+
+class TestTranspose:
+    def test_in_degrees(self, csr):
+        csc = transpose_csr(csr)
+        assert csc.in_degrees().tolist() == [1, 1, 2, 0]
+
+    def test_in_neighbors_and_weights(self, csr):
+        csc = transpose_csr(csr)
+        assert csc.get_in_neighbors(2).tolist() == [0, 1]
+        assert csc.get_in_neighbor_weights(2).tolist() == [2.0, 3.0]
+        assert csc.get_in_neighbors(0).tolist() == [3]
+
+    def test_roundtrip(self, csr):
+        back = csc_to_csr(transpose_csr(csr))
+        assert np.array_equal(back.row_offsets, csr.row_offsets)
+        assert np.array_equal(back.column_indices, csr.column_indices)
+        assert np.allclose(back.values, csr.values)
+
+    def test_transpose_matches_scipy(self, csr):
+        csc = transpose_csr(csr)
+        assert np.allclose(
+            csc.to_scipy().toarray(), csr.to_scipy().toarray()
+        )
+
+    def test_empty(self):
+        empty = CSRMatrix(3, 3, np.zeros(4, dtype=int), np.array([]), np.array([]))
+        csc = transpose_csr(empty)
+        assert csc.get_num_edges() == 0
+
+
+class TestCSCQueries:
+    def test_scalar_api(self, csr):
+        csc = transpose_csr(csr)
+        assert csc.get_num_vertices() == 4
+        assert csc.get_num_edges() == 4
+        e = list(csc.get_in_edges(2))
+        assert len(e) == 2
+        assert {csc.get_source_vertex(k) for k in e} == {0, 1}
+
+    def test_gather_in_edges(self, csr):
+        csc = transpose_csr(csr)
+        srcs, dsts, eids, wts = csc.gather_in_edges(np.array([2, 0]))
+        assert dsts.tolist() == [2, 2, 0]
+        assert srcs.tolist() == [0, 1, 3]
+        assert wts.tolist() == [2.0, 3.0, 4.0]
+
+    def test_gather_empty(self, csr):
+        csc = transpose_csr(csr)
+        srcs, _, _, _ = csc.gather_in_edges(np.array([], dtype=np.int32))
+        assert srcs.size == 0
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSCMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+
+class TestCOO:
+    def test_construction_and_access(self):
+        coo = COOMatrix(
+            3, 3, np.array([0, 1]), np.array([1, 2]), np.array([5.0, 6.0])
+        )
+        assert coo.get_num_edges() == 2
+        assert coo.get_edge(1) == (1, 2, 6.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix(2, 2, np.array([0, 2]), np.array([1, 1]), np.ones(2))
+        with pytest.raises(GraphFormatError):
+            COOMatrix(2, 2, np.array([-1]), np.array([0]), np.ones(1))
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix(2, 2, np.array([0]), np.array([0, 1]), np.ones(2))
+
+    def test_sorted_by_row(self):
+        coo = COOMatrix(
+            3, 3, np.array([2, 0, 1]), np.array([0, 1, 2]), np.arange(3.0)
+        )
+        s = coo.sorted_by_row()
+        assert s.rows.tolist() == [0, 1, 2]
+        assert s.vals.tolist() == [1.0, 2.0, 0.0]
+
+    @pytest.mark.parametrize(
+        "combine,expected", [("first", 1.0), ("sum", 4.0), ("min", 1.0), ("max", 3.0)]
+    )
+    def test_deduplicate_combines(self, combine, expected):
+        coo = COOMatrix(
+            2,
+            2,
+            np.array([0, 0]),
+            np.array([1, 1]),
+            np.array([1.0, 3.0]),
+        )
+        d = coo.deduplicated(combine=combine)
+        assert d.get_num_edges() == 1
+        assert d.vals[0] == expected
+
+    def test_deduplicate_bad_combine(self):
+        coo = COOMatrix(1, 1, np.array([0]), np.array([0]), np.ones(1))
+        with pytest.raises(ValueError):
+            coo.deduplicated(combine="avg")
+
+    def test_without_self_loops(self):
+        coo = COOMatrix(
+            2, 2, np.array([0, 1]), np.array([0, 0]), np.ones(2)
+        )
+        assert coo.without_self_loops().get_num_edges() == 1
+
+    def test_symmetrized_doubles(self):
+        coo = COOMatrix(2, 2, np.array([0]), np.array([1]), np.array([2.0]))
+        s = coo.symmetrized()
+        assert s.get_num_edges() == 2
+        assert sorted(zip(s.rows.tolist(), s.cols.tolist())) == [(0, 1), (1, 0)]
+
+    def test_to_csr_arrays_counting_sort(self):
+        coo = COOMatrix(
+            3,
+            3,
+            np.array([2, 0, 2]),
+            np.array([1, 2, 0]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        ro, ci, vals = coo.to_csr_arrays()
+        assert ro.tolist() == [0, 1, 1, 3]
+        assert ci.tolist() == [2, 1, 0]  # stable within row 2
+        assert vals.tolist() == [2.0, 1.0, 3.0]
+
+    def test_transposed(self):
+        coo = COOMatrix(2, 3, np.array([0]), np.array([2]), np.ones(1))
+        t = coo.transposed()
+        assert (t.n_rows, t.n_cols) == (3, 2)
+        assert t.rows.tolist() == [2]

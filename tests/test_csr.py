@@ -1,0 +1,172 @@
+"""Tests for the CSR representation and its bulk queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRMatrix
+from repro.types import EDGE_DTYPE
+
+
+@pytest.fixture
+def csr():
+    # 0 -> 1(w1), 0 -> 2(w2), 1 -> 2(w3), 2 -> (none), 3 -> 0(w4)
+    return CSRMatrix(
+        4,
+        4,
+        np.array([0, 2, 3, 3, 4]),
+        np.array([1, 2, 2, 0]),
+        np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+
+
+class TestConstruction:
+    def test_counts(self, csr):
+        assert csr.get_num_vertices() == 4
+        assert csr.get_num_edges() == 4
+
+    def test_wrong_offsets_length(self):
+        with pytest.raises(GraphFormatError, match="row_offsets"):
+            CSRMatrix(3, 3, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_mismatched_columns(self):
+        with pytest.raises(GraphFormatError, match="column_indices"):
+            CSRMatrix(2, 2, np.array([0, 1, 2]), np.array([0]), np.array([1.0]))
+
+    def test_mismatched_values(self):
+        with pytest.raises(GraphFormatError, match="values"):
+            CSRMatrix(
+                2, 2, np.array([0, 1, 2]), np.array([0, 1]), np.array([1.0])
+            )
+
+    def test_empty_graph(self):
+        csr = CSRMatrix(0, 0, np.array([0]), np.array([]), np.array([]))
+        assert csr.get_num_edges() == 0
+
+    def test_dtype_coercion(self, csr):
+        assert csr.row_offsets.dtype == np.int64
+        assert csr.column_indices.dtype == np.int32
+        assert csr.values.dtype == np.float32
+
+
+class TestListing1API:
+    """Listing 1's native-graph queries on the sparse-matrix storage."""
+
+    def test_get_edges_range(self, csr):
+        assert list(csr.get_edges(0)) == [0, 1]
+        assert list(csr.get_edges(2)) == []
+        assert list(csr.get_edges(3)) == [3]
+
+    def test_get_dest_vertex(self, csr):
+        assert csr.get_dest_vertex(0) == 1
+        assert csr.get_dest_vertex(3) == 0
+
+    def test_get_edge_weight(self, csr):
+        assert csr.get_edge_weight(2) == 3.0
+
+    def test_get_num_neighbors(self, csr):
+        assert [csr.get_num_neighbors(v) for v in range(4)] == [2, 1, 0, 1]
+
+    def test_get_neighbors_view_no_copy(self, csr):
+        nbrs = csr.get_neighbors(0)
+        assert nbrs.base is csr.column_indices
+
+    def test_get_neighbor_weights(self, csr):
+        assert csr.get_neighbor_weights(0).tolist() == [1.0, 2.0]
+
+    def test_iter_edges(self, csr):
+        edges = list(csr.iter_edges())
+        assert edges == [
+            (0, 1, 0, 1.0),
+            (0, 2, 1, 2.0),
+            (1, 2, 2, 3.0),
+            (3, 0, 3, 4.0),
+        ]
+
+
+class TestBulkQueries:
+    def test_degrees(self, csr):
+        assert csr.degrees().tolist() == [2, 1, 0, 1]
+
+    def test_degrees_of_subset(self, csr):
+        assert csr.degrees_of(np.array([3, 0])).tolist() == [1, 2]
+
+    def test_source_of_edges(self, csr):
+        srcs = csr.source_of_edges(np.arange(4, dtype=EDGE_DTYPE))
+        assert srcs.tolist() == [0, 0, 1, 3]
+
+    def test_expand_vertices_full(self, csr):
+        s, d, e, w = csr.expand_vertices(np.array([0, 1, 2, 3]))
+        assert s.tolist() == [0, 0, 1, 3]
+        assert d.tolist() == [1, 2, 2, 0]
+        assert e.tolist() == [0, 1, 2, 3]
+        assert w.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_expand_vertices_subset_order(self, csr):
+        s, d, e, w = csr.expand_vertices(np.array([3, 0]))
+        assert s.tolist() == [3, 0, 0]
+        assert e.tolist() == [3, 0, 1]
+
+    def test_expand_empty(self, csr):
+        s, d, e, w = csr.expand_vertices(np.array([], dtype=np.int32))
+        assert s.size == d.size == e.size == w.size == 0
+
+    def test_expand_isolated_vertex(self, csr):
+        s, d, e, w = csr.expand_vertices(np.array([2]))
+        assert s.size == 0
+
+    def test_expand_duplicate_input(self, csr):
+        s, d, e, w = csr.expand_vertices(np.array([1, 1]))
+        assert s.tolist() == [1, 1]
+        assert e.tolist() == [2, 2]
+
+    def test_neighbor_segments(self, csr):
+        starts, counts = csr.neighbor_segments(np.array([0, 2]))
+        assert starts.tolist() == [0, 3]
+        assert counts.tolist() == [2, 0]
+
+
+class TestEdgeQueries:
+    def test_has_edge(self, csr):
+        assert csr.has_edge(0, 1)
+        assert not csr.has_edge(1, 0)
+
+    def test_has_edge_sorted_path(self, csr):
+        sorted_csr = csr.sort_neighbors()
+        assert sorted_csr.has_edge(0, 2, assume_sorted=True)
+        assert not sorted_csr.has_edge(0, 3, assume_sorted=True)
+
+    def test_sort_neighbors_permutes_weights(self):
+        csr = CSRMatrix(
+            2,
+            2,
+            np.array([0, 2, 2]),
+            np.array([1, 0]),
+            np.array([10.0, 20.0]),
+        )
+        s = csr.sort_neighbors()
+        assert s.get_neighbors(0).tolist() == [0, 1]
+        assert s.get_neighbor_weights(0).tolist() == [20.0, 10.0]
+
+    def test_sort_preserves_original(self, csr):
+        before = csr.column_indices.copy()
+        csr.sort_neighbors()
+        assert np.array_equal(csr.column_indices, before)
+
+
+class TestConversions:
+    def test_to_scipy_roundtrip(self, csr):
+        sp = csr.to_scipy()
+        assert sp.shape == (4, 4)
+        dense = sp.toarray()
+        assert dense[0, 1] == 1.0
+        assert dense[3, 0] == 4.0
+        assert dense[2].sum() == 0.0
+
+    def test_copy_independent(self, csr):
+        c = csr.copy()
+        c.values[0] = 99.0
+        assert csr.values[0] == 1.0
+
+    def test_repr(self, csr):
+        assert "n_edges=4" in repr(csr)

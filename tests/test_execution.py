@@ -1,0 +1,255 @@
+"""Tests for execution policies, atomics, the thread pool, and the
+asynchronous scheduler."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionPolicyError
+from repro.execution import (
+    AsyncScheduler,
+    AtomicArray,
+    ThreadPool,
+    bulk_max_relax,
+    bulk_min_relax,
+    get_pool,
+    par,
+    par_nosync,
+    par_vector,
+    resolve_policy,
+    seq,
+)
+from repro.execution.thread_pool import even_chunks
+
+
+class TestPolicies:
+    def test_unique_types(self):
+        types = {type(p) for p in (seq, par, par_nosync, par_vector)}
+        assert len(types) == 4
+
+    def test_synchronization_contracts(self):
+        assert seq.synchronous and not seq.parallel
+        assert par.synchronous and par.parallel
+        assert not par_nosync.synchronous and par_nosync.parallel
+        assert par_vector.synchronous and par_vector.parallel
+
+    def test_with_workers_preserves_type(self):
+        tuned = par.with_workers(3)
+        assert type(tuned) is type(par)
+        assert tuned.num_workers == 3
+        assert par.num_workers is None  # original untouched
+
+    def test_with_chunk_size_and_load_balance(self):
+        tuned = par.with_chunk_size(64).with_load_balance("edge")
+        assert tuned.chunk_size == 64
+        assert tuned.load_balance == "edge"
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ExecutionPolicyError):
+            par.with_workers(0)
+        with pytest.raises(ExecutionPolicyError):
+            par.with_chunk_size(0)
+        with pytest.raises(ExecutionPolicyError):
+            par.with_load_balance("magic")
+
+    def test_resolve_by_name(self):
+        assert resolve_policy("seq") is seq
+        assert resolve_policy("par_vector") is par_vector
+        assert resolve_policy(par) is par
+
+    def test_resolve_unknown_rejected(self):
+        with pytest.raises(ExecutionPolicyError):
+            resolve_policy("warp")
+        with pytest.raises(ExecutionPolicyError):
+            resolve_policy(42)
+
+    def test_repr_contains_name(self):
+        assert "par_nosync" in repr(par_nosync)
+
+
+class TestAtomicArray:
+    def test_min_at_returns_old(self):
+        a = AtomicArray(np.array([5.0, 2.0]))
+        assert a.min_at(0, 3.0) == 5.0
+        assert a.array[0] == 3.0
+        assert a.min_at(0, 9.0) == 3.0  # no change
+        assert a.array[0] == 3.0
+
+    def test_max_at(self):
+        a = AtomicArray(np.array([1.0]))
+        assert a.max_at(0, 5.0) == 1.0
+        assert a.array[0] == 5.0
+
+    def test_add_at(self):
+        a = AtomicArray(np.array([10.0]))
+        assert a.add_at(0, 2.5) == 10.0
+        assert a.array[0] == 12.5
+
+    def test_compare_exchange(self):
+        a = AtomicArray(np.array([7.0]))
+        ok, seen = a.compare_exchange(0, 7.0, 1.0)
+        assert ok and seen == 7.0
+        ok, seen = a.compare_exchange(0, 7.0, 2.0)
+        assert not ok and seen == 1.0
+
+    def test_load_store(self):
+        a = AtomicArray(np.zeros(3))
+        a.store(1, 4.0)
+        assert a.load(1) == 4.0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            AtomicArray(np.zeros((2, 2)))
+
+    def test_concurrent_min_is_linearizable(self):
+        """N threads racing atomic::min must leave the global minimum."""
+        values = np.full(8, 1e9)
+        a = AtomicArray(values, n_stripes=4)
+        rng = np.random.default_rng(0)
+        samples = rng.random((8, 200)) * 1000
+
+        def worker(tid):
+            for i in range(8):
+                for x in samples[i]:
+                    a.min_at(i, float(x))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert np.allclose(values, samples.min(axis=1))
+
+    def test_concurrent_add_conserves_total(self):
+        a = AtomicArray(np.zeros(1))
+
+        def worker():
+            for _ in range(1000):
+                a.add_at(0, 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert a.array[0] == 4000.0
+
+
+class TestBulkRelax:
+    def test_min_relax_improvement_mask(self):
+        vals = np.array([10.0, 10.0])
+        improved = bulk_min_relax(vals, np.array([0, 1]), np.array([5.0, 20.0]))
+        assert improved.tolist() == [True, False]
+        assert vals.tolist() == [5.0, 10.0]
+
+    def test_duplicate_indices_apply_sequentially(self):
+        vals = np.array([10.0])
+        improved = bulk_min_relax(
+            vals, np.array([0, 0]), np.array([7.0, 4.0])
+        )
+        # Both compare against the pre-batch value (GPU atomic semantics).
+        assert improved.tolist() == [True, True]
+        assert vals[0] == 4.0
+
+    def test_max_relax(self):
+        vals = np.array([1.0, 5.0])
+        raised = bulk_max_relax(vals, np.array([0, 1]), np.array([3.0, 2.0]))
+        assert raised.tolist() == [True, False]
+        assert vals.tolist() == [3.0, 5.0]
+
+    def test_empty_batch(self):
+        vals = np.array([1.0])
+        out = bulk_min_relax(vals, np.array([], dtype=int), np.array([]))
+        assert out.size == 0
+
+
+class TestThreadPool:
+    def test_even_chunks_cover_range(self):
+        chunks = even_chunks(10, 3)
+        assert chunks == [(0, 4), (4, 7), (7, 10)]
+        assert even_chunks(2, 5) == [(0, 1), (1, 2)]
+        assert even_chunks(0, 3) == []
+
+    def test_parallel_for_barrier_and_results(self):
+        pool = ThreadPool(4)
+        out = pool.parallel_for(1000, lambda s, e: sum(range(s, e)))
+        assert sum(out) == sum(range(1000))
+        pool.shutdown()
+
+    def test_parallel_for_exception_propagates(self):
+        pool = ThreadPool(2)
+
+        def boom(s, e):
+            raise ValueError("kaboom")
+
+        with pytest.raises(ValueError, match="kaboom"):
+            pool.parallel_for(10, boom)
+        pool.shutdown()
+
+    def test_run_tasks(self):
+        pool = get_pool(2)
+        assert pool.run_tasks([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_get_pool_caches(self):
+        assert get_pool(3) is get_pool(3)
+
+    def test_empty_work(self):
+        assert get_pool(2).parallel_for(0, lambda s, e: None) == []
+        assert get_pool(2).run_tasks([]) == []
+
+
+class TestAsyncScheduler:
+    def test_processes_all_spawned_work(self):
+        sched = AsyncScheduler(3)
+        seen = []
+        lock = threading.Lock()
+
+        def process(item, push):
+            with lock:
+                seen.append(item)
+            if item < 50:
+                push(item + 10)
+
+        total = sched.run(process, [0, 1, 2], 1000, timeout=10)
+        assert total == len(seen)
+        # 0,1,2 -> chains +10 until >= 50: 6 items per seed.
+        assert sorted(seen) == sorted(
+            s + 10 * k for s in (0, 1, 2) for k in range(6)
+        )
+
+    def test_empty_initial_returns_immediately(self):
+        sched = AsyncScheduler(2)
+        assert sched.run(lambda i, push: None, [], 10, timeout=5) == 0
+
+    def test_worker_exception_propagates(self):
+        sched = AsyncScheduler(2)
+
+        def process(item, push):
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            sched.run(process, [1], 10, timeout=5)
+
+    def test_no_barriers_between_items(self):
+        """Items spawned late must be processable while early items are
+        still in flight — i.e. makespan is bounded by the chain, not by
+        supersteps.  We verify the chain 0->1->...->9 completes even
+        though each item is only enqueued by its predecessor."""
+        sched = AsyncScheduler(2)
+        seen = []
+        lock = threading.Lock()
+
+        def process(item, push):
+            with lock:
+                seen.append(item)
+            if item < 9:
+                push(item + 1)
+
+        sched.run(process, [0], 100, timeout=10)
+        assert seen == list(range(10))
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ExecutionPolicyError):
+            AsyncScheduler(0)

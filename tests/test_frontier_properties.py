@@ -1,0 +1,99 @@
+"""Property-based tests: the frontier interface is uniform across
+representations — the §III-B design claim, verified by hypothesis.
+
+For any sequence of vertex insertions, every representation must agree
+on the *active set* (sparse preserves multiplicity, dense collapses it,
+queue preserves order — but the set of active ids is identical), and
+conversions must be lossless at set level.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontier import (
+    AsyncQueueFrontier,
+    DenseFrontier,
+    SparseFrontier,
+    convert,
+)
+
+CAPACITY = 64
+
+vertex_lists = st.lists(
+    st.integers(min_value=0, max_value=CAPACITY - 1), max_size=200
+)
+
+
+@given(vertex_lists)
+def test_active_set_agrees_across_representations(vertices):
+    sparse = SparseFrontier.from_indices(vertices, CAPACITY)
+    dense = DenseFrontier.from_indices(vertices, CAPACITY)
+    queue = AsyncQueueFrontier.from_indices(vertices, CAPACITY)
+    expected = sorted(set(vertices))
+    assert sorted(set(sparse.to_indices().tolist())) == expected
+    assert dense.to_indices().tolist() == expected
+    assert sorted(set(queue.to_indices().tolist())) == expected
+
+
+@given(vertex_lists)
+def test_sparse_preserves_multiplicity_and_order(vertices):
+    f = SparseFrontier.from_indices(vertices, CAPACITY)
+    assert f.to_indices().tolist() == vertices
+
+
+@given(vertex_lists)
+def test_queue_preserves_fifo_order(vertices):
+    f = AsyncQueueFrontier.from_indices(vertices, CAPACITY)
+    popped = [f.pop(timeout=0) for _ in range(len(vertices))]
+    assert popped == vertices
+    assert f.pop(timeout=0) is None
+
+
+@given(vertex_lists)
+def test_dense_size_is_cardinality(vertices):
+    f = DenseFrontier.from_indices(vertices, CAPACITY)
+    assert f.size() == len(set(vertices))
+    assert f.active_fraction() == len(set(vertices)) / CAPACITY
+
+
+@given(vertex_lists)
+def test_conversion_roundtrip_is_set_lossless(vertices):
+    sparse = SparseFrontier.from_indices(vertices, CAPACITY)
+    roundtrip = convert(convert(sparse, "dense"), "sparse")
+    assert set(roundtrip.to_indices().tolist()) == set(vertices)
+
+
+@given(vertex_lists)
+def test_membership_matches_all_representations(vertices):
+    sparse = SparseFrontier.from_indices(vertices, CAPACITY)
+    dense = DenseFrontier.from_indices(vertices, CAPACITY)
+    members = set(vertices)
+    for probe in range(0, CAPACITY, 7):
+        assert (probe in sparse) == (probe in members)
+        assert (probe in dense) == (probe in members)
+
+
+@given(vertex_lists, vertex_lists)
+def test_dense_union_matches_set_union(a, b):
+    fa = DenseFrontier.from_indices(a, CAPACITY)
+    fb = DenseFrontier.from_indices(b, CAPACITY)
+    fa.union_(fb)
+    assert set(fa.to_indices().tolist()) == set(a) | set(b)
+
+
+@given(vertex_lists, vertex_lists)
+def test_dense_difference_matches_set_difference(a, b):
+    fa = DenseFrontier.from_indices(a, CAPACITY)
+    fb = DenseFrontier.from_indices(b, CAPACITY)
+    fa.difference_(fb)
+    assert set(fa.to_indices().tolist()) == set(a) - set(b)
+
+
+@given(vertex_lists)
+@settings(max_examples=50)
+def test_uniquify_is_sorted_set(vertices):
+    f = SparseFrontier.from_indices(vertices, CAPACITY)
+    f.uniquify()
+    out = f.to_indices().tolist()
+    assert out == sorted(set(vertices))

@@ -1,0 +1,265 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    binary_tree,
+    bipartite_random,
+    chain,
+    complete,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    grid_2d,
+    kronecker,
+    rmat,
+    star,
+    torus_2d,
+    watts_strogatz,
+    with_random_weights,
+)
+from repro.graph.validate import validate_graph
+
+
+class TestErdosRenyi:
+    def test_gnp_deterministic(self):
+        a = erdos_renyi_gnp(100, 0.05, seed=1)
+        b = erdos_renyi_gnp(100, 0.05, seed=1)
+        assert a.n_edges == b.n_edges
+        assert np.array_equal(a.csr().column_indices, b.csr().column_indices)
+
+    def test_gnp_edge_count_near_expectation(self):
+        g = erdos_renyi_gnp(300, 0.05, seed=2)
+        expected = 300 * 299 * 0.05
+        assert abs(g.n_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_gnp_no_self_loops(self):
+        g = erdos_renyi_gnp(50, 0.5, seed=3)
+        coo = g.coo()
+        assert not np.any(coo.rows == coo.cols)
+
+    def test_gnp_dense_regime(self):
+        g = erdos_renyi_gnp(30, 0.9, seed=4)
+        assert g.n_edges > 0.8 * 30 * 29
+        validate_graph(g)
+
+    def test_gnp_p_zero_and_empty(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=0).n_edges == 0
+        assert erdos_renyi_gnp(0, 0.5, seed=0).n_vertices == 0
+
+    def test_gnp_undirected_symmetric(self):
+        g = erdos_renyi_gnp(60, 0.1, seed=5, directed=False)
+        coo = g.coo()
+        pairs = set(zip(coo.rows.tolist(), coo.cols.tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_gnm_exact_count(self):
+        g = erdos_renyi_gnm(100, 321, seed=6)
+        assert g.n_edges == 321
+
+    def test_gnm_undirected_exact_count(self):
+        g = erdos_renyi_gnm(100, 200, seed=7, directed=False)
+        assert g.n_edges == 400  # both arcs stored
+
+    def test_gnm_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            erdos_renyi_gnm(5, 100, seed=0)
+
+    def test_gnm_weighted(self):
+        g = erdos_renyi_gnm(50, 100, seed=8, weighted=True, weight_range=(2, 3))
+        vals = g.csr().values
+        assert np.all((vals >= 2) & (vals < 3))
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(10, 1.5)
+
+
+class TestRmat:
+    def test_vertex_count_power_of_two(self):
+        g = rmat(7, 4, seed=1)
+        assert g.n_vertices == 128
+
+    def test_deterministic(self):
+        a, b = rmat(8, 8, seed=9), rmat(8, 8, seed=9)
+        assert np.array_equal(a.csr().row_offsets, b.csr().row_offsets)
+
+    def test_degree_skew(self):
+        """R-MAT with Graph500 params must be much more skewed than ER."""
+        g = rmat(10, 16, seed=10)
+        er = erdos_renyi_gnm(1024, g.n_edges, seed=10)
+        assert g.out_degrees().max() > 3 * er.out_degrees().max()
+
+    def test_no_self_loops_after_clean(self):
+        coo = rmat(8, 8, seed=11).coo()
+        assert not np.any(coo.rows == coo.cols)
+
+    def test_dedup_makes_edges_unique(self):
+        coo = rmat(7, 16, seed=12).coo()
+        keys = coo.rows.astype(np.int64) * 128 + coo.cols
+        assert np.unique(keys).shape[0] == keys.shape[0]
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(4, 2, a=0.9, b=0.9, c=0.9)
+
+    def test_uniform_quadrants_approach_er(self):
+        g = rmat(9, 8, a=0.25, b=0.25, c=0.25, seed=13)
+        # With uniform quadrants the degree distribution is near-binomial:
+        # max degree stays within a small factor of the mean.
+        degs = g.out_degrees()
+        assert degs.max() <= degs.mean() * 4
+
+
+class TestKronecker:
+    def test_vertex_count(self):
+        g = kronecker([[0.9, 0.5], [0.5, 0.1]], 6, 2000, seed=1)
+        assert g.n_vertices == 64
+
+    def test_matches_rmat_family(self):
+        g = kronecker([[0.57, 0.19], [0.19, 0.05]], 8, 4096, seed=2)
+        assert g.n_edges > 0
+        validate_graph(g)
+
+    def test_3x3_initiator(self):
+        g = kronecker(np.ones((3, 3)), 4, 500, seed=3)
+        assert g.n_vertices == 81
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            kronecker(np.ones((2, 3)), 2, 10)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            kronecker([[-1, 1], [1, 1]], 2, 10)
+
+
+class TestWattsStrogatz:
+    def test_p_zero_is_ring(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        assert np.all(g.out_degrees() == 4)
+
+    def test_rewiring_changes_structure(self):
+        ring = watts_strogatz(100, 4, 0.0, seed=2)
+        rewired = watts_strogatz(100, 4, 1.0, seed=2)
+        assert not np.array_equal(
+            ring.csr().column_indices, rewired.csr().column_indices
+        )
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_k_ge_n_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1)
+
+    def test_no_self_loops(self):
+        coo = watts_strogatz(200, 6, 0.5, seed=3).coo()
+        assert not np.any(coo.rows == coo.cols)
+
+
+class TestBarabasiAlbert:
+    def test_hub_formation(self):
+        g = barabasi_albert(500, 3, seed=1)
+        degs = g.out_degrees()
+        assert degs.max() > 5 * degs.mean()
+
+    def test_edge_count(self):
+        g = barabasi_albert(100, 2, seed=2)
+        # (n - m) joins, m undirected edges each, both arcs stored.
+        assert g.n_edges == 2 * (100 - 2) * 2
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+
+
+class TestLattices:
+    def test_grid_degrees(self):
+        g = grid_2d(3, 4)
+        degs = g.out_degrees()
+        assert degs.min() == 2  # corners
+        assert degs.max() == 4  # interior
+        assert g.n_edges == 2 * (3 * 3 + 2 * 4)
+
+    def test_torus_uniform_degree(self):
+        g = torus_2d(5, 6)
+        assert np.all(g.out_degrees() == 4)
+
+    def test_grid_single_row(self):
+        g = grid_2d(1, 5)
+        assert g.n_edges == 2 * 4  # a path
+
+    def test_grid_weighted_symmetric(self):
+        g = grid_2d(4, 4, weighted=True, seed=1)
+        csr = g.csr()
+        for v in range(g.n_vertices):
+            for e in csr.get_edges(v):
+                u = csr.get_dest_vertex(e)
+                w = csr.get_edge_weight(e)
+                back = csr.get_neighbors(u).tolist().index(v)
+                w_back = csr.get_neighbor_weights(u)[back]
+                assert w == pytest.approx(w_back)
+
+
+class TestSyntheticShapes:
+    def test_star(self):
+        g = star(10)
+        assert g.n_vertices == 11
+        assert g.get_num_neighbors(0) == 10
+
+    def test_chain_weighted_closed_form(self):
+        g = chain(5, directed=True, weighted=True)
+        # dist(0 -> k) = 1 + 2 + ... + k
+        from repro.baselines import dijkstra
+
+        d = dijkstra(g, 0)
+        assert d[4] == pytest.approx(1 + 2 + 3 + 4)
+
+    def test_complete_degrees(self):
+        g = complete(6)
+        assert np.all(g.out_degrees() == 5)
+
+    def test_binary_tree_levels(self):
+        g = binary_tree(3)
+        assert g.n_vertices == 15
+        from repro.baselines import sequential_bfs
+
+        levels = sequential_bfs(g, 0)
+        counts = np.bincount(levels)
+        assert counts.tolist() == [1, 2, 4, 8]
+
+    def test_binary_tree_depth_zero(self):
+        g = binary_tree(0)
+        assert g.n_vertices == 1 and g.n_edges == 0
+
+    def test_bipartite_no_intra_side_edges(self):
+        g = bipartite_random(10, 12, 0.5, seed=1)
+        coo = g.coo()
+        left = coo.rows < 10
+        assert np.all(coo.cols[left] >= 10)
+        right = coo.rows >= 10
+        assert np.all(coo.cols[right] < 10)
+
+
+class TestWithRandomWeights:
+    def test_weights_in_range(self, small_grid):
+        g = with_random_weights(small_grid, low=2.0, high=5.0, seed=1)
+        vals = g.csr().values
+        assert np.all((vals >= 2.0) & (vals < 5.0))
+
+    def test_symmetric_for_undirected(self, small_grid):
+        g = with_random_weights(small_grid, seed=2)
+        csr = g.csr()
+        v0 = int(csr.get_neighbors(0)[0])
+        w_fwd = csr.get_neighbor_weights(0)[0]
+        idx = csr.get_neighbors(v0).tolist().index(0)
+        assert csr.get_neighbor_weights(v0)[idx] == pytest.approx(w_fwd)
+
+    def test_bad_range_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            with_random_weights(small_grid, low=5.0, high=2.0)

@@ -1,0 +1,90 @@
+"""Tests for the geolocation-inference application."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.geo import GeoResult, geolocate, haversine_km
+from repro.graph import from_edge_list
+from repro.graph.generators import chain, grid_2d, star
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(48.85, 2.35, 48.85, 2.35) == pytest.approx(0.0)
+
+    def test_known_pair(self):
+        # Paris -> London ≈ 344 km.
+        d = haversine_km(48.8566, 2.3522, 51.5074, -0.1278)
+        assert d == pytest.approx(344, abs=5)
+
+    def test_antipodal(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(np.pi * 6371.0, rel=1e-3)
+
+    def test_vectorized(self):
+        d = haversine_km(
+            np.zeros(3), np.zeros(3), np.zeros(3), np.array([0.0, 90.0, 180.0])
+        )
+        assert d.shape == (3,)
+        assert d[0] == 0.0 and d[1] < d[2]
+
+
+class TestGeolocate:
+    def test_single_seed_floods_component(self):
+        g = chain(6)
+        r = geolocate(g, [0], [10.0], [20.0])
+        assert r.coverage == 1.0
+        # Everyone inherits the only available position.
+        assert np.allclose(r.latitudes, 10.0)
+        assert np.allclose(r.longitudes, 20.0)
+
+    def test_interpolation_between_two_seeds(self):
+        g = chain(3)
+        r = geolocate(g, [0, 2], [0.0, 10.0], [0.0, 10.0])
+        # Middle vertex sees both located neighbors: spatial median of 2
+        # points lands between them.
+        assert 0.0 < r.latitudes[1] < 10.0
+
+    def test_star_hub_takes_median(self):
+        g = star(5)
+        # Leaves at known positions; the hub's median must be central.
+        seeds = [1, 2, 3, 4, 5]
+        lats = [0.0, 0.0, 0.0, 0.0, 40.0]  # one outlier
+        lons = [0.0, 0.0, 0.0, 0.0, 40.0]
+        r = geolocate(g, seeds, lats, lons)
+        # Geometric median resists the outlier (unlike the mean = 8.0).
+        assert r.latitudes[0] < 4.0
+
+    def test_unreachable_stay_unlocated(self, two_component_graph):
+        r = geolocate(two_component_graph, [0], [1.0], [1.0])
+        assert r.located[:3].all()
+        assert not r.located[3] and not r.located[4]
+        assert np.isnan(r.latitudes[3])
+        assert r.coverage == pytest.approx(3 / 5)
+
+    def test_seeds_never_move(self):
+        g = grid_2d(4, 4)
+        r = geolocate(g, [0, 15], [-30.0, 30.0], [-30.0, 30.0])
+        assert r.latitudes[0] == -30.0 and r.latitudes[15] == 30.0
+
+    def test_grid_positions_form_gradient(self):
+        """Seeds at opposite corners: inferred latitudes should increase
+        along the diagonal (smooth propagation, no wild jumps)."""
+        side = 6
+        g = grid_2d(side, side)
+        r = geolocate(g, [0, side * side - 1], [0.0, 10.0], [0.0, 10.0])
+        assert r.coverage == 1.0
+        assert r.latitudes[0] < r.latitudes[side * side - 1]
+
+    def test_validation(self):
+        g = chain(3)
+        with pytest.raises(ValueError, match="equal lengths"):
+            geolocate(g, [0, 1], [0.0], [0.0])
+        with pytest.raises(ValueError, match="seed vertex"):
+            geolocate(g, [9], [0.0], [0.0])
+
+    def test_iteration_stats(self):
+        g = chain(10)
+        r = geolocate(g, [0], [0.0], [0.0])
+        assert r.iterations >= 9  # one hop of coverage per round
+        assert r.stats.iterations[0].frontier_size == 1

@@ -1,0 +1,253 @@
+"""Tests for the multi-view Graph facade, builders, and validation."""
+
+import numpy as np
+import pytest
+
+import scipy.sparse as sp
+
+from repro.errors import GraphFormatError, GraphViewError
+from repro.graph import (
+    AdjacencyList,
+    Graph,
+    from_csr_arrays,
+    from_edge_array,
+    from_edge_list,
+    from_networkx,
+    from_scipy_sparse,
+    validate_csr,
+    validate_graph,
+)
+from repro.graph.csr import CSRMatrix
+
+
+class TestViews:
+    def test_lazy_view_derivation(self, diamond_graph):
+        g = diamond_graph
+        assert "csr" in g.materialized_views()
+        assert "csc" not in g.materialized_views()
+        g.csc()
+        assert "csc" in g.materialized_views()
+
+    def test_csc_is_transpose(self, diamond_graph):
+        validate_graph(diamond_graph)  # forces cross-view consistency check
+        diamond_graph.csc()
+        validate_graph(diamond_graph)
+
+    def test_coo_from_csr(self, diamond_graph):
+        coo = diamond_graph.coo()
+        pairs = set(zip(coo.rows.tolist(), coo.cols.tolist()))
+        assert pairs == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_unknown_view_rejected(self, diamond_graph):
+        with pytest.raises(GraphViewError, match="unknown view"):
+            diamond_graph.view("ell")
+
+    def test_empty_views_rejected(self):
+        with pytest.raises(GraphViewError):
+            Graph({})
+
+    def test_wrong_view_type_rejected(self):
+        csr = CSRMatrix(1, 1, np.array([0, 0]), np.array([]), np.array([]))
+        with pytest.raises(GraphViewError, match="must be a"):
+            Graph({"csc": csr})
+
+    def test_csr_derived_from_coo_only(self, diamond_graph):
+        coo = diamond_graph.coo()
+        g = Graph({"coo": coo})
+        assert g.csr().get_num_edges() == 4
+
+    def test_csr_derived_from_csc_only(self, diamond_graph):
+        csc = diamond_graph.csc()
+        g = Graph({"csc": csc})
+        assert g.get_neighbors(0).tolist() == [1, 2]
+
+
+class TestNativeGraphAPI:
+    def test_listing1_queries(self, diamond_graph):
+        g = diamond_graph
+        assert g.get_num_vertices() == 4
+        assert g.get_num_edges() == 4
+        e0 = list(g.get_edges(0))
+        assert len(e0) == 2
+        assert g.get_dest_vertex(e0[0]) == 1
+        assert g.get_edge_weight(e0[0]) == 1.0
+
+    def test_degrees(self, diamond_graph):
+        assert diamond_graph.out_degrees().tolist() == [2, 1, 1, 0]
+        assert diamond_graph.in_degrees().tolist() == [0, 1, 1, 2]
+
+    def test_in_neighbors(self, diamond_graph):
+        assert sorted(diamond_graph.get_in_neighbors(3).tolist()) == [1, 2]
+
+    def test_has_edge(self, diamond_graph):
+        assert diamond_graph.has_edge(0, 2)
+        assert not diamond_graph.has_edge(2, 0)
+
+    def test_memory_footprint_positive(self, diamond_graph):
+        diamond_graph.csc()
+        fp = diamond_graph.memory_footprint()
+        assert fp["csr"] > 0 and fp["csc"] > 0
+
+
+class TestDerivedGraphs:
+    def test_reverse(self, diamond_graph):
+        r = diamond_graph.reverse()
+        assert r.has_edge(3, 1) and r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+        assert r.n_edges == diamond_graph.n_edges
+
+    def test_with_sorted_neighbors_idempotent(self, small_rmat):
+        s1 = small_rmat.with_sorted_neighbors()
+        assert s1.properties.sorted_neighbors
+        assert s1.with_sorted_neighbors() is s1
+        for v in range(0, s1.n_vertices, 37):
+            nbrs = s1.get_neighbors(v)
+            assert np.all(np.diff(nbrs) >= 0)
+
+    def test_induced_subgraph(self, diamond_graph):
+        sub, ids = diamond_graph.induced_subgraph(np.array([0, 1, 3]))
+        assert ids.tolist() == [0, 1, 3]
+        assert sub.n_vertices == 3
+        # Edges 0->1 and 1->3 survive (relabeled), 0->2 and 2->3 drop.
+        assert sub.n_edges == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+
+class TestBuilders:
+    def test_from_edge_array_infers_n(self):
+        g = from_edge_array([0, 5], [5, 0])
+        assert g.n_vertices == 6
+
+    def test_from_edge_array_unit_weights(self):
+        g = from_edge_array([0], [1])
+        assert not g.properties.weighted
+        assert g.get_edge_weight(0) == 1.0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array([0, 1], [1])
+        with pytest.raises(GraphFormatError):
+            from_edge_array([0], [1], [1.0, 2.0])
+
+    def test_undirected_materializes_both_arcs(self):
+        g = from_edge_array([0], [1], [3.0], directed=False)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.n_edges == 2
+
+    def test_undirected_dedups_double_listed(self):
+        g = from_edge_array([0, 1], [1, 0], [3.0, 3.0], directed=False)
+        assert g.n_edges == 2
+
+    def test_remove_self_loops(self):
+        g = from_edge_array([0, 1], [0, 0], remove_self_loops=True)
+        assert g.n_edges == 1
+        assert not g.properties.has_self_loops
+
+    def test_deduplicate_min_combine(self):
+        g = from_edge_array(
+            [0, 0], [1, 1], [5.0, 2.0], deduplicate=True, combine="min"
+        )
+        assert g.n_edges == 1
+        assert g.get_edge_weight(0) == 2.0
+
+    def test_from_edge_list_mixed_arity(self):
+        g = from_edge_list([(0, 1), (1, 2, 7.0)])
+        assert g.properties.weighted
+        assert g.get_edge_weight(list(g.get_edges(0))[0]) == 1.0
+
+    def test_from_edge_list_bad_arity(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_list([(0, 1, 2.0, 3.0)])
+
+    def test_from_csr_arrays(self):
+        g = from_csr_arrays([0, 1, 2], [1, 0])
+        assert g.n_vertices == 2
+        assert g.has_edge(0, 1)
+
+    def test_from_scipy_sparse(self):
+        m = sp.csr_matrix(np.array([[0, 2.0], [0, 0]]))
+        g = from_scipy_sparse(m)
+        assert g.n_edges == 1
+        assert g.get_edge_weight(0) == 2.0
+
+    def test_from_scipy_rejects_nonsquare(self):
+        with pytest.raises(GraphFormatError):
+            from_scipy_sparse(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_from_networkx_directed(self):
+        import networkx as nx
+
+        G = nx.DiGraph()
+        G.add_weighted_edges_from([("a", "b", 2.0), ("b", "c", 3.0)])
+        g = from_networkx(G)
+        assert g.n_vertices == 3
+        assert g.properties.directed
+        assert g.properties.weighted
+
+    def test_from_networkx_undirected_symmetrizes(self):
+        import networkx as nx
+
+        G = nx.Graph()
+        G.add_edge(0, 1)
+        g = from_networkx(G)
+        assert g.n_edges == 2
+        assert not g.properties.directed
+
+
+class TestAdjacencyList:
+    def test_build_and_convert(self):
+        adj = AdjacencyList(3)
+        adj.add_edge(0, 1, 2.0)
+        adj.add_undirected_edge(1, 2, 5.0)
+        assert adj.get_num_edges() == 3
+        assert adj.has_edge(2, 1)
+        ro, ci, vals = adj.to_csr_arrays()
+        g = from_csr_arrays(ro, ci, vals)
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_out_of_range_rejected(self):
+        adj = AdjacencyList(2)
+        with pytest.raises(GraphFormatError):
+            adj.add_edge(0, 2)
+
+    def test_iter_edges(self):
+        adj = AdjacencyList(2)
+        adj.add_edges([(0, 1, 1.0), (1, 0, 2.0)])
+        assert list(adj.iter_edges()) == [(0, 1, 1.0), (1, 0, 2.0)]
+
+    def test_self_loop_undirected_added_once(self):
+        adj = AdjacencyList(1)
+        adj.add_undirected_edge(0, 0)
+        assert adj.get_num_edges() == 1
+
+
+class TestValidation:
+    def test_validate_good_graph(self, small_rmat):
+        small_rmat.csc()
+        validate_graph(small_rmat)
+
+    def test_validate_detects_bad_columns(self):
+        csr = CSRMatrix(2, 2, np.array([0, 1, 2]), np.array([0, 1]), np.ones(2))
+        csr.column_indices[0] = 5  # corrupt after construction
+        with pytest.raises(GraphFormatError, match="column indices"):
+            validate_csr(csr)
+
+    def test_validate_detects_decreasing_offsets(self):
+        csr = CSRMatrix(2, 2, np.array([0, 2, 2]), np.array([0, 1]), np.ones(2))
+        csr.row_offsets[1] = 3
+        csr.row_offsets[2] = 2
+        with pytest.raises(GraphFormatError, match="decreases"):
+            validate_csr(csr)
+
+    def test_validate_detects_nonfinite_weights(self):
+        csr = CSRMatrix(2, 2, np.array([0, 1, 2]), np.array([0, 1]), np.ones(2))
+        csr.values[0] = np.nan
+        with pytest.raises(GraphFormatError, match="finite"):
+            validate_csr(csr)
+
+    def test_cross_view_mismatch_detected(self, diamond_graph):
+        diamond_graph.csc()
+        # Corrupt the CSC weights so the views disagree.
+        diamond_graph.view("csc").values[0] += 1.0
+        with pytest.raises(GraphFormatError, match="transpose"):
+            validate_graph(diamond_graph)

@@ -1,0 +1,189 @@
+"""Tests for graph file I/O: edge lists, Matrix Market, DIMACS, npz."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphIOError
+from repro.graph.generators import grid_2d, rmat
+from repro.graph.io import (
+    load_graph_npz,
+    read_dimacs,
+    read_edgelist,
+    read_matrix_market,
+    save_graph_npz,
+    write_dimacs,
+    write_edgelist,
+    write_matrix_market,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_weighted(self, tmp_path, small_rmat):
+        path = tmp_path / "g.txt"
+        write_edgelist(small_rmat, path)
+        g = read_edgelist(path, n_vertices=small_rmat.n_vertices)
+        assert g.n_edges == small_rmat.n_edges
+        a, b = small_rmat.coo(), g.coo()
+        oa = np.lexsort((a.cols, a.rows))
+        ob = np.lexsort((b.cols, b.rows))
+        assert np.array_equal(a.rows[oa], b.rows[ob])
+        assert np.allclose(np.sort(a.vals), np.sort(b.vals), rtol=1e-5)
+
+    def test_parse_comments_and_unweighted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n% alt comment\n0 1\n1 2\n\n")
+        g = read_edgelist(path)
+        assert g.n_edges == 2
+        assert not g.properties.weighted
+
+    def test_parse_weighted_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.5\n")
+        g = read_edgelist(path)
+        assert g.properties.weighted
+        assert g.get_edge_weight(0) == 2.5
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nbroken\n")
+        with pytest.raises(GraphIOError, match=":2"):
+            read_edgelist(path)
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 -1\n")
+        with pytest.raises(GraphIOError, match="non-negative"):
+            read_edgelist(path)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, small_rmat):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(small_rmat, path)
+        g = read_matrix_market(path)
+        assert g.n_vertices == small_rmat.n_vertices
+        assert g.n_edges == small_rmat.n_edges
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 2 7.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.n_edges == 4  # both directions
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "1 2\n"
+        )
+        g = read_matrix_market(path)
+        assert not g.properties.weighted
+        assert g.get_edge_weight(0) == 1.0
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(GraphIOError, match="header"):
+            read_matrix_market(path)
+
+    def test_nonsquare_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 3 0\n"
+        )
+        with pytest.raises(GraphIOError, match="square"):
+            read_matrix_market(path)
+
+    def test_wrong_entry_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n"
+        )
+        with pytest.raises(GraphIOError, match="declared 2"):
+            read_matrix_market(path)
+
+    def test_unsupported_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        )
+        with pytest.raises(GraphIOError, match="field"):
+            read_matrix_market(path)
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path, weighted_grid):
+        path = tmp_path / "g.gr"
+        write_dimacs(weighted_grid, path)
+        g = read_dimacs(path)
+        assert g.n_vertices == weighted_grid.n_vertices
+        assert g.n_edges == weighted_grid.n_edges
+        # Shortest paths agree — the property DIMACS files exist for.
+        from repro.baselines import dijkstra
+
+        assert np.allclose(dijkstra(g, 0), dijkstra(weighted_grid, 0), atol=1e-4)
+
+    def test_parse_minimal(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c comment\np sp 3 2\na 1 2 5\na 2 3 7\n")
+        g = read_dimacs(path)
+        assert g.n_vertices == 3
+        assert g.get_edge_weight(0) == 5.0
+
+    def test_arc_before_problem_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 5\n")
+        with pytest.raises(GraphIOError, match="before problem"):
+            read_dimacs(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 3 5\na 1 2 5\n")
+        with pytest.raises(GraphIOError, match="declares 5"):
+            read_dimacs(path)
+
+    def test_out_of_range_vertex_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\na 1 9 5\n")
+        with pytest.raises(GraphIOError, match="out of"):
+            read_dimacs(path)
+
+    def test_no_problem_line_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c only comments\n")
+        with pytest.raises(GraphIOError, match="no problem line"):
+            read_dimacs(path)
+
+
+class TestBinarySnapshot:
+    def test_roundtrip_exact(self, tmp_path, small_rmat):
+        path = tmp_path / "g.npz"
+        save_graph_npz(small_rmat, path)
+        g = load_graph_npz(path)
+        assert np.array_equal(g.csr().row_offsets, small_rmat.csr().row_offsets)
+        assert np.array_equal(
+            g.csr().column_indices, small_rmat.csr().column_indices
+        )
+        assert np.array_equal(g.csr().values, small_rmat.csr().values)
+        assert g.properties == small_rmat.properties
+
+    def test_properties_preserved(self, tmp_path):
+        g0 = grid_2d(3, 3).with_sorted_neighbors()
+        path = tmp_path / "g.npz"
+        save_graph_npz(g0, path)
+        g = load_graph_npz(path)
+        assert g.properties.sorted_neighbors
+        assert not g.properties.directed
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, unrelated=np.ones(3))
+        with pytest.raises(GraphIOError):
+            load_graph_npz(path)

@@ -1,0 +1,94 @@
+"""Property-based I/O tests: every text format round-trips arbitrary
+graphs losslessly (hypothesis fuzz over edge lists)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edge_array
+from repro.graph.io import (
+    load_graph_npz,
+    read_dimacs,
+    read_edgelist,
+    read_matrix_market,
+    save_graph_npz,
+    write_dimacs,
+    write_edgelist,
+    write_matrix_market,
+)
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+N = 12
+
+
+@st.composite
+def graphs(draw):
+    n_edges = draw(st.integers(0, 40))
+    srcs = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    dsts = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    # Weights that survive a %g text round-trip exactly enough.
+    weights = draw(
+        st.lists(
+            st.integers(1, 1000).map(lambda x: x / 4.0),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(weights, dtype=WEIGHT_DTYPE),
+        n_vertices=N,
+        directed=True,
+        deduplicate=True,
+    )
+
+
+def edge_multiset(graph):
+    coo = graph.coo()
+    return sorted(
+        zip(coo.rows.tolist(), coo.cols.tolist(), np.round(coo.vals, 4).tolist())
+    )
+
+
+SUPPRESS = [HealthCheck.function_scoped_fixture]
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+def test_edgelist_roundtrip(tmp_path, g):
+    path = tmp_path / "g.txt"
+    write_edgelist(g, path)
+    back = read_edgelist(path, n_vertices=N)
+    assert edge_multiset(back) == edge_multiset(g)
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+def test_matrix_market_roundtrip(tmp_path, g):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(g, path)
+    back = read_matrix_market(path)
+    assert back.n_vertices == N
+    assert edge_multiset(back) == edge_multiset(g)
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+def test_dimacs_roundtrip(tmp_path, g):
+    path = tmp_path / "g.gr"
+    write_dimacs(g, path)
+    back = read_dimacs(path)
+    assert edge_multiset(back) == edge_multiset(g)
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+def test_npz_roundtrip_bit_exact(tmp_path, g):
+    path = tmp_path / "g.npz"
+    save_graph_npz(g, path)
+    back = load_graph_npz(path)
+    assert np.array_equal(back.csr().row_offsets, g.csr().row_offsets)
+    assert np.array_equal(back.csr().column_indices, g.csr().column_indices)
+    assert np.array_equal(back.csr().values, g.csr().values)

@@ -1,0 +1,146 @@
+"""Property-based operator tests (hypothesis): the operator contracts
+over arbitrary small graphs and frontiers.
+
+Complements the example-based operator tests with the general laws:
+advance output == brute-force edge filter, filter == Python filter,
+uniquify == set, reduce == NumPy reduce, policy invariance throughout.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontier import DenseFrontier, SparseFrontier
+from repro.graph import from_edge_array
+from repro.operators import (
+    filter_frontier,
+    neighbors_expand,
+    reduce_values,
+    uniquify,
+)
+from repro.operators.advance import expand_to_edges
+from repro.execution import par, par_vector, seq
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+N = 16
+
+
+@st.composite
+def graph_and_frontier(draw):
+    n_edges = draw(st.integers(0, 50))
+    srcs = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    dsts = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    weights = draw(
+        st.lists(
+            st.floats(0.5, 9.5, allow_nan=False),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    graph = from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(weights, dtype=WEIGHT_DTYPE),
+        n_vertices=N,
+        directed=True,
+    )
+    frontier_ids = draw(st.lists(st.integers(0, N - 1), max_size=20))
+    return graph, frontier_ids
+
+
+def brute_force_expand(graph, frontier_ids, threshold):
+    """Reference semantics: per-edge loop over the frontier."""
+    csr = graph.csr()
+    out = []
+    for v in frontier_ids:
+        for e in csr.get_edges(int(v)):
+            if csr.get_edge_weight(e) < threshold:
+                out.append(csr.get_dest_vertex(e))
+    return sorted(out)
+
+
+@given(graph_and_frontier(), st.floats(0.0, 10.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_advance_matches_brute_force(gf, threshold):
+    graph, frontier_ids = gf
+    # Weights are stored float32; route the threshold through float32 so
+    # the scalar (float64) and bulk (float32) comparisons agree at
+    # rounding boundaries (see operators/conditions.py precision note).
+    threshold = float(np.float32(threshold))
+    f = SparseFrontier.from_indices(frontier_ids, N)
+    out = neighbors_expand(
+        par_vector, graph, f, lambda s, d, e, w: w < threshold
+    )
+    assert sorted(out.to_indices().tolist()) == brute_force_expand(
+        graph, frontier_ids, threshold
+    )
+
+
+@given(graph_and_frontier(), st.floats(0.0, 10.0, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_advance_policy_invariance(gf, threshold):
+    graph, frontier_ids = gf
+    threshold = float(np.float32(threshold))  # float32-exact (see above)
+    f = SparseFrontier.from_indices(frontier_ids, N)
+    cond = lambda s, d, e, w: w < threshold
+    results = [
+        sorted(neighbors_expand(p, graph, f, cond).to_indices().tolist())
+        for p in (seq, par, par_vector)
+    ]
+    assert results[0] == results[1] == results[2]
+
+
+@given(graph_and_frontier())
+@settings(max_examples=40, deadline=None)
+def test_edge_expand_resolves_consistently(gf):
+    graph, frontier_ids = gf
+    f = SparseFrontier.from_indices(frontier_ids, N)
+    ef = expand_to_edges(par_vector, graph, f, lambda *a: True)
+    srcs, dsts, _ = ef.resolve(graph)
+    vertex_out = neighbors_expand(par_vector, graph, f, lambda *a: True)
+    assert sorted(dsts.tolist()) == sorted(vertex_out.to_indices().tolist())
+    # Every resolved source must be in the input frontier.
+    assert set(srcs.tolist()) <= set(int(v) for v in frontier_ids)
+
+
+@given(st.lists(st.integers(0, N - 1), max_size=30), st.integers(0, N))
+@settings(max_examples=60, deadline=None)
+def test_filter_matches_python_filter(ids, pivot):
+    f = SparseFrontier.from_indices(ids, N)
+    out = filter_frontier(par_vector, f, lambda v: v < pivot)
+    assert out.to_indices().tolist() == [v for v in ids if v < pivot]
+
+
+@given(st.lists(st.integers(0, N - 1), max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_uniquify_strategies_agree(ids):
+    f = SparseFrontier.from_indices(ids, N)
+    a = uniquify(seq, f, strategy="sort").to_indices().tolist()
+    b = uniquify(seq, f, strategy="bitmap").to_indices().tolist()
+    assert a == b == sorted(set(ids))
+
+
+@given(
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50),
+    st.sampled_from(["sum", "min", "max"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_reduce_matches_numpy(values, op):
+    arr = np.asarray(values)
+    got = reduce_values(par, arr, op=op)
+    ref = {"sum": arr.sum(), "min": arr.min(), "max": arr.max()}[op]
+    assert got == np.float64(ref) or abs(got - ref) < 1e-9 * max(1, abs(ref))
+
+
+@given(graph_and_frontier())
+@settings(max_examples=40, deadline=None)
+def test_dense_output_is_unique_destinations(gf):
+    graph, frontier_ids = gf
+    f = SparseFrontier.from_indices(frontier_ids, N)
+    dense = neighbors_expand(
+        par_vector, graph, f, lambda *a: True, output_representation="dense"
+    )
+    sparse = neighbors_expand(par_vector, graph, f, lambda *a: True)
+    assert dense.to_indices().tolist() == sorted(
+        set(sparse.to_indices().tolist())
+    )

@@ -1,0 +1,100 @@
+"""Property-based partitioning tests (hypothesis).
+
+The laws every partitioner must satisfy on arbitrary graphs: valid part
+ids, full coverage, determinism under a fixed seed, metric sanity
+(cut bounded by edge count, single part cuts nothing, balance ≥ 1).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edge_array
+from repro.partition import (
+    PartitionAssignment,
+    communication_volume,
+    contiguous_partition,
+    edge_cut,
+    fennel_partition,
+    ldg_partition,
+    load_balance,
+    metis_like_partition,
+    random_partition,
+    round_robin_partition,
+)
+from repro.types import VERTEX_DTYPE
+
+N = 20
+
+PARTITIONERS = [
+    lambda g, k: random_partition(g, k, seed=0),
+    contiguous_partition,
+    round_robin_partition,
+    lambda g, k: ldg_partition(g, k, seed=0),
+    lambda g, k: fennel_partition(g, k, seed=0),
+    lambda g, k: metis_like_partition(g, k, seed=0),
+]
+
+
+@st.composite
+def graphs(draw):
+    n_edges = draw(st.integers(0, 60))
+    srcs = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    dsts = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        None,
+        n_vertices=N,
+        directed=False,
+        remove_self_loops=True,
+        deduplicate=True,
+    )
+
+
+@given(graphs(), st.integers(1, 6), st.integers(0, len(PARTITIONERS) - 1))
+@settings(max_examples=40, deadline=None)
+def test_partition_is_valid_and_total(g, k, which):
+    p = PARTITIONERS[which](g, k)
+    assert p.n_vertices == N
+    assert p.n_parts == k
+    assert int(p.assignment.min(initial=0)) >= 0
+    assert int(p.assignment.max(initial=0)) < k
+    # Coverage: every vertex appears in exactly one part.
+    assert sum(p.vertices_of(i).shape[0] for i in range(k)) == N
+
+
+@given(graphs(), st.integers(1, 6), st.integers(0, len(PARTITIONERS) - 1))
+@settings(max_examples=40, deadline=None)
+def test_metric_sanity(g, k, which):
+    p = PARTITIONERS[which](g, k)
+    cut = edge_cut(g, p)
+    assert 0 <= cut <= g.n_edges
+    assert load_balance(p) >= 1.0 - 1e-12
+    assert 0 <= communication_volume(g, p) <= g.n_edges
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_single_part_cuts_nothing(g):
+    p = PartitionAssignment(np.zeros(N, dtype=np.int64), 1)
+    assert edge_cut(g, p) == 0
+    assert communication_volume(g, p) == 0
+
+
+@given(graphs(), st.integers(2, 5))
+@settings(max_examples=30, deadline=None)
+def test_deterministic_given_seed(g, k):
+    for fn in (random_partition, ldg_partition, metis_like_partition):
+        a = fn(g, k, seed=7)
+        b = fn(g, k, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+
+@given(graphs(), st.integers(2, 5))
+@settings(max_examples=30, deadline=None)
+def test_cut_counts_both_arcs_symmetrically(g, k):
+    """Undirected storage: the cut over (u,v) arcs equals the cut over
+    (v,u) arcs, so edge_cut is even."""
+    p = random_partition(g, k, seed=1)
+    assert edge_cut(g, p) % 2 == 0

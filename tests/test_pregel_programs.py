@@ -1,0 +1,108 @@
+"""Tests for the Pregel-model algorithm ports."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pagerank, sssp
+from repro.algorithms.pregel_programs import (
+    ComponentsProgram,
+    MaxValueProgram,
+    PageRankProgram,
+    SSSPProgram,
+    pregel_components,
+    pregel_pagerank,
+    pregel_sssp,
+)
+from repro.baselines import dijkstra, union_find_components
+from repro.comm.pregel import PregelEngine
+from repro.graph.generators import (
+    chain,
+    erdos_renyi_gnp,
+    grid_2d,
+    watts_strogatz,
+)
+from repro.types import INF
+
+
+class TestMaxValueProgram:
+    """The Pregel paper's own introductory example."""
+
+    def test_floods_maximum(self):
+        g = chain(12)
+        engine = PregelEngine(g)
+        values = engine.run(MaxValueProgram(), np.arange(12, dtype=float))
+        assert np.all(values == 11.0)
+
+    def test_supersteps_track_distance_to_max(self):
+        # Max at one end of a chain: needs ~n supersteps to reach the other.
+        g = chain(12)
+        engine = PregelEngine(g)
+        engine.run(MaxValueProgram(), np.arange(12, dtype=float))
+        assert engine.stats.supersteps >= 11
+
+
+class TestSSSPProgram:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: grid_2d(8, 8, weighted=True, seed=1),
+            lambda: watts_strogatz(100, 6, 0.1, seed=2),
+        ],
+        ids=["grid", "ws"],
+    )
+    def test_matches_dijkstra(self, make_graph):
+        g = make_graph()
+        out = pregel_sssp(g, 0)
+        ref = dijkstra(g, 0)
+        finite = ref < 1e37
+        assert np.allclose(out[finite], ref[finite], atol=1e-3)
+        assert np.all(out[~finite] >= 1e37)
+
+    def test_matches_operator_sssp(self, weighted_grid):
+        a = sssp(weighted_grid, 0).distances
+        b = pregel_sssp(weighted_grid, 0)
+        finite = a < INF
+        assert np.allclose(a[finite], b[finite], atol=1e-3)
+
+    def test_unreachable_stays_inf(self, two_component_graph):
+        out = pregel_sssp(two_component_graph, 0)
+        assert out[4] >= float(INF)
+
+
+class TestPageRankProgram:
+    def test_matches_operator_pagerank_fixed_rounds(self):
+        g = erdos_renyi_gnp(60, 0.08, seed=3)  # unweighted
+        ours = pagerank(g, tolerance=0.0, max_iterations=30).ranks
+        theirs = pregel_pagerank(g, rounds=30)
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_ranks_are_distribution(self):
+        g = erdos_renyi_gnp(60, 0.08, seed=4)
+        out = pregel_pagerank(g, rounds=20)
+        assert out.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_round_budget_respected(self):
+        g = chain(10)
+        engine = PregelEngine(g)
+        engine.run(PageRankProgram(10, rounds=7), np.full(10, 0.1))
+        # rounds supersteps of sending + one halt round (+ message drain).
+        assert engine.stats.supersteps <= 9
+
+
+class TestComponentsProgram:
+    def test_matches_union_find(self):
+        g = watts_strogatz(120, 4, 0.02, seed=5)
+        labels = pregel_components(g)
+        assert np.array_equal(labels, union_find_components(g))
+
+    def test_disconnected(self, two_component_graph):
+        labels = pregel_components(two_component_graph)
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == 3
+
+    def test_partitioned_invariant(self):
+        g = watts_strogatz(80, 4, 0.05, seed=6)
+        single = pregel_components(g)
+        owner = np.arange(80) % 4
+        multi = pregel_components(g, owner_of=owner)
+        assert np.array_equal(single, multi)

@@ -1,0 +1,187 @@
+"""Tests for the priority enactor, bucketed SSSP, and METIS .graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, GraphIOError
+from repro.baselines import dijkstra
+from repro.frontier.bucketed import BucketedFrontier
+from repro.graph.generators import grid_2d, rmat, watts_strogatz
+from repro.graph.io import read_metis_graph, write_metis_graph
+from repro.loop import PriorityEnactor, sssp_bucketed
+
+
+class TestPriorityEnactor:
+    def test_drains_all_buckets_in_order(self, small_grid):
+        seen_buckets = []
+        frontier = BucketedFrontier.from_priorities(
+            [0, 1, 2], [0.0, 5.0, 10.0], small_grid.n_vertices, delta=2.0
+        )
+
+        def step(ids, bucket):
+            seen_buckets.append((bucket, sorted(ids.tolist())))
+            return np.empty(0, dtype=np.int64), np.empty(0)
+
+        enactor = PriorityEnactor(small_grid)
+        stats = enactor.run(frontier, step)
+        assert stats.converged
+        assert seen_buckets == [(0, [0]), (2, [1]), (5, [2])]
+
+    def test_same_bucket_reactivation_loops(self, small_grid):
+        """A step that re-activates into the current bucket must be
+        reprocessed before the bucket rotates."""
+        calls = []
+        frontier = BucketedFrontier.from_priorities(
+            [0], [0.0], small_grid.n_vertices, delta=1.0
+        )
+
+        def step(ids, bucket):
+            calls.append(ids.tolist())
+            if len(calls) == 1:
+                return np.asarray([1]), np.asarray([0.5])  # same bucket
+            return np.empty(0, dtype=np.int64), np.empty(0)
+
+        PriorityEnactor(small_grid).run(frontier, step)
+        assert calls == [[0], [1]]
+
+    def test_divergence_guard(self, small_grid):
+        frontier = BucketedFrontier.from_priorities(
+            [0], [0.0], small_grid.n_vertices, delta=1.0
+        )
+
+        def step(ids, bucket):
+            # Always push work one bucket ahead: never exhausts.
+            return np.asarray([0]), np.asarray([(bucket + 1) * 1.0])
+
+        enactor = PriorityEnactor(small_grid, max_buckets=10)
+        with pytest.raises(ConvergenceError):
+            enactor.run(frontier, step)
+
+    def test_stats_record_processed_counts(self, small_grid):
+        frontier = BucketedFrontier.from_priorities(
+            [0, 1], [0.0, 0.0], small_grid.n_vertices, delta=1.0
+        )
+        enactor = PriorityEnactor(small_grid)
+        stats = enactor.run(
+            frontier,
+            lambda ids, b: (np.empty(0, dtype=np.int64), np.empty(0)),
+        )
+        assert stats.iterations[0].frontier_size == 2
+
+
+class TestBucketedSSSP:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: grid_2d(10, 10, weighted=True, seed=1),
+            lambda: rmat(8, 8, weighted=True, seed=2),
+        ],
+        ids=["grid", "rmat"],
+    )
+    def test_matches_dijkstra(self, make_graph):
+        g = make_graph()
+        r = sssp_bucketed(g, 0)
+        ref = dijkstra(g, 0)
+        finite = ref < 1e37
+        assert np.allclose(r.distances[finite], ref[finite], atol=1e-2)
+
+    @pytest.mark.parametrize("delta", [0.5, 3.0, 1000.0])
+    def test_any_delta_correct(self, weighted_grid, delta):
+        r = sssp_bucketed(weighted_grid, 0, delta=delta)
+        assert np.allclose(
+            r.distances, dijkstra(weighted_grid, 0), atol=1e-2
+        )
+
+    def test_agrees_with_specialized_delta_stepping(self, weighted_grid):
+        from repro.algorithms import sssp_delta_stepping
+
+        a = sssp_bucketed(weighted_grid, 0, delta=2.0).distances
+        b = sssp_delta_stepping(weighted_grid, 0, delta=2.0).distances
+        assert np.allclose(a, b, atol=1e-3)
+
+    def test_invalid_delta(self, weighted_grid):
+        with pytest.raises(ValueError):
+            sssp_bucketed(weighted_grid, 0, delta=0)
+
+
+class TestMetisGraphIO:
+    def test_roundtrip_unweighted(self, tmp_path, small_grid):
+        path = tmp_path / "g.graph"
+        write_metis_graph(small_grid, path)
+        g = read_metis_graph(path)
+        assert g.n_vertices == small_grid.n_vertices
+        assert g.n_edges == small_grid.n_edges
+        assert not g.properties.weighted
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_grid):
+        path = tmp_path / "g.graph"
+        write_metis_graph(weighted_grid, path)
+        g = read_metis_graph(path)
+        assert g.properties.weighted
+        from repro.baselines import dijkstra as dj
+
+        assert np.allclose(dj(g, 0), dj(weighted_grid, 0), atol=1e-4)
+
+    def test_parse_reference_example(self, tmp_path):
+        """The 7-vertex example graph from the METIS manual."""
+        path = tmp_path / "manual.graph"
+        path.write_text(
+            "% the METIS manual's unweighted example\n"
+            "7 11\n"
+            "5 3 2\n"
+            "1 3 4\n"
+            "5 4 2 1\n"
+            "2 3 6 7\n"
+            "1 3 6\n"
+            "5 4 7\n"
+            "6 4\n"
+        )
+        g = read_metis_graph(path)
+        assert g.n_vertices == 7
+        assert g.n_edges == 22  # 11 undirected edges, both arcs
+        assert g.has_edge(0, 4) and g.has_edge(4, 0)
+
+    def test_isolated_trailing_vertex(self, tmp_path):
+        path = tmp_path / "iso.graph"
+        path.write_text("3 1\n2\n1\n")
+        g = read_metis_graph(path)
+        assert g.n_vertices == 3
+        assert g.out_degrees().tolist() == [1, 1, 0]
+
+    def test_directed_write_rejected(self, tmp_path, small_rmat):
+        with pytest.raises(GraphIOError, match="undirected"):
+            write_metis_graph(small_rmat, tmp_path / "x.graph")
+
+    def test_vertex_weights_rejected(self, tmp_path):
+        path = tmp_path / "vw.graph"
+        path.write_text("2 1 011\n1 2 1\n1 1 1\n")
+        with pytest.raises(GraphIOError, match="not supported"):
+            read_metis_graph(path)
+
+    def test_arc_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphIOError, match="declares"):
+            read_metis_graph(path)
+
+    def test_out_of_range_neighbor_rejected(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 1\n3\n1\n")
+        with pytest.raises(GraphIOError, match="out of range"):
+            read_metis_graph(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(GraphIOError, match="empty"):
+            read_metis_graph(path)
+
+    def test_partitioner_consumes_metis_file(self, tmp_path, small_grid):
+        """End-to-end: write METIS format, read back, partition."""
+        from repro.partition import edge_cut, metis_like_partition
+
+        path = tmp_path / "g.graph"
+        write_metis_graph(small_grid, path)
+        g = read_metis_graph(path)
+        p = metis_like_partition(g, 4, seed=0)
+        assert edge_cut(g, p) < g.n_edges / 2

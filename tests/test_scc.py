@@ -1,0 +1,110 @@
+"""Tests for strongly connected components (FW-BW-Trim + Tarjan)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import strongly_connected_components, tarjan_scc
+from repro.graph import from_edge_list
+from repro.graph.generators import chain, complete, erdos_renyi_gnp, rmat
+
+
+def nx_scc_count(graph):
+    import networkx as nx
+
+    from repro.baselines import nx_graph_of
+
+    return nx.number_strongly_connected_components(nx_graph_of(graph))
+
+
+class TestKnownShapes:
+    def test_directed_cycle_is_one_scc(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)], n_vertices=3)
+        r = strongly_connected_components(g)
+        assert r.n_components == 1
+        assert np.all(r.labels == 0)
+
+    def test_cycle_with_tail(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0), (2, 3)], n_vertices=4)
+        r = strongly_connected_components(g)
+        assert r.labels.tolist() == [0, 0, 0, 3]
+
+    def test_dag_all_singletons(self):
+        g = chain(8, directed=True)
+        r = strongly_connected_components(g)
+        assert r.n_components == 8
+        assert np.array_equal(r.labels, np.arange(8))
+
+    def test_two_cycles_bridge(self):
+        edges = [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]
+        g = from_edge_list(edges, n_vertices=4)
+        r = strongly_connected_components(g)
+        assert r.n_components == 2
+        assert r.labels[0] == r.labels[1]
+        assert r.labels[2] == r.labels[3]
+        assert r.labels[0] != r.labels[2]
+
+    def test_complete_directed(self):
+        g = complete(6, directed=True)
+        assert strongly_connected_components(g).n_components == 1
+
+    def test_isolated_vertices(self):
+        g = from_edge_list([(0, 1)], n_vertices=4)
+        r = strongly_connected_components(g)
+        assert r.n_components == 4
+
+    def test_self_loop_singleton(self):
+        g = from_edge_list([(0, 0), (0, 1)], n_vertices=2)
+        r = strongly_connected_components(g)
+        assert r.n_components == 2
+
+    def test_component_sizes(self):
+        g = from_edge_list([(0, 1), (1, 0), (2, 3)], n_vertices=4)
+        r = strongly_connected_components(g)
+        assert sorted(r.component_sizes().tolist()) == [1, 1, 2]
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: rmat(8, 8, seed=1),
+            lambda: rmat(8, 2, seed=2),
+            lambda: erdos_renyi_gnp(200, 0.015, seed=3),
+            lambda: erdos_renyi_gnp(120, 0.05, seed=4),
+        ],
+        ids=["rmat-dense", "rmat-sparse", "er-sparse", "er-dense"],
+    )
+    def test_matches_tarjan_and_networkx(self, make_graph):
+        g = make_graph()
+        r = strongly_connected_components(g)
+        assert np.array_equal(r.labels, tarjan_scc(g))
+        assert r.n_components == nx_scc_count(g)
+
+    def test_labels_are_canonical_minimum(self):
+        g = erdos_renyi_gnp(100, 0.05, seed=5)
+        r = strongly_connected_components(g)
+        for label in np.unique(r.labels):
+            members = np.nonzero(r.labels == label)[0]
+            assert int(members.min()) == label
+
+    def test_labels_idempotent(self):
+        g = rmat(7, 8, seed=6)
+        r = strongly_connected_components(g)
+        assert np.array_equal(r.labels[r.labels], r.labels)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n_vertices=0)
+        r = strongly_connected_components(g)
+        assert r.n_components == 0
+        assert tarjan_scc(g).shape == (0,)
+
+    def test_scc_refines_weak_components(self):
+        """Every SCC lies within one weakly connected component."""
+        from repro.algorithms import connected_components
+
+        g = rmat(8, 4, seed=7)
+        scc = strongly_connected_components(g).labels
+        wcc = connected_components(g).labels
+        for label in np.unique(scc):
+            members = np.nonzero(scc == label)[0]
+            assert np.unique(wcc[members]).shape[0] == 1

@@ -1,0 +1,85 @@
+"""Tests for shared dtypes, sentinels, and array coercions."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    EDGE_DTYPE,
+    INF,
+    INVALID_EDGE,
+    INVALID_VERTEX,
+    VERTEX_DTYPE,
+    WEIGHT_DTYPE,
+    as_vertex_array,
+    as_weight_array,
+)
+
+
+class TestConstants:
+    def test_inf_is_float32_max(self):
+        assert INF == float(np.finfo(np.float32).max)
+
+    def test_inf_representable_in_weight_dtype(self):
+        arr = np.array([INF], dtype=WEIGHT_DTYPE)
+        assert arr[0] == INF
+        assert np.isfinite(arr[0])
+
+    def test_invalid_sentinels_negative(self):
+        assert INVALID_VERTEX < 0
+        assert INVALID_EDGE < 0
+
+    def test_dtypes(self):
+        assert VERTEX_DTYPE == np.int32
+        assert EDGE_DTYPE == np.int64
+        assert WEIGHT_DTYPE == np.float32
+
+
+class TestAsVertexArray:
+    def test_list_input(self):
+        arr = as_vertex_array([1, 2, 3])
+        assert arr.dtype == VERTEX_DTYPE
+        assert arr.tolist() == [1, 2, 3]
+
+    def test_scalar_becomes_length_one(self):
+        arr = as_vertex_array(5)
+        assert arr.shape == (1,)
+        assert arr[0] == 5
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_vertex_array([[1, 2], [3, 4]])
+
+    def test_no_copy_by_default(self):
+        src = np.array([1, 2], dtype=VERTEX_DTYPE)
+        out = as_vertex_array(src)
+        out[0] = 99
+        assert src[0] == 99  # view preserved
+
+    def test_copy_requested(self):
+        src = np.array([1, 2], dtype=VERTEX_DTYPE)
+        out = as_vertex_array(src, copy=True)
+        out[0] = 99
+        assert src[0] == 1
+
+    def test_dtype_conversion_copies(self):
+        src = np.array([1, 2], dtype=np.int64)
+        out = as_vertex_array(src)
+        assert out.dtype == VERTEX_DTYPE
+
+    def test_contiguous_output(self):
+        src = np.arange(10, dtype=VERTEX_DTYPE)[::2]
+        out = as_vertex_array(src)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestAsWeightArray:
+    def test_float_conversion(self):
+        arr = as_weight_array([1, 2, 3])
+        assert arr.dtype == WEIGHT_DTYPE
+
+    def test_scalar(self):
+        assert as_weight_array(2.5).shape == (1,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_weight_array(np.ones((2, 2)))

@@ -1,0 +1,198 @@
+"""Tests for the utils subpackage: rng, timing, counters, validation."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import FrontierError
+from repro.utils.counters import IterationStats, RunStats, WorkCounter
+from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.timing import Timer, WallClock
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_probability,
+    check_vertex_in_range,
+    check_vertices_in_range,
+)
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, 10)
+        b = resolve_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(0, 2**30, 20)
+        b = resolve_rng(2).integers(0, 2**30, 20)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(
+            a.integers(0, 2**30, 50), b.integers(0, 2**30, 50)
+        )
+
+    def test_deterministic_given_seed(self):
+        x = [g.integers(0, 1000) for g in spawn_rngs(7, 3)]
+        y = [g.integers(0, 1000) for g in spawn_rngs(7, 3)]
+        assert x == y
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestWallClock:
+    def test_accumulates(self):
+        clock = WallClock()
+        clock.start()
+        time.sleep(0.01)
+        elapsed = clock.stop()
+        assert elapsed >= 0.01
+        assert not clock.running
+
+    def test_double_start_rejected(self):
+        clock = WallClock().start()
+        with pytest.raises(RuntimeError):
+            clock.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            WallClock().stop()
+
+    def test_reset(self):
+        clock = WallClock().start()
+        clock.stop()
+        clock.reset()
+        assert clock.elapsed == 0.0
+
+
+class TestTimer:
+    def test_laps_recorded(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert len(t.laps) == 2
+        assert t.total == pytest.approx(sum(t.laps))
+        assert t.last == t.laps[-1]
+
+    def test_mean(self):
+        t = Timer(laps=[1.0, 3.0])
+        assert t.mean == 2.0
+
+    def test_empty_timer_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().last
+
+
+class TestWorkCounter:
+    def test_quiescence_immediate_when_zero(self):
+        assert WorkCounter().wait_for_quiescence(timeout=0.1)
+
+    def test_add_done_cycle(self):
+        wc = WorkCounter()
+        wc.add(3)
+        assert wc.outstanding == 3
+        wc.done(3)
+        assert wc.outstanding == 0
+
+    def test_negative_done_raises(self):
+        wc = WorkCounter()
+        with pytest.raises(RuntimeError):
+            wc.done()
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            WorkCounter().add(-1)
+
+    def test_cross_thread_quiescence(self):
+        wc = WorkCounter()
+        wc.add(1)
+
+        def finish():
+            time.sleep(0.02)
+            wc.done()
+
+        threading.Thread(target=finish).start()
+        assert wc.wait_for_quiescence(timeout=2.0)
+
+    def test_timeout_returns_false(self):
+        wc = WorkCounter()
+        wc.add(1)
+        assert not wc.wait_for_quiescence(timeout=0.02)
+
+
+class TestRunStats:
+    def test_aggregation(self):
+        rs = RunStats()
+        rs.record(IterationStats(0, 10, 100, 0.5))
+        rs.record(IterationStats(1, 20, 300, 0.5))
+        assert rs.num_iterations == 2
+        assert rs.total_edges_touched == 400
+        assert rs.total_seconds == pytest.approx(1.0)
+        assert rs.mteps == pytest.approx(400 / 1.0 / 1e6)
+        assert rs.frontier_profile() == {0: 10, 1: 20}
+
+    def test_mteps_zero_when_untimed(self):
+        rs = RunStats()
+        rs.record(IterationStats(0, 1, 10, 0.0))
+        assert rs.mteps == 0.0
+
+
+class TestValidation:
+    def test_nonnegative_int_accepts(self):
+        assert check_nonnegative_int(5, "x") == 5
+        assert check_nonnegative_int(np.int64(3), "x") == 3
+
+    def test_nonnegative_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+    def test_nonnegative_int_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_nonnegative_int(True, "x")
+        with pytest.raises(TypeError):
+            check_nonnegative_int(1.5, "x")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+    def test_vertex_in_range(self):
+        assert check_vertex_in_range(np.int32(3), 5) == 3
+        with pytest.raises(FrontierError):
+            check_vertex_in_range(5, 5)
+        with pytest.raises(TypeError):
+            check_vertex_in_range(1.5, 5)
+
+    def test_vertices_in_range_bulk(self):
+        check_vertices_in_range(np.array([0, 4]), 5)
+        with pytest.raises(FrontierError):
+            check_vertices_in_range(np.array([0, 5]), 5)
+        with pytest.raises(FrontierError):
+            check_vertices_in_range(np.array([-1]), 5)
+        check_vertices_in_range(np.empty(0, dtype=np.int32), 5)
