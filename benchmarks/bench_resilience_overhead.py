@@ -1,0 +1,74 @@
+"""Experiments R1/R2 — resilience overhead.
+
+R1 (checkpointing): SSSP with superstep snapshots at intervals 1/4/8/16
+versus the unprotected run.  The documented guarantee (docs/resilience.md)
+is < 25% mean overhead at interval 8 on these workloads — copy-on-write
+snapshots keep the cost near one array copy per interval.
+
+R2 (retry wrapping): the retry/chaos plumbing with a *quiet* injector
+(rate 0) versus the unprotected run — the price of the protective
+scaffolding itself, separate from any fault handling.
+"""
+
+import pytest
+
+from repro.algorithms.sssp import sssp
+from repro.resilience import FaultInjector, ResiliencePolicy, RetryPolicy
+
+
+def _policy(checkpoint_every=0, quiet_chaos=False):
+    return ResiliencePolicy(
+        chaos=FaultInjector.uniform(seed=0, rate=0.0) if quiet_chaos else None,
+        retry=RetryPolicy(max_attempts=8, base_delay=0.0, max_delay=0.0)
+        if quiet_chaos
+        else None,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+@pytest.mark.benchmark(group="R1-checkpoint-overhead-rmat")
+class TestCheckpointOverheadRmat:
+    def test_unprotected(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp, bench_rmat_directed, 0)
+        assert r.stats.converged
+
+    @pytest.mark.parametrize("interval", [1, 4, 8, 16])
+    def test_checkpoint_interval(self, benchmark, bench_rmat_directed, interval):
+        def run():
+            return sssp(
+                bench_rmat_directed, 0, resilience=_policy(interval)
+            )
+
+        r = benchmark(run)
+        assert r.stats.converged
+
+
+@pytest.mark.benchmark(group="R1-checkpoint-overhead-grid")
+class TestCheckpointOverheadGrid:
+    def test_unprotected(self, benchmark, bench_grid):
+        r = benchmark(sssp, bench_grid, 0)
+        assert r.stats.converged
+
+    @pytest.mark.parametrize("interval", [1, 4, 8, 16])
+    def test_checkpoint_interval(self, benchmark, bench_grid, interval):
+        def run():
+            return sssp(bench_grid, 0, resilience=_policy(interval))
+
+        r = benchmark(run)
+        assert r.stats.converged
+
+
+@pytest.mark.benchmark(group="R2-retry-scaffolding")
+class TestRetryScaffolding:
+    def test_unprotected(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp, bench_rmat_directed, 0)
+        assert r.stats.converged
+
+    def test_quiet_chaos_with_retry(self, benchmark, bench_rmat_directed):
+        def run():
+            return sssp(
+                bench_rmat_directed, 0, resilience=_policy(quiet_chaos=True)
+            )
+
+        r = benchmark(run)
+        assert r.stats.converged

@@ -29,6 +29,8 @@ GROUP_TITLES = {
     "F1": "Frontier representation crossover",
     "F2": "Load-balancing schedules",
     "A1": "Algorithm suite",
+    "R1": "Resilience — checkpoint overhead by interval",
+    "R2": "Resilience — retry scaffolding cost",
     "ablation": "Ablations",
 }
 

@@ -19,8 +19,10 @@ essential components:
 plus the communication substrate (:mod:`repro.comm` — mailbox routing,
 Pregel vertex programs), partitioning heuristics (:mod:`repro.partition`),
 the algorithm suite (:mod:`repro.algorithms`), textbook baselines
-(:mod:`repro.baselines`), and the executable Table I
-(:mod:`repro.capability`).
+(:mod:`repro.baselines`), the executable Table I
+(:mod:`repro.capability`), and a fault-tolerance layer riding the loop
+structure (:mod:`repro.resilience` — chaos injection, retry,
+checkpoint/resume, worker supervision).
 
 Quickstart (Listing 4 in one call)::
 
@@ -55,6 +57,7 @@ from repro.operators import (
     uniquify,
 )
 from repro.loop import Enactor, AsyncEnactor
+from repro.resilience import FaultInjector, ResiliencePolicy, RetryPolicy
 from repro.algorithms import (
     sssp,
     sssp_async,
@@ -98,6 +101,9 @@ __all__ = [
     "uniquify",
     "Enactor",
     "AsyncEnactor",
+    "FaultInjector",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "sssp",
     "sssp_async",
     "sssp_delta_stepping",

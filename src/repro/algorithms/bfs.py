@@ -64,6 +64,7 @@ def bfs(
     direction: str = "push",
     pull_threshold: float = 0.05,
     push_back_threshold: float = 0.01,
+    resilience=None,
 ) -> BFSResult:
     """BFS from ``source``.
 
@@ -74,6 +75,9 @@ def bfs(
         ``"pull"`` — candidates scan in-edges for a visited parent (CSC);
         ``"auto"`` — direction-optimized: pull while the frontier holds
         more than ``pull_threshold`` of all vertices, push otherwise.
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy` — superstep
+        retry under chaos plus checkpointing of levels and parents.
     """
     policy = resolve_policy(policy)
     if direction not in ("push", "pull", "auto"):
@@ -142,7 +146,12 @@ def bfs(
 
     frontier = SparseFrontier.from_indices([source], n)
     enactor = Enactor(graph)
-    result.stats = enactor.run(frontier, step)
+    result.stats = enactor.run(
+        frontier,
+        step,
+        resilience=resilience,
+        state_arrays={"levels": levels, "parents": parents},
+    )
     return result
 
 

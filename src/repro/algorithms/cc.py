@@ -67,15 +67,18 @@ def connected_components(
     *,
     method: str = "label_propagation",
     policy: Union[str, ExecutionPolicy] = par_vector,
+    resilience=None,
 ) -> CCResult:
     """Weakly connected components.
 
     ``method`` is ``"label_propagation"`` (frontier/operator formulation)
-    or ``"hooking"`` (pointer-jumping bulk formulation).
+    or ``"hooking"`` (pointer-jumping bulk formulation).  ``resilience``
+    (label propagation only — hooking has no enactor loop to protect)
+    adds superstep retry under chaos and label-array checkpointing.
     """
     policy = resolve_policy(policy)
     if method == "label_propagation":
-        return _cc_label_propagation(graph, policy)
+        return _cc_label_propagation(graph, policy, resilience=resilience)
     if method == "hooking":
         return _cc_hooking(graph)
     raise ValueError(
@@ -83,7 +86,7 @@ def connected_components(
     )
 
 
-def _cc_label_propagation(graph: Graph, policy) -> CCResult:
+def _cc_label_propagation(graph: Graph, policy, *, resilience=None) -> CCResult:
     n = graph.n_vertices
     labels = np.arange(n, dtype=np.int64)
     # Weak connectivity on directed graphs needs reverse edges too; the
@@ -107,7 +110,9 @@ def _cc_label_propagation(graph: Graph, policy) -> CCResult:
 
     frontier = SparseFrontier.from_indices(np.arange(n, dtype=VERTEX_DTYPE), n)
     enactor = Enactor(graph)
-    stats = enactor.run(frontier, step)
+    stats = enactor.run(
+        frontier, step, resilience=resilience, state_arrays={"labels": labels}
+    )
     # Labels have converged to the component minimum (a fixed point of
     # min-propagation over connected neighbors).
     n_components = int(np.unique(labels).shape[0])

@@ -72,6 +72,7 @@ def sssp(
     policy: Union[str, ExecutionPolicy] = par_vector,
     output_representation: str = "sparse",
     deduplicate_frontier: bool = True,
+    resilience=None,
 ) -> SSSPResult:
     """Bulk-synchronous SSSP via the native-graph abstraction (Listing 4).
 
@@ -89,6 +90,9 @@ def sssp(
     deduplicate_frontier:
         Uniquify between supersteps (saves re-relaxations; disable to
         observe the raw Listing 4 behavior, which is still correct).
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy` — superstep
+        retry under chaos plus checkpointing of the distance array.
     """
     policy = resolve_policy(policy)
     n = graph.n_vertices
@@ -133,7 +137,9 @@ def sssp(
         return out
 
     enactor = Enactor(graph)
-    stats = enactor.run(frontier, step)
+    stats = enactor.run(
+        frontier, step, resilience=resilience, state_arrays={"dist": dist}
+    )
     return SSSPResult(distances=dist, source=source, stats=stats)
 
 
@@ -143,6 +149,7 @@ def sssp_async(
     *,
     num_workers: int = 4,
     timeout: Optional[float] = 120.0,
+    resilience=None,
 ) -> SSSPResult:
     """Asynchronous SSSP: per-vertex relaxation tasks to quiescence.
 
@@ -170,7 +177,9 @@ def sssp_async(
             if new_d < atomic_dist.min_at(u, new_d):
                 push(u)
 
-    enactor = AsyncEnactor(graph, num_workers=num_workers, timeout=timeout)
+    enactor = AsyncEnactor(
+        graph, num_workers=num_workers, timeout=timeout, resilience=resilience
+    )
     processed = enactor.run([source], process)
     stats = RunStats()
     stats.converged = True

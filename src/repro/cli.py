@@ -152,18 +152,66 @@ def cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_resilience(args: argparse.Namespace):
+    """Translate the ``run`` command's chaos/checkpoint flags into a
+    :class:`~repro.resilience.ResiliencePolicy` (``None`` when every
+    flag is at its quiet default)."""
+    if not (0.0 <= args.chaos_rate <= 1.0):
+        raise SystemExit(
+            f"--chaos-rate must be in [0, 1], got {args.chaos_rate}"
+        )
+    if args.checkpoint_every < 0:
+        raise SystemExit(
+            f"--checkpoint-every must be >= 0, got {args.checkpoint_every}"
+        )
+    if args.retry_attempts < 1:
+        raise SystemExit(
+            f"--retry-attempts must be >= 1, got {args.retry_attempts}"
+        )
+    if not (args.chaos_rate > 0 or args.checkpoint_every > 0):
+        return None
+    if args.algorithm not in ("sssp", "bfs", "cc"):
+        raise SystemExit(
+            f"--chaos-rate/--checkpoint-every support sssp, bfs, and cc "
+            f"(enactor-driven algorithms), not {args.algorithm!r}"
+        )
+    from repro.resilience import (
+        FaultInjector,
+        ResiliencePolicy,
+        RetryPolicy,
+    )
+
+    chaos = (
+        FaultInjector.uniform(seed=args.chaos_seed, rate=args.chaos_rate)
+        if args.chaos_rate > 0
+        else None
+    )
+    return ResiliencePolicy(
+        chaos=chaos,
+        retry=RetryPolicy(
+            max_attempts=args.retry_attempts, base_delay=0.0, max_delay=0.0
+        ),
+        checkpoint_every=args.checkpoint_every,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: execute an algorithm and report stats."""
     import repro.algorithms as alg
 
     g = _load_graph(args.graph, directed=not args.undirected)
     name = args.algorithm
+    resilience = _build_resilience(args)
     if name == "sssp":
-        result = alg.sssp(g, args.source, policy=args.policy)
+        result = alg.sssp(
+            g, args.source, policy=args.policy, resilience=resilience
+        )
         values = result.distances
         stats = result.stats
     elif name == "bfs":
-        result = alg.bfs(g, args.source, direction=args.direction)
+        result = alg.bfs(
+            g, args.source, direction=args.direction, resilience=resilience
+        )
         values = result.levels
         stats = result.stats
     elif name == "pagerank":
@@ -171,7 +219,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         values = result.ranks
         stats = result.stats
     elif name == "cc":
-        result = alg.connected_components(g)
+        result = alg.connected_components(g, resilience=resilience)
         values = result.labels
         stats = result.stats
         print(f"components: {result.n_components}")
@@ -222,6 +270,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"{stats.total_edges_touched} edges touched, "
         f"{stats.mteps:.3f} MTEPS"
     )
+    if resilience is not None:
+        active = resilience.counters.as_dict()
+        if resilience.chaos is not None:
+            active["faults_injected"] = resilience.chaos.total_faults
+        print(
+            "resilience: "
+            + (
+                ", ".join(f"{k}={v}" for k, v in sorted(active.items()))
+                or "no events"
+            )
+        )
     if args.output:
         np.save(args.output, values)
         print(f"values written to {args.output}")
@@ -329,6 +388,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", help="write the per-vertex result as .npy")
     p.add_argument("--head", type=int, default=0, help="print first N values")
+    p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="fault-injection seed (sssp/bfs/cc; replays a chaos run)",
+    )
+    p.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        help="per-decision fault probability; 0 disables chaos",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="snapshot state every N supersteps; 0 disables",
+    )
+    p.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=8,
+        help="max attempts per faulted operation under chaos",
+    )
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("partition", help="partition a graph, report quality")

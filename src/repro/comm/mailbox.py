@@ -16,6 +16,16 @@ interdependent"):
 
 Per-rank inboxes are NumPy message batches ``(destinations, values)``
 so delivery and combining stay vectorized.
+
+The router is also the comm layer's fault-injection seam: under an
+ambient chaos injector (``with FaultInjector(...):``) or an explicit
+:class:`~repro.resilience.ResiliencePolicy`, sent messages may be
+dropped, duplicated, or (superstep delivery only) delayed one barrier.
+A retry policy turns drops into *at-least-once* delivery — the sender
+re-offers the dropped subset up to ``max_attempts`` times and raises
+:class:`~repro.errors.RetryExhausted` rather than silently losing a
+message; without retry, drops are real losses (the unprotected
+baseline).
 """
 
 from __future__ import annotations
@@ -25,8 +35,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import CommunicationError
+from repro.errors import CommunicationError, RetryExhausted
 from repro.comm.messages import Combiner
+from repro.resilience.chaos import FaultInjector, active_injector
+from repro.resilience.policy import ResiliencePolicy
 from repro.types import VERTEX_DTYPE
 
 
@@ -50,6 +62,10 @@ class MailboxRouter:
         Number of ranks; inferred as ``owner_of.max() + 1`` when omitted.
     delivery:
         ``"superstep"`` or ``"immediate"`` (see module docstring).
+    resilience:
+        Optional fault-tolerance policy.  Its chaos injector (or, when
+        absent, the ambient one) perturbs message traffic; its retry
+        policy bounds the redelivery loop for dropped messages.
     """
 
     def __init__(
@@ -58,6 +74,7 @@ class MailboxRouter:
         n_ranks: Optional[int] = None,
         *,
         delivery: str = "superstep",
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.owner_of = np.asarray(owner_of, dtype=np.int64).ravel()
         if self.owner_of.size and int(self.owner_of.min()) < 0:
@@ -74,6 +91,7 @@ class MailboxRouter:
                 f"delivery must be 'superstep' or 'immediate', got {delivery!r}"
             )
         self.delivery = delivery
+        self.resilience = resilience
         self._buffers = [_RankBuffer() for _ in range(self.n_ranks)]
         #: Cumulative cross-rank message count (the communication-volume
         #: metric the partitioning bench reports).
@@ -112,6 +130,13 @@ class MailboxRouter:
             raise CommunicationError(
                 f"destination vertex out of range [0, {self.owner_of.shape[0]})"
             )
+        injector = self._injector()
+        if injector is not None:
+            destinations, values = self._chaos_filter(
+                injector, destinations, values
+            )
+            if destinations.size == 0:
+                return
         owners = self.owner_of[destinations]
         if from_rank is not None:
             remote = int(np.count_nonzero(owners != from_rank))
@@ -128,19 +153,111 @@ class MailboxRouter:
                 else:
                     buf.pending.append(batch)
 
+    # -- fault injection ---------------------------------------------------------------
+
+    def _injector(self) -> Optional[FaultInjector]:
+        """The explicit policy's injector, falling back to the ambient one."""
+        if self.resilience is not None:
+            return self.resilience.active_chaos()
+        return active_injector()
+
+    def _counters(self):
+        return self.resilience.counters if self.resilience is not None else None
+
+    def _chaos_filter(
+        self,
+        injector: FaultInjector,
+        destinations: np.ndarray,
+        values: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply drop/duplicate faults, re-offering dropped messages.
+
+        With a retry policy the dropped subset is re-offered to the
+        injector until it survives or ``max_attempts`` offers are spent
+        — at-least-once delivery (duplication is the price; the Pregel
+        engine requires idempotent or min/max-style combiners under
+        chaos).  The re-offer is an in-process bookkeeping step, so no
+        backoff sleeps apply.  Without a retry policy, drops are real
+        losses — the unprotected baseline chaos tests measure against.
+        """
+        counters = self._counters()
+        kept_d, kept_v, dropped_d, dropped_v, n_dup = injector.split_messages(
+            destinations, values
+        )
+        if counters is not None:
+            if dropped_d.size:
+                counters.increment("messages_dropped", int(dropped_d.size))
+            if n_dup:
+                counters.increment("messages_duplicated", n_dup)
+        retry = self.resilience.retry if self.resilience is not None else None
+        if dropped_d.size == 0:
+            return kept_d, kept_v
+        if retry is None:
+            return kept_d, kept_v  # unprotected: the drop is permanent
+        surviving = [kept_d]
+        surviving_v = [kept_v]
+        for _ in range(max(0, retry.max_attempts - 1)):
+            if dropped_d.size == 0:
+                break
+            if counters is not None:
+                counters.increment("messages_redelivered", int(dropped_d.size))
+            kd, kv, dropped_d, dropped_v, n_dup = injector.split_messages(
+                dropped_d, dropped_v
+            )
+            if counters is not None:
+                if dropped_d.size:
+                    counters.increment("messages_dropped", int(dropped_d.size))
+                if n_dup:
+                    counters.increment("messages_duplicated", n_dup)
+            surviving.append(kd)
+            surviving_v.append(kv)
+        if dropped_d.size:
+            if counters is not None:
+                counters.increment("retries_exhausted")
+            raise RetryExhausted(
+                f"{int(dropped_d.size)} messages still dropped after "
+                f"{retry.max_attempts} delivery attempts",
+                attempts=retry.max_attempts,
+            )
+        return np.concatenate(surviving), np.concatenate(surviving_v)
+
     # -- delivery --------------------------------------------------------------------
 
     def flush_barrier(self) -> None:
         """Superstep boundary: make every pending message deliverable.
 
+        Under chaos, each pending message may *delay* — it stays in
+        ``pending`` and crosses at the next barrier instead.  Delayed
+        messages keep :meth:`has_messages` true, so the Pregel engine
+        cannot terminate while any are in flight; they only reorder
+        delivery, which the monotone-combiner contract tolerates.
+
         No-op under immediate delivery (there is no barrier to cross).
         """
         if self.delivery == "immediate":
             return
+        injector = self._injector()
+        counters = self._counters()
         for buf in self._buffers:
             with buf.lock:
-                buf.deliverable.extend(buf.pending)
-                buf.pending = []
+                if injector is None:
+                    buf.deliverable.extend(buf.pending)
+                    buf.pending = []
+                    continue
+                held = []
+                for dsts, vals in buf.pending:
+                    delayed = injector.delay_mask(int(dsts.shape[0]))
+                    n_delayed = int(np.count_nonzero(delayed))
+                    if n_delayed == 0:
+                        buf.deliverable.append((dsts, vals))
+                        continue
+                    if counters is not None:
+                        counters.increment("messages_delayed", n_delayed)
+                    keep = ~delayed
+                    if keep.any():
+                        buf.deliverable.append((dsts[keep], vals[keep]))
+                    held.append((dsts[delayed], vals[delayed]))
+                buf.pending = held
 
     def receive(
         self, rank: int, combiner: Optional[Combiner] = None

@@ -159,6 +159,12 @@ class PregelEngine:
         data-disjoint, so this is race-free).
     max_supersteps:
         Safety cap; exceeding it raises ConvergenceError.
+    resilience:
+        Optional fault tolerance, passed through to the
+        :class:`~repro.comm.mailbox.MailboxRouter` — message drop /
+        duplicate / delay faults and the redelivery loop happen at the
+        routing layer, the only safe seam (retrying rank *compute*
+        would re-send its messages and break non-idempotent combiners).
     """
 
     def __init__(
@@ -168,6 +174,7 @@ class PregelEngine:
         owner_of: Optional[np.ndarray] = None,
         parallel_ranks: bool = False,
         max_supersteps: int = 10_000,
+        resilience=None,
     ) -> None:
         self.graph = graph
         n = graph.n_vertices
@@ -183,6 +190,7 @@ class PregelEngine:
         self.n_ranks = int(owner_of.max()) + 1 if n else 1
         self.parallel_ranks = parallel_ranks
         self.max_supersteps = max_supersteps
+        self.resilience = resilience
         self.stats = PregelStats()
 
     def run(
@@ -208,7 +216,12 @@ class PregelEngine:
         if initially_active is not None:
             halted[:] = True
             halted[np.asarray(initially_active, dtype=VERTEX_DTYPE)] = False
-        router = MailboxRouter(self.owner_of, self.n_ranks, delivery="superstep")
+        router = MailboxRouter(
+            self.owner_of,
+            self.n_ranks,
+            delivery="superstep",
+            resilience=self.resilience,
+        )
         combiner = program.combiner
         self.stats = PregelStats()
         rank_vertices = [router.vertices_of_rank(r) for r in range(self.n_ranks)]

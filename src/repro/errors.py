@@ -47,3 +47,57 @@ class CommunicationError(GraphAnalyticsError):
 
 class GraphIOError(GraphAnalyticsError):
     """A graph file could not be parsed."""
+
+
+class ResilienceError(GraphAnalyticsError):
+    """Base class for the fault-tolerance subsystem (:mod:`repro.resilience`)."""
+
+
+class FaultInjected(ResilienceError):
+    """A fault deliberately injected by the chaos harness.
+
+    Retry policies treat this as transient by default, so a run under
+    chaos with retries enabled recovers; a run without them fails loudly
+    at exactly the injection site.
+    """
+
+
+class RetryExhausted(ResilienceError):
+    """A retried operation failed on every permitted attempt.
+
+    The final underlying exception is chained as ``__cause__``;
+    ``attempts`` records how many were made.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be saved, loaded, or restored (missing
+    store, shape/dtype mismatch against the live arrays, ...)."""
+
+
+class StallDetected(ResilienceError):
+    """The progress watchdog saw outstanding work but no completions for
+    longer than the configured stall timeout."""
+
+
+class AggregateWorkerError(GraphAnalyticsError):
+    """Several workers failed in one parallel run.
+
+    Exception-group style: ``failures`` holds ``(worker_id, exception)``
+    pairs for every worker that died, so multi-worker failures are
+    diagnosable instead of only the first being reported.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        parts = "; ".join(
+            f"worker {wid}: {type(exc).__name__}: {exc}"
+            for wid, exc in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} workers failed: {parts}"
+        )

@@ -11,16 +11,38 @@ Because items are processed the moment a worker is free, a vertex may be
 processed several times with progressively better values (e.g. SSSP
 relaxations); the contract is that ``process`` must be *monotone* (safe
 to re-run with stale inputs), which label-correcting graph algorithms
-satisfy by construction.
+satisfy by construction.  That same contract is what makes the
+resilience layer's per-task retry sound: a task that raised is simply
+re-executed in place.
+
+Failure semantics:
+
+* A worker exception stops the run; **all** worker exceptions are
+  reported — one failure re-raises it verbatim, several raise an
+  :class:`~repro.errors.AggregateWorkerError` with per-worker detail.
+* On ``timeout`` the scheduler shuts its workers down (stop flag +
+  queue drain + bounded join) before raising :class:`TimeoutError`, so
+  no threads are left spinning on the queue after the caller has given
+  up.  A worker stuck inside user code cannot be interrupted from
+  Python; such threads are daemons and are abandoned after the join
+  grace period (the stall watchdog exists to catch them early).
+* With a :class:`~repro.resilience.ResiliencePolicy`: tasks run under
+  chaos fault points and the retry policy, and supervision restarts
+  dead workers and aborts stalled runs with
+  :class:`~repro.errors.StallDetected`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable, List, Optional
+import time
+from typing import Callable, Iterable, List, Optional, Tuple
 
-from repro.errors import ExecutionPolicyError
+from repro.errors import AggregateWorkerError, ExecutionPolicyError
 from repro.frontier.queue import AsyncQueueFrontier
+from repro.resilience.chaos import active_injector
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.supervisor import WorkerSupervisor
 from repro.utils.counters import WorkCounter
 
 #: ``process(item, push)`` — handle one work item, calling ``push(new_item)``
@@ -38,15 +60,27 @@ class AsyncScheduler:
     poll_timeout:
         Seconds a worker blocks on an empty queue before re-checking the
         stop flag (bounds shutdown latency, not correctness).
+    resilience:
+        Optional fault-tolerance policy: per-task retry, chaos fault
+        points, worker supervision.  Without one, an ambient chaos
+        injector (``with FaultInjector(...):``) still applies — faults
+        then abort the run, which is the unprotected baseline behavior.
     """
 
-    def __init__(self, num_workers: int = 4, *, poll_timeout: float = 0.01) -> None:
+    def __init__(
+        self,
+        num_workers: int = 4,
+        *,
+        poll_timeout: float = 0.01,
+        resilience: Optional[ResiliencePolicy] = None,
+    ) -> None:
         if num_workers < 1:
             raise ExecutionPolicyError(
                 f"num_workers must be >= 1, got {num_workers}"
             )
         self.num_workers = num_workers
         self.poll_timeout = poll_timeout
+        self.resilience = resilience
 
     def run(
         self,
@@ -60,13 +94,22 @@ class AsyncScheduler:
 
         Returns the total number of items processed.  Raises
         :class:`TimeoutError` if quiescence is not reached in ``timeout``
-        seconds; re-raises the first worker exception, if any.
+        seconds; re-raises a single worker exception verbatim and
+        aggregates several into :class:`AggregateWorkerError`.
         """
+        resilience = self.resilience
+        injector = (
+            resilience.active_chaos() if resilience else active_injector()
+        )
+        retry = resilience.retry if resilience else None
+        counters = resilience.counters if resilience else None
+
         queue = AsyncQueueFrontier(capacity)
         counter = WorkCounter()
-        processed = [0] * self.num_workers
+        processed_lock = threading.Lock()
+        processed = [0]
         stop = threading.Event()
-        errors: List[BaseException] = []
+        errors: List[Tuple[int, BaseException]] = []
         errors_lock = threading.Lock()
 
         items = list(initial_items)
@@ -79,41 +122,124 @@ class AsyncScheduler:
             counter.add(1)
             queue.add(item)
 
+        def execute(item: int) -> None:
+            def attempt() -> None:
+                if injector is not None:
+                    injector.maybe_fail_task(f"task:{item}")
+                process(item, push)
+
+            if retry is not None:
+                retry.execute(attempt, site=f"task:{item}", counters=counters)
+            else:
+                attempt()
+
+        def record_failure(worker_id: int, exc: BaseException) -> None:
+            with errors_lock:
+                errors.append((worker_id, exc))
+            stop.set()
+
         def worker(worker_id: int) -> None:
             while not stop.is_set():
+                # Death is drawn before claiming work, so a killed worker
+                # never strands an in-flight item.
+                if injector is not None and injector.should_kill_worker():
+                    return
                 item = queue.pop(timeout=self.poll_timeout)
                 if item is None:
                     continue
                 try:
-                    process(item, push)
-                    processed[worker_id] += 1
+                    execute(item)
+                    with processed_lock:
+                        processed[0] += 1
                 except BaseException as exc:  # propagate to the caller
-                    with errors_lock:
-                        errors.append(exc)
-                    stop.set()
+                    record_failure(worker_id, exc)
                 finally:
                     counter.done()
 
-        threads = [
-            threading.Thread(
-                target=worker, args=(i,), name=f"repro-async-{i}", daemon=True
+        def spawn(worker_id: int) -> threading.Thread:
+            t = threading.Thread(
+                target=worker,
+                args=(worker_id,),
+                name=f"repro-async-{worker_id}",
+                daemon=True,
             )
-            for i in range(self.num_workers)
-        ]
-        for t in threads:
             t.start()
+            return t
+
+        threads = [spawn(i) for i in range(self.num_workers)]
+
+        supervisor: Optional[WorkerSupervisor] = None
+        if resilience is not None and resilience.supervision is not None:
+
+            def on_stall(exc) -> None:
+                record_failure(-1, exc)
+
+            supervisor = WorkerSupervisor(
+                threads=threads,
+                spawn=spawn,
+                stop=stop,
+                progress=lambda: processed[0],
+                outstanding=lambda: counter.outstanding,
+                config=resilience.supervision,
+                counters=resilience.counters,
+                on_stall=on_stall,
+            )
+            supervisor.start()
+
+        timed_out = False
         try:
             if items:
-                quiesced = counter.wait_for_quiescence(timeout=timeout)
-                if not quiesced and not errors:
-                    raise TimeoutError(
-                        f"async run did not quiesce within {timeout}s "
-                        f"({counter.outstanding} items outstanding)"
+                # Wait in slices so a recorded failure (worker exception
+                # or stall) aborts the wait immediately instead of
+                # blocking until quiescence that dead workers will never
+                # produce.
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                wait_slice = max(0.05, self.poll_timeout)
+                while True:
+                    remaining = (
+                        None
+                        if deadline is None
+                        else deadline - time.monotonic()
                     )
+                    if remaining is not None and remaining <= 0:
+                        if not errors:
+                            timed_out = True
+                        break
+                    step_wait = (
+                        wait_slice
+                        if remaining is None
+                        else min(wait_slice, remaining)
+                    )
+                    if counter.wait_for_quiescence(timeout=step_wait):
+                        break
+                    if stop.is_set():
+                        break
         finally:
             stop.set()
-            for t in threads:
-                t.join()
+            if timed_out:
+                # The caller is giving up: drain the queue so no worker
+                # picks up further work during shutdown.
+                queue.clear()
+            if supervisor is not None:
+                supervisor.join(timeout=max(1.0, 10 * self.poll_timeout))
+            self._join_workers(threads)
+        if timed_out:
+            raise TimeoutError(
+                f"async run did not quiesce within {timeout}s "
+                f"({counter.outstanding} items outstanding, "
+                f"{processed[0]} processed)"
+            )
         if errors:
-            raise errors[0]
-        return sum(processed)
+            if len(errors) == 1:
+                raise errors[0][1]
+            raise AggregateWorkerError(errors) from errors[0][1]
+        return processed[0]
+
+    def _join_workers(self, threads: List[threading.Thread]) -> None:
+        """Join workers with a grace period; a thread wedged in user code
+        is abandoned (it is a daemon and holds no library locks)."""
+        grace = max(1.0, 20 * self.poll_timeout)
+        for t in threads:
+            t.join(timeout=grace)

@@ -15,6 +15,7 @@ from repro.errors import GraphIOError
 from repro.graph.csr import CSRMatrix
 from repro.graph.graph import Graph
 from repro.graph.properties import GraphProperties
+from repro.resilience.chaos import io_fault_point
 
 PathLike = Union[str, os.PathLike]
 
@@ -41,6 +42,7 @@ def save_graph_npz(graph: Graph, path: PathLike) -> None:
 
 def load_graph_npz(path: PathLike) -> Graph:
     """Load a graph saved by :func:`save_graph_npz`."""
+    io_fault_point(f"load_graph_npz:{path}")
     with np.load(path) as data:
         try:
             version = int(data["format_version"])

@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import GraphIOError
 from repro.graph.builder import from_edge_array
 from repro.graph.graph import Graph
+from repro.resilience.chaos import io_fault_point
 from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
 
 PathLike = Union[str, os.PathLike]
@@ -22,6 +23,7 @@ PathLike = Union[str, os.PathLike]
 
 def read_dimacs(path: PathLike, *, directed: bool = True) -> Graph:
     """Parse a DIMACS ``.gr`` file into a :class:`Graph`."""
+    io_fault_point(f"read_dimacs:{path}")
     n_vertices = None
     n_arcs = None
     srcs: list = []

@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import GraphIOError
 from repro.graph.builder import from_edge_array
 from repro.graph.graph import Graph
+from repro.resilience.chaos import io_fault_point
 from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
 
 PathLike = Union[str, os.PathLike]
@@ -33,6 +34,7 @@ def read_edgelist(
     Raises :class:`GraphIOError` with the offending line number on any
     malformed line.
     """
+    io_fault_point(f"read_edgelist:{path}")
     srcs, dsts, wts = [], [], []
     weighted = False
     with open(path, "r", encoding="utf-8") as fh:

@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import GraphIOError
 from repro.graph.builder import from_edge_array
 from repro.graph.graph import Graph
+from repro.resilience.chaos import io_fault_point
 from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
 
 PathLike = Union[str, os.PathLike]
@@ -27,6 +28,7 @@ def read_matrix_market(path: PathLike, *, directed: bool = None) -> Graph:
     ``directed`` defaults to ``False`` for ``symmetric`` files and
     ``True`` for ``general`` ones.
     """
+    io_fault_point(f"read_matrix_market:{path}")
     with open(path, "r", encoding="utf-8") as fh:
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):

@@ -12,15 +12,25 @@ which label-correcting algorithms (SSSP relaxation, BFS level-settling
 with atomic min, CC label propagation) satisfy; the framework cannot
 check this, so the contract is documented here and verified per
 algorithm by the equivalence tests.
+
+Monotonicity also powers the failure story: with a
+:class:`~repro.resilience.ResiliencePolicy` individual tasks retry in
+place, supervision restarts dead workers, and after repeated parallel
+failures the enactor **degrades to sequential execution** — the same
+tasks drained from a local queue on the calling thread, which by the
+paper's policy-independence claim yields the same results, just slower.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Union
+import collections
+from typing import Iterable, List, Optional, Union
 
 from repro.frontier.base import Frontier
 from repro.graph.graph import Graph
 from repro.execution.scheduler import AsyncScheduler, ProcessFn
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.supervisor import run_with_fallback
 
 
 class AsyncEnactor:
@@ -35,6 +45,10 @@ class AsyncEnactor:
     timeout:
         Overall quiescence deadline in seconds (``None`` = unbounded);
         the safety valve replacing the BSP enactor's ``max_iterations``.
+    resilience:
+        Optional fault tolerance: task retry and worker supervision go
+        to the scheduler; when supervision allows degradation, repeated
+        parallel failures fall back to a sequential drain.
     """
 
     def __init__(
@@ -43,9 +57,11 @@ class AsyncEnactor:
         *,
         num_workers: int = 4,
         timeout: Optional[float] = 120.0,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.graph = graph
-        self.scheduler = AsyncScheduler(num_workers)
+        self.resilience = resilience
+        self.scheduler = AsyncScheduler(num_workers, resilience=resilience)
         self.timeout = timeout
 
     def run(
@@ -64,6 +80,40 @@ class AsyncEnactor:
             items = [int(v) for v in initial.to_indices()]
         else:
             items = [int(v) for v in initial]
-        return self.scheduler.run(
-            process, items, self.graph.n_vertices, timeout=self.timeout
+
+        def parallel() -> int:
+            return self.scheduler.run(
+                process, items, self.graph.n_vertices, timeout=self.timeout
+            )
+
+        resilience = self.resilience
+        if resilience is None or resilience.supervision is None:
+            return parallel()
+        return run_with_fallback(
+            parallel,
+            lambda: self._run_sequential(items, process),
+            config=resilience.supervision,
+            counters=resilience.counters,
         )
+
+    def _run_sequential(self, items: List[int], process: ProcessFn) -> int:
+        """Degraded mode: drain the task graph on the calling thread.
+
+        Re-executing from the original seed items is safe because tasks
+        are monotone — work already done by failed parallel attempts
+        only makes the sequential pass faster.  Task retry still
+        applies (chaos task faults remain survivable); worker death is
+        meaningless without workers and is not consulted.
+        """
+        resilience = self.resilience
+        queue = collections.deque(items)
+        processed = 0
+        while queue:
+            item = queue.popleft()
+            resilience.execute(
+                lambda item=item: process(item, queue.append),
+                site=f"seq-task:{item}",
+            )
+            processed += 1
+        return processed
+

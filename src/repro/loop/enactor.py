@@ -6,26 +6,44 @@ shares — iterate, call the algorithm's per-superstep step function
 record stats — so algorithm modules contain only their operator
 composition and lambdas, exactly as the paper's SSSP listing contains
 only the expand call and its condition.
+
+Owning the loop also makes the enactor the recovery seam: with a
+:class:`~repro.resilience.ResiliencePolicy` the enactor runs each
+superstep under chaos fault points and retry (safe because supersteps
+are monotone and faults inject at superstep entry, before any mutation),
+and snapshots ``(frontier, value arrays, context)`` every
+``checkpoint_every`` supersteps so :meth:`resume_from_checkpoint`
+restarts a crashed run from the last completed superstep instead of
+superstep 0.  Algorithm step functions never see any of this.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
-from repro.errors import ConvergenceError
+import numpy as np
+
+from repro.errors import CheckpointError, ConvergenceError
 from repro.frontier.base import Frontier
+from repro.frontier.sparse import SparseFrontier
 from repro.graph.graph import Graph
 from repro.loop.convergence import (
     ConvergenceCondition,
     EmptyFrontier,
     LoopState,
 )
+from repro.resilience.chaos import active_injector
+from repro.resilience.checkpoint import Checkpoint, snapshot_arrays
+from repro.resilience.policy import ResiliencePolicy
 from repro.utils.counters import IterationStats, RunStats
 
 #: ``step(frontier, state) -> next_frontier`` — one superstep of the
 #: algorithm, composed of operator calls.
 StepFn = Callable[[Frontier, LoopState], Frontier]
+
+#: Named per-vertex value arrays an algorithm registers for checkpointing.
+StateArrays = Dict[str, np.ndarray]
 
 
 class Enactor:
@@ -68,19 +86,32 @@ class Enactor:
         step: StepFn,
         *,
         context: Optional[dict] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        state_arrays: Optional[StateArrays] = None,
+        _start_iteration: int = 0,
     ) -> RunStats:
         """Drive ``step`` until the convergence condition holds.
 
         The condition is evaluated once before the first superstep (a
         pre-converged input runs zero steps) and after every superstep.
         Returns the :class:`~repro.utils.counters.RunStats` record.
+
+        ``resilience`` adds superstep retry / chaos / checkpointing;
+        ``state_arrays`` names the algorithm's value arrays so
+        checkpoints can snapshot and restore them.
         """
         self.convergence.reset()
-        state = LoopState(iteration=0, frontier=initial_frontier)
+        state = LoopState(iteration=_start_iteration, frontier=initial_frontier)
         if context:
             state.context.update(context)
         stats = RunStats()
         degrees = self.graph.csr().degrees() if self.collect_stats else None
+        checkpointing = (
+            resilience is not None
+            and resilience.checkpoint_every > 0
+            and resilience.store is not None
+            and state_arrays is not None
+        )
 
         if self.convergence(state):
             stats.converged = True
@@ -102,7 +133,7 @@ class Enactor:
                     else 0
                 )
                 t0 = time.perf_counter()
-            frontier = step(frontier, state)
+            frontier = self._run_step(step, frontier, state, resilience)
             state.iteration += 1
             state.frontier = frontier
             if self.collect_stats:
@@ -117,3 +148,105 @@ class Enactor:
             if self.convergence(state):
                 stats.converged = True
                 return stats
+            if (
+                checkpointing
+                and state.iteration % resilience.checkpoint_every == 0
+            ):
+                self._save_checkpoint(state, frontier, resilience, state_arrays)
+
+    def resume_from_checkpoint(
+        self,
+        step: StepFn,
+        *,
+        resilience: ResiliencePolicy,
+        state_arrays: StateArrays,
+        context: Optional[dict] = None,
+    ) -> RunStats:
+        """Continue a crashed run from its last saved checkpoint.
+
+        Restores the snapshot's value arrays into ``state_arrays`` **in
+        place**, rebuilds the frontier, and re-enters the loop at the
+        saved superstep.  The returned stats cover the resumed portion
+        only.  Raises :class:`~repro.errors.CheckpointError` when no
+        checkpoint exists.
+        """
+        if resilience.store is None:
+            raise CheckpointError(
+                "resume requested but the resilience policy has no store"
+            )
+        ckpt = resilience.store.latest()
+        if ckpt is None:
+            raise CheckpointError("resume requested but no checkpoint saved")
+        ckpt.restore_arrays(state_arrays)
+        frontier = SparseFrontier.from_indices(
+            ckpt.frontier_indices, ckpt.capacity
+        )
+        resilience.counters.increment("checkpoints_restored")
+        merged = dict(ckpt.context)
+        if context:
+            merged.update(context)
+        return self.run(
+            frontier,
+            step,
+            context=merged,
+            resilience=resilience,
+            state_arrays=state_arrays,
+            _start_iteration=ckpt.superstep,
+        )
+
+    # -- resilience plumbing -----------------------------------------------------------
+
+    def _run_step(
+        self,
+        step: StepFn,
+        frontier: Frontier,
+        state: LoopState,
+        resilience: Optional[ResiliencePolicy],
+    ) -> Frontier:
+        """One superstep, under this run's fault points and retry.
+
+        Chaos injects at superstep *entry* — before the step mutates
+        anything — so a retried attempt re-executes from identical
+        state; a mid-step crash is the checkpoint/resume path's job.
+
+        Without a policy an *ambient* injector still applies; its faults
+        then abort the run — the unprotected baseline behavior.
+        """
+        if resilience is None:
+            ambient = active_injector()
+            if ambient is not None:
+                ambient.maybe_fail_task(f"superstep:{state.iteration}")
+            return step(frontier, state)
+        injector = resilience.active_chaos()
+
+        def attempt() -> Frontier:
+            if injector is not None:
+                injector.maybe_fail_task(f"superstep:{state.iteration}")
+            return step(frontier, state)
+
+        return resilience.execute(
+            attempt, site=f"superstep:{state.iteration}"
+        )
+
+    def _save_checkpoint(
+        self,
+        state: LoopState,
+        frontier: Frontier,
+        resilience: ResiliencePolicy,
+        state_arrays: StateArrays,
+    ) -> None:
+        previous = resilience.store.latest()
+        resilience.store.save(
+            Checkpoint(
+                superstep=state.iteration,
+                frontier_indices=frontier.to_indices()
+                if frontier is not None
+                else np.empty(0, dtype=np.int64),
+                capacity=frontier.capacity
+                if frontier is not None
+                else self.graph.n_vertices,
+                arrays=snapshot_arrays(state_arrays, previous),
+                context=dict(state.context),
+            )
+        )
+        resilience.counters.increment("checkpoints_saved")

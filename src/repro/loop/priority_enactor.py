@@ -12,18 +12,31 @@ The step contract extends the BSP one with priorities: ``step`` receives
 the current bucket's vertex ids and returns ``(ids, priorities)`` of
 the elements it re-activated; the enactor re-buckets them (same-bucket
 improvements re-enter the inner fixed point, later buckets wait).
+
+Like the BSP enactor, this loop is a recovery seam: under a
+:class:`~repro.resilience.ResiliencePolicy` each step call runs beneath
+chaos fault points and retry, and the full bucket table is checkpointed
+every ``checkpoint_every`` drained buckets so
+:meth:`PriorityEnactor.resume_from_checkpoint` restarts mid-run.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import CheckpointError, ConvergenceError
 from repro.frontier.bucketed import BucketedFrontier
 from repro.graph.graph import Graph
+from repro.resilience.chaos import active_injector
+from repro.resilience.checkpoint import (
+    KIND_PRIORITY,
+    Checkpoint,
+    snapshot_arrays,
+)
+from repro.resilience.policy import ResiliencePolicy
 from repro.utils.counters import IterationStats, RunStats
 
 #: ``step(bucket_ids, bucket_index) -> (activated_ids, activated_priorities)``
@@ -46,17 +59,33 @@ class PriorityEnactor:
         self.max_buckets = max_buckets
         self.collect_stats = collect_stats
 
-    def run(self, frontier: BucketedFrontier, step: PriorityStepFn) -> RunStats:
+    def run(
+        self,
+        frontier: BucketedFrontier,
+        step: PriorityStepFn,
+        *,
+        resilience: Optional[ResiliencePolicy] = None,
+        state_arrays: Optional[Dict[str, np.ndarray]] = None,
+        _start_buckets: int = 0,
+    ) -> RunStats:
         """Drain every bucket; return per-bucket stats.
 
         Raises :class:`~repro.errors.ConvergenceError` past
         ``max_buckets`` processed buckets (a diverging priority loop —
         e.g. a non-monotone step that keeps lowering priorities — fails
-        loudly).
+        loudly).  ``resilience``/``state_arrays`` enable per-step retry
+        and bucket-granular checkpointing, as in the BSP enactor.
         """
         stats = RunStats()
         degrees = self.graph.csr().degrees() if self.collect_stats else None
-        buckets_done = 0
+        injector = resilience.active_chaos() if resilience else None
+        checkpointing = (
+            resilience is not None
+            and resilience.checkpoint_every > 0
+            and resilience.store is not None
+            and state_arrays is not None
+        )
+        buckets_done = _start_buckets
         while not frontier.is_exhausted():
             if buckets_done >= self.max_buckets:
                 raise ConvergenceError(
@@ -72,8 +101,8 @@ class PriorityEnactor:
                 processed += ids.shape[0]
                 if self.collect_stats and ids.size:
                     edges_touched += int(degrees[ids].sum())
-                activated_ids, activated_priorities = step(
-                    ids, frontier.current_bucket
+                activated_ids, activated_priorities = self._run_step(
+                    step, ids, frontier.current_bucket, injector, resilience
                 )
                 if len(activated_ids):
                     frontier.add_with_priorities(
@@ -89,10 +118,114 @@ class PriorityEnactor:
                     )
                 )
             buckets_done += 1
+            if (
+                checkpointing
+                and buckets_done % resilience.checkpoint_every == 0
+            ):
+                self._save_checkpoint(
+                    frontier, buckets_done, resilience, state_arrays
+                )
             if not frontier.advance_bucket():
                 break
         stats.converged = True
         return stats
+
+    def resume_from_checkpoint(
+        self,
+        step: PriorityStepFn,
+        *,
+        resilience: ResiliencePolicy,
+        state_arrays: Dict[str, np.ndarray],
+    ) -> RunStats:
+        """Continue a crashed priority run from its last checkpoint.
+
+        Restores value arrays in place and rebuilds the full bucket
+        table (current bucket index included) from the snapshot.
+        """
+        if resilience.store is None:
+            raise CheckpointError(
+                "resume requested but the resilience policy has no store"
+            )
+        ckpt = resilience.store.latest()
+        if ckpt is None:
+            raise CheckpointError("resume requested but no checkpoint saved")
+        if ckpt.kind != KIND_PRIORITY:
+            raise CheckpointError(
+                f"expected a {KIND_PRIORITY!r} checkpoint, got {ckpt.kind!r}"
+            )
+        ckpt.restore_arrays(state_arrays)
+        frontier = BucketedFrontier(ckpt.capacity, float(ckpt.extra["delta"]))
+        frontier.current_bucket = int(ckpt.extra["current_bucket"])
+        for bucket, ids in ckpt.extra["buckets"].items():
+            frontier._buckets[int(bucket)] = list(ids)
+        resilience.counters.increment("checkpoints_restored")
+        return self.run(
+            frontier,
+            step,
+            resilience=resilience,
+            state_arrays=state_arrays,
+            _start_buckets=ckpt.superstep,
+        )
+
+    # -- resilience plumbing -----------------------------------------------------------
+
+    def _run_step(
+        self,
+        step: PriorityStepFn,
+        ids: np.ndarray,
+        bucket_index: int,
+        injector,
+        resilience: Optional[ResiliencePolicy],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One relaxation call under fault points and retry; ``ids`` are
+        already drained from the frontier, so every retry re-runs over
+        the identical batch (faults inject before any mutation).  An
+        ambient injector without a policy aborts the run (unprotected
+        baseline)."""
+        if resilience is None:
+            ambient = active_injector()
+            if ambient is not None:
+                ambient.maybe_fail_task(f"bucket:{bucket_index}")
+            return step(ids, bucket_index)
+
+        def attempt():
+            if injector is not None:
+                injector.maybe_fail_task(f"bucket:{bucket_index}")
+            return step(ids, bucket_index)
+
+        return resilience.execute(attempt, site=f"bucket:{bucket_index}")
+
+    def _save_checkpoint(
+        self,
+        frontier: BucketedFrontier,
+        buckets_done: int,
+        resilience: ResiliencePolicy,
+        state_arrays: Dict[str, np.ndarray],
+    ) -> None:
+        previous = resilience.store.latest()
+        # The whole bucket table goes into `extra` (JSON-friendly: string
+        # bucket keys, plain int lists) — the current bucket is drained at
+        # this point, so pending work lives entirely in later buckets.
+        buckets = {
+            str(b): [int(v) for v in ids]
+            for b, ids in frontier._buckets.items()
+            if ids
+        }
+        resilience.store.save(
+            Checkpoint(
+                superstep=buckets_done,
+                frontier_indices=frontier.to_indices(),
+                capacity=frontier.capacity,
+                arrays=snapshot_arrays(state_arrays, previous),
+                kind=KIND_PRIORITY,
+                extra={
+                    "current_bucket": int(frontier.current_bucket),
+                    "delta": float(frontier.delta),
+                    "buckets": buckets,
+                },
+            )
+        )
+        resilience.counters.increment("checkpoints_saved")
 
 
 def sssp_bucketed(
@@ -101,6 +234,7 @@ def sssp_bucketed(
     *,
     delta: Optional[float] = None,
     policy=None,
+    resilience: Optional[ResiliencePolicy] = None,
 ):
     """SSSP on the priority enactor — light-edge delta-stepping expressed
     as ~20 lines of step function (the refactoring payoff the enactor
@@ -137,5 +271,7 @@ def sssp_bucketed(
     frontier = BucketedFrontier(n, delta)
     frontier.add_with_priority(source, 0.0)
     enactor = PriorityEnactor(graph)
-    stats = enactor.run(frontier, step)
+    stats = enactor.run(
+        frontier, step, resilience=resilience, state_arrays={"dist": dist}
+    )
     return SSSPResult(distances=dist, source=source, stats=stats)

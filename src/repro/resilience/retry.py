@@ -1,0 +1,183 @@
+"""Retry with exponential backoff — recovery for transient failures.
+
+A :class:`RetryPolicy` re-executes an operation that raised a *transient*
+exception (injected faults, I/O hiccups, communication errors) up to
+``max_attempts`` times, sleeping an exponentially growing, jittered delay
+between attempts and respecting an optional wall-clock deadline.
+
+Re-execution is only sound because of the monotone-task contract the
+execution layer documents (:mod:`repro.execution.scheduler`): tasks and
+supersteps may be re-run with stale inputs without corrupting results —
+label-correcting graph algorithms satisfy this by construction, which is
+exactly why retry can promise *bit-identical* outputs under chaos (the
+equivalence suite in ``tests/test_resilience.py`` checks this).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.errors import (
+    CommunicationError,
+    FaultInjected,
+    GraphIOError,
+    ResilienceError,
+    RetryExhausted,
+)
+from repro.utils.counters import ResilienceCounters
+
+#: Exception types retried by default: chaos faults plus the transient
+#: classes real deployments retry (file and network hiccups).
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    FaultInjected,
+    GraphIOError,
+    CommunicationError,
+    OSError,
+)
+
+_jitter_rng = np.random.default_rng()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) to re-execute a failed operation.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first; ``1`` means "no retries".
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Backoff growth factor per retry.
+    max_delay:
+        Ceiling on any single sleep.
+    jitter:
+        Fraction of the delay randomized symmetrically around it
+        (decorrelates synchronized retry storms; affects timing only,
+        never results).
+    deadline:
+        Optional overall wall-clock budget in seconds; attempts stop —
+        raising :class:`~repro.errors.RetryExhausted` — once it is spent,
+        even with attempts remaining.
+    retry_on:
+        Exception types considered transient; anything else propagates
+        immediately.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = field(
+        default=DEFAULT_RETRYABLE
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ResilienceError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ResilienceError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ResilienceError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    def with_attempts(self, max_attempts: int) -> "RetryPolicy":
+        """Copy of this policy with a different attempt budget."""
+        return replace(self, max_attempts=max_attempts)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is transient under this policy."""
+        return isinstance(exc, self.retry_on)
+
+    def delay_for(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based), jittered."""
+        delay = min(
+            self.base_delay * (self.multiplier ** retry_index), self.max_delay
+        )
+        if self.jitter and delay > 0:
+            span = delay * self.jitter
+            delay = max(0.0, delay + float(_jitter_rng.uniform(-span, span)))
+        return delay
+
+    def execute(
+        self,
+        fn: Callable[[], object],
+        *,
+        site: str = "",
+        counters: Optional[ResilienceCounters] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> object:
+        """Run ``fn`` to success or :class:`RetryExhausted`.
+
+        ``counters`` (when given) records ``tasks_retried`` per retry and
+        ``retries_exhausted`` on final failure.
+        """
+        start = time.monotonic()
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except BaseException as exc:
+                if not self.is_retryable(exc):
+                    raise
+                last = exc
+                out_of_budget = attempt >= self.max_attempts or (
+                    self.deadline is not None
+                    and time.monotonic() - start >= self.deadline
+                )
+                if out_of_budget:
+                    if counters is not None:
+                        counters.increment("retries_exhausted")
+                    where = f" at {site}" if site else ""
+                    raise RetryExhausted(
+                        f"operation{where} failed after {attempt} attempts: "
+                        f"{type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                    ) from exc
+                if counters is not None:
+                    counters.increment("tasks_retried")
+                delay = self.delay_for(attempt - 1)
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def with_retry(
+    policy: RetryPolicy,
+    *,
+    counters: Optional[ResilienceCounters] = None,
+) -> Callable[[Callable], Callable]:
+    """Decorator form: ``@with_retry(policy)`` wraps a function so every
+    call runs under :meth:`RetryPolicy.execute`."""
+
+    def decorate(fn: Callable) -> Callable:
+        def wrapped(*args, **kwargs):
+            return policy.execute(
+                lambda: fn(*args, **kwargs),
+                site=getattr(fn, "__name__", "fn"),
+                counters=counters,
+            )
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapped.__doc__ = fn.__doc__
+        return wrapped
+
+    return decorate

@@ -1,0 +1,189 @@
+"""Worker supervision: restarts, stall detection, graceful degradation.
+
+Three recovery mechanisms for the parallel execution engines:
+
+* **Worker restart** — the supervisor thread watches the scheduler's
+  worker threads and respawns any that died (chaos ``worker_death``, or a
+  real crash that escaped the task try/except), up to ``max_restarts``.
+* **Progress watchdog** — if work is outstanding but the processed count
+  has not moved for ``stall_timeout`` seconds, the run is aborted with
+  :class:`~repro.errors.StallDetected` instead of hanging forever.
+* **Graceful degradation** — :func:`run_with_fallback` re-attempts a
+  parallel execution a bounded number of times and then falls back to
+  the sequential execution policy: per the paper's policy-independence
+  claim, the sequential run produces the same results, just slower.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.errors import ResilienceError, StallDetected
+from repro.utils.counters import ResilienceCounters
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Knobs for worker supervision and degradation.
+
+    Attributes
+    ----------
+    restart_workers:
+        Respawn dead worker threads.
+    max_restarts:
+        Total restart budget per run (bounds a crash loop).
+    stall_timeout:
+        Seconds of outstanding-but-unmoving work before the watchdog
+        aborts with :class:`StallDetected`; ``None`` disables it.
+    poll_interval:
+        Supervisor wake-up period in seconds.
+    degrade_to_sequential:
+        Whether :func:`run_with_fallback` may fall back at all.
+    max_parallel_failures:
+        Parallel attempts before degrading to sequential.
+    """
+
+    restart_workers: bool = True
+    max_restarts: int = 8
+    stall_timeout: Optional[float] = None
+    poll_interval: float = 0.02
+    degrade_to_sequential: bool = True
+    max_parallel_failures: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ResilienceError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ResilienceError(
+                f"stall_timeout must be positive, got {self.stall_timeout}"
+            )
+        if self.poll_interval <= 0:
+            raise ResilienceError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.max_parallel_failures < 1:
+            raise ResilienceError(
+                f"max_parallel_failures must be >= 1, got "
+                f"{self.max_parallel_failures}"
+            )
+
+
+class WorkerSupervisor:
+    """Monitor thread over a scheduler's worker threads.
+
+    The scheduler hands over its (mutable) ``threads`` list, a ``spawn``
+    callback that builds-and-starts a replacement for worker slot ``i``,
+    and progress probes.  While the run's ``stop`` event is clear the
+    supervisor respawns dead workers and watches for stalls; ``on_stall``
+    lets the scheduler abort the run (record the error, set ``stop``).
+
+    The supervisor owns mutation of ``threads`` while running; callers
+    must only touch the list after :meth:`join`.
+    """
+
+    def __init__(
+        self,
+        *,
+        threads: List[threading.Thread],
+        spawn: Callable[[int], threading.Thread],
+        stop: threading.Event,
+        progress: Callable[[], int],
+        outstanding: Callable[[], int],
+        config: SupervisionConfig,
+        counters: Optional[ResilienceCounters] = None,
+        on_stall: Optional[Callable[[StallDetected], None]] = None,
+    ) -> None:
+        self.threads = threads
+        self.spawn = spawn
+        self.stop = stop
+        self.progress = progress
+        self.outstanding = outstanding
+        self.config = config
+        self.counters = counters
+        self.on_stall = on_stall
+        self.restarts = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-supervisor", daemon=True
+        )
+
+    def start(self) -> None:
+        """Start the monitor thread."""
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the monitor thread to exit (it stops with the run)."""
+        self._thread.join(timeout)
+
+    def _loop(self) -> None:
+        cfg = self.config
+        last_progress = self.progress()
+        last_change = time.monotonic()
+        while not self.stop.wait(cfg.poll_interval):
+            if cfg.restart_workers:
+                for i, t in enumerate(self.threads):
+                    if t.is_alive() or self.stop.is_set():
+                        continue
+                    if self.restarts >= cfg.max_restarts:
+                        continue
+                    self.threads[i] = self.spawn(i)
+                    self.restarts += 1
+                    if self.counters is not None:
+                        self.counters.increment("workers_restarted")
+            now = time.monotonic()
+            current = self.progress()
+            if current != last_progress:
+                last_progress = current
+                last_change = now
+                continue
+            if (
+                cfg.stall_timeout is not None
+                and self.outstanding() > 0
+                and now - last_change >= cfg.stall_timeout
+            ):
+                if self.counters is not None:
+                    self.counters.increment("stalls_detected")
+                exc = StallDetected(
+                    f"no progress for {cfg.stall_timeout}s with "
+                    f"{self.outstanding()} items outstanding "
+                    f"({current} processed, {self.restarts} restarts)"
+                )
+                if self.on_stall is not None:
+                    self.on_stall(exc)
+                return
+
+
+def run_with_fallback(
+    parallel_fn: Callable[[], object],
+    sequential_fn: Callable[[], object],
+    *,
+    config: SupervisionConfig,
+    counters: Optional[ResilienceCounters] = None,
+    fall_back_on: Tuple[Type[BaseException], ...] = (Exception,),
+) -> object:
+    """Attempt ``parallel_fn`` up to ``config.max_parallel_failures``
+    times, then degrade to ``sequential_fn``.
+
+    Sound for monotone computations: a partially completed parallel
+    attempt leaves value arrays in a state any further (re-)execution —
+    parallel or sequential — converges from to the same fixed point, so
+    degradation trades only speed, never results.
+    """
+    last: Optional[BaseException] = None
+    for _ in range(config.max_parallel_failures):
+        try:
+            return parallel_fn()
+        except fall_back_on as exc:
+            last = exc
+            if counters is not None:
+                counters.increment("parallel_failures")
+    if not config.degrade_to_sequential:
+        assert last is not None
+        raise last
+    if counters is not None:
+        counters.increment("degraded_runs")
+    return sequential_fn()

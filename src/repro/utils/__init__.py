@@ -2,7 +2,11 @@
 
 from repro.utils.rng import resolve_rng, spawn_rngs
 from repro.utils.timing import Timer, WallClock
-from repro.utils.counters import WorkCounter, IterationStats
+from repro.utils.counters import (
+    IterationStats,
+    ResilienceCounters,
+    WorkCounter,
+)
 from repro.utils.validation import (
     check_nonnegative_int,
     check_probability,
@@ -16,6 +20,7 @@ __all__ = [
     "WallClock",
     "WorkCounter",
     "IterationStats",
+    "ResilienceCounters",
     "check_nonnegative_int",
     "check_probability",
     "check_vertex_in_range",

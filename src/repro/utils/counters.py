@@ -55,6 +55,66 @@ class WorkCounter:
             return self._zero.wait_for(lambda: self._count == 0, timeout=timeout)
 
 
+#: Canonical counter names the resilience layer reports.  Kept in one
+#: place so tests, docs, and the CLI agree on spelling.
+RESILIENCE_COUNTER_NAMES = (
+    "faults_injected",
+    "tasks_retried",
+    "retries_exhausted",
+    "checkpoints_saved",
+    "checkpoints_restored",
+    "messages_dropped",
+    "messages_duplicated",
+    "messages_delayed",
+    "messages_redelivered",
+    "workers_restarted",
+    "stalls_detected",
+    "parallel_failures",
+    "degraded_runs",
+    "io_faults",
+)
+
+
+class ResilienceCounters:
+    """Thread-safe named event counters for the fault-tolerance layer.
+
+    Retry wrappers, checkpoint stores, the chaos injector, and worker
+    supervision all report through one of these, so a run's full
+    resilience activity (faults seen, retries spent, checkpoints taken,
+    workers restarted, ...) is inspectable in one place after the fact.
+    Unknown names are permitted — the canonical set is
+    :data:`RESILIENCE_COUNTER_NAMES`.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, n: int = 1) -> None:
+        """Add ``n`` occurrences of the named event."""
+        if n < 0:
+            raise ValueError(f"cannot count negative events, got {n}")
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + n
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of every nonzero counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self._counts.clear()
+
+    def __repr__(self) -> str:
+        return f"ResilienceCounters({self.as_dict()!r})"
+
+
 @dataclass
 class IterationStats:
     """Per-iteration record emitted by enactors.
