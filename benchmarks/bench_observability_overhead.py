@@ -1,0 +1,58 @@
+"""Experiment O1 — observability overhead.
+
+Three configurations of the same grid-SSSP workload:
+
+* ``disabled`` — no probe installed (the null-object path every normal
+  run takes; the issue bounds this at < 2% versus an uninstrumented
+  build, which ``tests/test_observability.py`` verifies compositionally);
+* ``metrics_only`` — an ambient ``Probe(trace=False)``: counters and
+  histograms, no span buffering;
+* ``full_trace`` — spans and metrics both collected.
+
+The gap between ``disabled`` and ``metrics_only``/``full_trace`` is the
+price of *turning the telemetry on* — what a profiling session costs,
+not what every run pays.
+"""
+
+import pytest
+
+from repro.algorithms.sssp import sssp
+from repro.observability.probe import Probe
+
+
+@pytest.mark.benchmark(group="O1-observability-overhead-grid")
+class TestObservabilityOverheadGrid:
+    def test_disabled(self, benchmark, bench_grid):
+        r = benchmark(sssp, bench_grid, 0)
+        assert r.stats.converged
+
+    def test_metrics_only(self, benchmark, bench_grid):
+        def run():
+            with Probe(trace=False):
+                return sssp(bench_grid, 0)
+
+        r = benchmark(run)
+        assert r.stats.converged
+
+    def test_full_trace(self, benchmark, bench_grid):
+        def run():
+            with Probe():
+                return sssp(bench_grid, 0)
+
+        r = benchmark(run)
+        assert r.stats.converged
+
+
+@pytest.mark.benchmark(group="O1-observability-overhead-rmat")
+class TestObservabilityOverheadRmat:
+    def test_disabled(self, benchmark, bench_rmat_directed):
+        r = benchmark(sssp, bench_rmat_directed, 0)
+        assert r.stats.converged
+
+    def test_full_trace(self, benchmark, bench_rmat_directed):
+        def run():
+            with Probe():
+                return sssp(bench_rmat_directed, 0)
+
+        r = benchmark(run)
+        assert r.stats.converged

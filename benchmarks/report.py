@@ -1,21 +1,37 @@
 #!/usr/bin/env python
-"""Render a pytest-benchmark JSON export as per-experiment tables.
+"""Render benchmark results: pytest-benchmark tables and the trajectory.
 
 Usage:
     pytest benchmarks/ --benchmark-only --benchmark-json=results.json
-    python benchmarks/report.py results.json
+    python benchmarks/report.py results.json       # per-experiment tables
+    python benchmarks/report.py --json BENCH_PR2.json   # write a trajectory entry
+    python benchmarks/report.py --check BENCH_PR2.json  # schema-validate one
+    python benchmarks/report.py --trajectory            # render all BENCH_*.json
 
-Groups map to DESIGN.md experiment ids (T1, L1-L4, P1-P4, F1-F2, A1,
-ablations); within each group rows are sorted fastest-first and shown
+Tables: groups map to DESIGN.md experiment ids (T1, L1-L4, P1-P4, F1-F2,
+A1, ablations); within each group rows are sorted fastest-first and shown
 with the slowdown relative to the group's best — the "who wins, by what
 factor" shape EXPERIMENTS.md records.
+
+Trajectory: each PR commits a ``BENCH_PRn.json`` file — a small, seeded,
+probe-instrumented workload sweep — so performance across the PR stack
+can be compared from the files alone.  ``--json`` produces the entry for
+this checkout, ``--check`` is the CI well-formedness gate, and
+``--trajectory`` renders every committed entry side by side.
 """
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 import sys
+import time
 from collections import defaultdict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BENCH_SCHEMA = "repro-bench-trajectory/v1"
 
 GROUP_TITLES = {
     "L1": "Listing 1 — graph API over sparse formats",
@@ -31,6 +47,7 @@ GROUP_TITLES = {
     "A1": "Algorithm suite",
     "R1": "Resilience — checkpoint overhead by interval",
     "R2": "Resilience — retry scaffolding cost",
+    "O1": "Observability — probe overhead (disabled/metrics/trace)",
     "ablation": "Ablations",
 }
 
@@ -85,8 +102,150 @@ def render(rows) -> str:
     return "\n".join(out)
 
 
+# -- trajectory entries (BENCH_PRn.json) -----------------------------------------------
+
+#: The seeded workload sweep a trajectory entry records.  Small enough
+#: for a CI commit check, broad enough to cover the BSP, priority,
+#: asynchronous, and message-passing timing models.
+TRAJECTORY_WORKLOADS = [
+    {"name": "sssp_grid", "algorithm": "sssp", "scale": 12},
+    {"name": "sssp_delta_grid", "algorithm": "sssp_delta", "scale": 12},
+    {"name": "bfs_grid", "algorithm": "bfs", "scale": 12},
+    {"name": "pagerank_grid", "algorithm": "pagerank", "scale": 10},
+    {"name": "pregel_pagerank_grid", "algorithm": "pregel_pagerank", "scale": 8},
+]
+
+
+def _bootstrap_repro() -> None:
+    """Make ``repro`` importable when run from a plain checkout."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def collect_entry(label: str = "") -> dict:
+    """Run the trajectory workloads under the probe; return the entry."""
+    _bootstrap_repro()
+    import numpy as np
+
+    from repro.graph import generators as gen
+    from repro.observability.profile import profile_algorithm
+
+    workloads = []
+    for spec in TRAJECTORY_WORKLOADS:
+        side = int(np.sqrt(1 << spec["scale"]))
+        graph = gen.grid_2d(side, side, weighted=True, seed=0)
+        report = profile_algorithm(graph, spec["algorithm"])
+        entry = report.summary_metrics()
+        entry["name"] = spec["name"]
+        entry["scale"] = spec["scale"]
+        workloads.append(entry)
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workloads": workloads,
+    }
+
+
+def check_entry(entry) -> list:
+    """Well-formedness problems of one trajectory entry (empty = valid)."""
+    problems = []
+    if not isinstance(entry, dict):
+        return [f"entry must be an object, got {type(entry).__name__}"]
+    if entry.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema {entry.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    workloads = entry.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        return problems + ["workloads must be a non-empty list"]
+    for i, w in enumerate(workloads):
+        where = f"workloads[{i}]"
+        if not isinstance(w, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for key in ("name", "algorithm", "seconds", "n_vertices", "n_edges"):
+            if key not in w:
+                problems.append(f"{where} missing {key!r}")
+        seconds = w.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            problems.append(f"{where} seconds must be a non-negative number")
+    return problems
+
+
+def trajectory_files() -> list:
+    """Committed BENCH_*.json entries, repo root then benchmarks/."""
+    found = []
+    for base in (REPO_ROOT, os.path.join(REPO_ROOT, "benchmarks")):
+        found.extend(sorted(glob.glob(os.path.join(base, "BENCH_*.json"))))
+    return found
+
+
+def render_trajectory(paths) -> str:
+    """Side-by-side seconds per workload across all trajectory entries."""
+    entries = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            entries.append((os.path.basename(path), json.load(fh)))
+    if not entries:
+        return "no BENCH_*.json trajectory entries found"
+    names = []
+    for _, entry in entries:
+        for w in entry.get("workloads", []):
+            if w.get("name") not in names:
+                names.append(w.get("name"))
+    out = [
+        f"{'workload':<24} " + " ".join(f"{label:>18}" for label, _ in entries)
+    ]
+    out.append("-" * (25 + 19 * len(entries)))
+    for name in names:
+        cells = []
+        for _, entry in entries:
+            match = next(
+                (w for w in entry.get("workloads", []) if w.get("name") == name),
+                None,
+            )
+            cells.append(
+                f"{match['seconds'] * 1e3:>15.1f} ms" if match else f"{'—':>18}"
+            )
+        out.append(f"{name:<24} " + " ".join(cells))
+    return "\n".join(out)
+
+
 def main(argv=None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
+    argv = list(argv if argv is not None else sys.argv[1:])
+    if argv and argv[0] == "--json":
+        if len(argv) != 2:
+            print("usage: report.py --json OUT.json", file=sys.stderr)
+            return 2
+        entry = collect_entry(
+            label=os.path.splitext(os.path.basename(argv[1]))[0]
+        )
+        with open(argv[1], "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {argv[1]} ({len(entry['workloads'])} workloads)")
+        return 0
+    if argv and argv[0] == "--check":
+        if len(argv) != 2:
+            print("usage: report.py --check BENCH_PRn.json", file=sys.stderr)
+            return 2
+        try:
+            with open(argv[1], "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{argv[1]}: unreadable ({exc})", file=sys.stderr)
+            return 1
+        problems = check_entry(entry)
+        for p in problems:
+            print(f"{argv[1]}: {p}", file=sys.stderr)
+        if not problems:
+            print(f"{argv[1]}: ok")
+        return 1 if problems else 0
+    if argv and argv[0] == "--trajectory":
+        print(render_trajectory(trajectory_files()))
+        return 0
     if len(argv) != 1:
         print(__doc__)
         return 2

@@ -180,14 +180,11 @@ def sssp_async(
     enactor = AsyncEnactor(
         graph, num_workers=num_workers, timeout=timeout, resilience=resilience
     )
-    processed = enactor.run([source], process)
-    stats = RunStats()
-    stats.converged = True
-    # Async has no supersteps; record the task count as one pseudo-iteration.
-    from repro.utils.counters import IterationStats
-
-    stats.record(IterationStats(0, processed, 0, 0.0))
-    return SSSPResult(distances=dist, source=source, stats=stats)
+    enactor.run([source], process)
+    # Async has no supersteps; the enactor records the whole run as one
+    # pseudo-iteration (tasks processed, edges expanded, wall seconds) in
+    # the same RunStats shape the BSP enactors produce.
+    return SSSPResult(distances=dist, source=source, stats=enactor.last_stats)
 
 
 def sssp_delta_stepping(

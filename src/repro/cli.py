@@ -7,6 +7,8 @@ GPU graph frameworks ship:
 * ``repro info``     — structural summary of a graph file;
 * ``repro convert``  — transcode between graph file formats;
 * ``repro run``      — run an algorithm and print (or save) results;
+* ``repro profile``  — run an algorithm under the observability probe and
+  export traces (Chrome/Perfetto), event logs (JSONL), or a summary;
 * ``repro partition``— partition and report quality metrics;
 * ``repro table1``   — print the regenerated capability matrix.
 
@@ -195,8 +197,44 @@ def _build_resilience(args: argparse.Namespace):
     )
 
 
+def _export_probe(probe, args: argparse.Namespace, algorithm: str) -> None:
+    """Write the probe's telemetry to whichever outputs were requested."""
+    from repro.observability.export import (
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+
+    if getattr(args, "trace", None):
+        write_chrome_trace(
+            probe, args.trace, process_name=f"repro:{algorithm}"
+        )
+        print(f"chrome trace written to {args.trace}")
+    if getattr(args, "events", None):
+        write_events_jsonl(probe, args.events, algorithm=algorithm)
+        print(f"event log written to {args.events}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    """``repro run``: execute an algorithm and report stats."""
+    """``repro run``: execute an algorithm and report stats.
+
+    With ``--trace``/``--events`` the run happens under an ambient
+    :class:`~repro.observability.probe.Probe` and the telemetry is
+    exported afterwards — ``repro run`` and ``repro profile`` share the
+    same instrumentation, they differ in emphasis (results vs telemetry).
+    """
+    if getattr(args, "trace", None) or getattr(args, "events", None):
+        from repro.observability.probe import Probe
+
+        probe = Probe()
+        with probe:
+            code = _run_body(args)
+        _export_probe(probe, args, args.algorithm)
+        return code
+    return _run_body(args)
+
+
+def _run_body(args: argparse.Namespace) -> int:
+    """The ``run`` command's algorithm dispatch (probe-agnostic)."""
     import repro.algorithms as alg
 
     g = _load_graph(args.graph, directed=not args.undirected)
@@ -286,6 +324,47 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"values written to {args.output}")
     elif args.head:
         print(f"first {args.head} values: {np.asarray(values)[: args.head]}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: run an algorithm under the probe, export traces.
+
+    With no graph argument a seeded weighted grid is generated, so
+    ``repro profile sssp --trace out.json`` works standalone (the CI
+    smoke-profile job relies on this).
+    """
+    from repro.observability.export import render_summary
+    from repro.observability.profile import profile_algorithm
+
+    if args.graph:
+        g = _load_graph(args.graph, directed=not args.undirected)
+    else:
+        from repro.graph import generators as gen
+
+        side = int(np.sqrt(1 << args.scale))
+        g = gen.grid_2d(side, side, weighted=True, seed=args.seed)
+        print(
+            f"profiling on generated {side}x{side} grid "
+            f"({g.n_vertices} vertices, {g.n_edges} edges)"
+        )
+    report = profile_algorithm(
+        g,
+        args.algorithm,
+        source=args.source,
+        policy=args.policy,
+        num_workers=args.workers,
+        trace=not args.no_spans,
+    )
+    if args.json:
+        print(json.dumps(report.summary_metrics(), indent=2, sort_keys=True))
+    else:
+        print(render_summary(report.probe, top=args.top))
+        print(
+            f"\n{args.algorithm}: {report.seconds * 1e3:.1f} ms end-to-end "
+            f"({len(report.probe.tracer) if report.probe.trace else 0} spans)"
+        )
+    _export_probe(report.probe, args, args.algorithm)
     return 0
 
 
@@ -412,7 +491,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="max attempts per faulted operation under chaos",
     )
+    p.add_argument(
+        "--trace",
+        help="run under the probe and write a Chrome/Perfetto trace here",
+    )
+    p.add_argument(
+        "--events",
+        help="run under the probe and write a JSONL event log here",
+    )
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="run an algorithm under the observability probe",
+    )
+    p.add_argument(
+        "algorithm",
+        choices=[
+            "sssp", "sssp_async", "sssp_delta", "bfs", "cc",
+            "pagerank", "pregel_pagerank",
+        ],
+    )
+    p.add_argument(
+        "graph",
+        nargs="?",
+        help="graph file (omitted: a seeded grid is generated)",
+    )
+    p.add_argument(
+        "--scale",
+        type=int,
+        default=12,
+        help="log2 vertex count of the generated grid (no graph given)",
+    )
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument(
+        "--policy",
+        choices=["seq", "par", "par_nosync", "par_vector"],
+        default="par_vector",
+    )
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--undirected", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace", help="write a Chrome/Perfetto trace (open in ui.perfetto.dev)"
+    )
+    p.add_argument("--events", help="write a JSONL event log")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print summary metrics as JSON instead of the table",
+    )
+    p.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="metrics-only profile (skip span collection)",
+    )
+    p.add_argument(
+        "--top", type=int, default=20, help="span rows in the summary table"
+    )
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("partition", help="partition a graph, report quality")
     p.add_argument("graph")

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.errors import CommunicationError, RetryExhausted
 from repro.comm.messages import Combiner
+from repro.observability.probe import active_probe
 from repro.resilience.chaos import FaultInjector, active_injector
 from repro.resilience.policy import ResiliencePolicy
 from repro.types import VERTEX_DTYPE
@@ -130,28 +131,41 @@ class MailboxRouter:
             raise CommunicationError(
                 f"destination vertex out of range [0, {self.owner_of.shape[0]})"
             )
-        injector = self._injector()
-        if injector is not None:
-            destinations, values = self._chaos_filter(
-                injector, destinations, values
-            )
-            if destinations.size == 0:
-                return
-        owners = self.owner_of[destinations]
-        if from_rank is not None:
-            remote = int(np.count_nonzero(owners != from_rank))
-            with self._stats_lock:
-                self.remote_messages += remote
-                self.local_messages += destinations.size - remote
-        for rank in np.unique(owners):
-            mask = owners == rank
-            buf = self._buffers[int(rank)]
-            batch = (destinations[mask], values[mask])
-            with buf.lock:
-                if self.delivery == "immediate":
-                    buf.deliverable.append(batch)
-                else:
-                    buf.pending.append(batch)
+        probe = active_probe()
+        with probe.span(
+            "mailbox:send", n_messages=int(destinations.size)
+        ) as span:
+            injector = self._injector()
+            if injector is not None:
+                destinations, values = self._chaos_filter(
+                    injector, destinations, values
+                )
+                if destinations.size == 0:
+                    return
+            owners = self.owner_of[destinations]
+            if from_rank is not None:
+                remote = int(np.count_nonzero(owners != from_rank))
+                with self._stats_lock:
+                    self.remote_messages += remote
+                    self.local_messages += destinations.size - remote
+                span.set("remote", remote)
+                if probe.enabled:
+                    probe.counter("comm.remote_messages", remote)
+                    probe.counter(
+                        "comm.local_messages",
+                        int(destinations.size) - remote,
+                    )
+            if probe.enabled:
+                probe.counter("comm.messages_sent", int(destinations.size))
+            for rank in np.unique(owners):
+                mask = owners == rank
+                buf = self._buffers[int(rank)]
+                batch = (destinations[mask], values[mask])
+                with buf.lock:
+                    if self.delivery == "immediate":
+                        buf.deliverable.append(batch)
+                    else:
+                        buf.pending.append(batch)
 
     # -- fault injection ---------------------------------------------------------------
 
@@ -236,6 +250,10 @@ class MailboxRouter:
         """
         if self.delivery == "immediate":
             return
+        with active_probe().span("mailbox:barrier"):
+            self._flush_barrier_body()
+
+    def _flush_barrier_body(self) -> None:
         injector = self._injector()
         counters = self._counters()
         for buf in self._buffers:
@@ -272,19 +290,24 @@ class MailboxRouter:
                 f"rank {rank} out of range [0, {self.n_ranks})"
             )
         buf = self._buffers[rank]
-        with buf.lock:
-            batches = buf.deliverable
-            buf.deliverable = []
-        if not batches:
-            return (
-                np.empty(0, dtype=VERTEX_DTYPE),
-                np.empty(0, dtype=np.float64),
-            )
-        destinations = np.concatenate([b[0] for b in batches])
-        values = np.concatenate([b[1] for b in batches])
-        if combiner is not None:
-            destinations, values = combiner.combine_bulk(destinations, values)
-        return destinations, values
+        with active_probe().span("mailbox:deliver", rank=rank) as span:
+            with buf.lock:
+                batches = buf.deliverable
+                buf.deliverable = []
+            if not batches:
+                span.set("n_messages", 0)
+                return (
+                    np.empty(0, dtype=VERTEX_DTYPE),
+                    np.empty(0, dtype=np.float64),
+                )
+            destinations = np.concatenate([b[0] for b in batches])
+            values = np.concatenate([b[1] for b in batches])
+            if combiner is not None:
+                destinations, values = combiner.combine_bulk(
+                    destinations, values
+                )
+            span.set("n_messages", int(destinations.size))
+            return destinations, values
 
     def has_messages(self) -> bool:
         """Whether any message (pending or deliverable) is in flight."""

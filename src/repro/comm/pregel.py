@@ -27,6 +27,7 @@ from repro.comm.mailbox import MailboxRouter
 from repro.comm.messages import Combiner
 from repro.graph.graph import Graph
 from repro.execution.thread_pool import get_pool
+from repro.observability.probe import active_probe
 from repro.types import VERTEX_DTYPE
 
 
@@ -227,73 +228,99 @@ class PregelEngine:
         rank_vertices = [router.vertices_of_rank(r) for r in range(self.n_ranks)]
         aggregates: Dict[str, float] = {}
 
+        probe = active_probe()
         for superstep in range(self.max_supersteps):
-            # Deliver messages sent last superstep.
-            router.flush_barrier()
-            inboxes: List[Dict[int, List[float]]] = []
-            rank_active: List[np.ndarray] = []
-            any_active = False
-            for rank in range(self.n_ranks):
-                dsts, vals = router.receive(rank, combiner)
-                inbox: Dict[int, List[float]] = {}
-                for d, v in zip(dsts.tolist(), vals.tolist()):
-                    inbox.setdefault(d, []).append(v)
-                # Message receipt reactivates halted vertices.
-                if dsts.size:
-                    halted[dsts] = False
-                inboxes.append(inbox)
-            for rank in range(self.n_ranks):
-                verts = rank_vertices[rank]
-                active = verts[~halted[verts]] if verts.size else verts
-                rank_active.append(active)
-                if active.size:
-                    any_active = True
-            if not any_active and not router.has_messages():
-                self.stats.supersteps = superstep
-                self._fold_router_stats(router)
-                return values
-
-            rank_aggregates: List[Dict[str, float]] = [
-                {} for _ in range(self.n_ranks)
-            ]
-
-            def run_rank(rank: int) -> None:
-                ctx = VertexContext(values, self.graph)
-                ctx.superstep = superstep
-                ctx._halted = halted
-                ctx._agg_in = aggregates
-                inbox = inboxes[rank]
-                for v in rank_active[rank]:
-                    v = int(v)
-                    ctx.vertex = v
-                    ctx.messages = inbox.get(v, [])
-                    program.compute(ctx)
-                if ctx._out_destinations:
-                    router.send(
-                        np.asarray(ctx._out_destinations, dtype=VERTEX_DTYPE),
-                        np.asarray(ctx._out_values, dtype=np.float64),
-                        from_rank=rank,
-                    )
-                    self.stats.total_messages += len(ctx._out_destinations)
-                rank_aggregates[rank] = ctx._agg_out
-
-            if self.parallel_ranks and self.n_ranks > 1:
-                pool = get_pool(min(self.n_ranks, 8))
-                pool.run_tasks(
-                    [lambda r=r: run_rank(r) for r in range(self.n_ranks)]
-                )
-            else:
+            with probe.span("superstep", iteration=superstep) as span:
+                # Deliver messages sent last superstep.
+                router.flush_barrier()
+                inboxes: List[Dict[int, List[float]]] = []
+                rank_active: List[np.ndarray] = []
+                any_active = False
                 for rank in range(self.n_ranks):
-                    run_rank(rank)
-            # Fold per-rank aggregator sums; visible next superstep.
-            aggregates = {}
-            for partial in rank_aggregates:
-                for key, val in partial.items():
-                    aggregates[key] = aggregates.get(key, 0.0) + val
+                    dsts, vals = router.receive(rank, combiner)
+                    inbox: Dict[int, List[float]] = {}
+                    for d, v in zip(dsts.tolist(), vals.tolist()):
+                        inbox.setdefault(d, []).append(v)
+                    # Message receipt reactivates halted vertices.
+                    if dsts.size:
+                        halted[dsts] = False
+                    inboxes.append(inbox)
+                for rank in range(self.n_ranks):
+                    verts = rank_vertices[rank]
+                    active = verts[~halted[verts]] if verts.size else verts
+                    rank_active.append(active)
+                    if active.size:
+                        any_active = True
+                span.set(
+                    "frontier_size",
+                    int(sum(a.size for a in rank_active)),
+                )
+                if not any_active and not router.has_messages():
+                    self.stats.supersteps = superstep
+                    self._fold_router_stats(router)
+                    self._report_metrics(probe)
+                    return values
+
+                rank_aggregates: List[Dict[str, float]] = [
+                    {} for _ in range(self.n_ranks)
+                ]
+
+                def run_rank(rank: int) -> None:
+                    with probe.span(
+                        "pregel:rank",
+                        rank=rank,
+                        active=int(rank_active[rank].size),
+                    ):
+                        ctx = VertexContext(values, self.graph)
+                        ctx.superstep = superstep
+                        ctx._halted = halted
+                        ctx._agg_in = aggregates
+                        inbox = inboxes[rank]
+                        for v in rank_active[rank]:
+                            v = int(v)
+                            ctx.vertex = v
+                            ctx.messages = inbox.get(v, [])
+                            program.compute(ctx)
+                        if ctx._out_destinations:
+                            router.send(
+                                np.asarray(
+                                    ctx._out_destinations, dtype=VERTEX_DTYPE
+                                ),
+                                np.asarray(ctx._out_values, dtype=np.float64),
+                                from_rank=rank,
+                            )
+                            self.stats.total_messages += len(
+                                ctx._out_destinations
+                            )
+                        rank_aggregates[rank] = ctx._agg_out
+
+                if self.parallel_ranks and self.n_ranks > 1:
+                    pool = get_pool(min(self.n_ranks, 8))
+                    pool.run_tasks(
+                        [lambda r=r: run_rank(r) for r in range(self.n_ranks)]
+                    )
+                else:
+                    for rank in range(self.n_ranks):
+                        run_rank(rank)
+                # Fold per-rank aggregator sums; visible next superstep.
+                aggregates = {}
+                for partial in rank_aggregates:
+                    for key, val in partial.items():
+                        aggregates[key] = aggregates.get(key, 0.0) + val
         raise ConvergenceError(
             f"Pregel program did not terminate within "
             f"{self.max_supersteps} supersteps"
         )
+
+    def _report_metrics(self, probe) -> None:
+        """Mirror :class:`PregelStats` into the ambient metrics registry
+        (the message-passing counterpart of ``MetricsRegistry.record_run``)."""
+        if not probe.enabled:
+            return
+        probe.counter("pregel.supersteps", self.stats.supersteps)
+        probe.counter("pregel.total_messages", self.stats.total_messages)
+        probe.counter("pregel.remote_messages", self.stats.remote_messages)
+        probe.counter("pregel.local_messages", self.stats.local_messages)
 
     def _fold_router_stats(self, router: MailboxRouter) -> None:
         self.stats.remote_messages = router.remote_messages

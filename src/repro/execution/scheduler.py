@@ -40,6 +40,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import AggregateWorkerError, ExecutionPolicyError
 from repro.frontier.queue import AsyncQueueFrontier
+from repro.observability.probe import active_probe
 from repro.resilience.chaos import active_injector
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.supervisor import WorkerSupervisor
@@ -138,6 +139,12 @@ class AsyncScheduler:
                 errors.append((worker_id, exc))
             stop.set()
 
+        # Captured once per run: the probe is the run-scoped ambient one,
+        # and `traced` hoists the enabled check out of the task loop so
+        # the disabled path adds nothing per task.
+        probe = active_probe()
+        traced = probe.enabled and probe.trace
+
         def worker(worker_id: int) -> None:
             while not stop.is_set():
                 # Death is drawn before claiming work, so a killed worker
@@ -148,7 +155,13 @@ class AsyncScheduler:
                 if item is None:
                     continue
                 try:
-                    execute(item)
+                    if traced:
+                        with probe.span(
+                            "scheduler:task", item=item, worker=worker_id
+                        ):
+                            execute(item)
+                    else:
+                        execute(item)
                     with processed_lock:
                         processed[0] += 1
                 except BaseException as exc:  # propagate to the caller
@@ -235,6 +248,8 @@ class AsyncScheduler:
             if len(errors) == 1:
                 raise errors[0][1]
             raise AggregateWorkerError(errors) from errors[0][1]
+        if probe.enabled:
+            probe.counter("scheduler.tasks_processed", processed[0])
         return processed[0]
 
     def _join_workers(self, threads: List[threading.Thread]) -> None:

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import ExecutionPolicyError
 from repro.execution.scheduler import ProcessFn
+from repro.observability.probe import active_probe
 from repro.utils.counters import WorkCounter
 from repro.utils.rng import resolve_rng
 
@@ -103,6 +104,9 @@ class WorkStealingScheduler:
         for i, item in enumerate(items):
             deques[i % self.num_workers].push(item)
 
+        probe = active_probe()
+        traced = probe.enabled and probe.trace
+
         def worker(wid: int) -> None:
             rng = resolve_rng(self.seed + wid)
             my = deques[wid]
@@ -113,6 +117,7 @@ class WorkStealingScheduler:
 
             idle_event = threading.Event()
             while not stop.is_set():
+                stolen = False
                 item = my.pop()
                 if item is None and self.num_workers > 1:
                     # Scan every victim once, in random order, before
@@ -124,13 +129,23 @@ class WorkStealingScheduler:
                         item = deques[victim].steal()
                         if item is not None:
                             steal_counts[wid] += 1
+                            stolen = True
                             break
                 if item is None:
                     # Nothing local, nothing stolen anywhere: brief backoff.
                     idle_event.wait(self.poll_timeout)
                     continue
                 try:
-                    process(item, push)
+                    if traced:
+                        with probe.span(
+                            "scheduler:task",
+                            item=item,
+                            worker=wid,
+                            stolen=stolen,
+                        ):
+                            process(item, push)
+                    else:
+                        process(item, push)
                     processed[wid] += 1
                 except BaseException as exc:
                     with errors_lock:
@@ -162,4 +177,7 @@ class WorkStealingScheduler:
         self.steals = sum(steal_counts)
         if errors:
             raise errors[0]
+        if probe.enabled:
+            probe.counter("scheduler.tasks_processed", sum(processed))
+            probe.counter("scheduler.steals", self.steals)
         return sum(processed)

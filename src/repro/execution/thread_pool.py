@@ -16,6 +16,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.observability.probe import active_probe
+
 _DEFAULT_CAP = 8
 
 
@@ -50,6 +52,14 @@ class ThreadPool:
             return []
         n_chunks = n_chunks or self.num_workers
         bounds = even_chunks(n_items, n_chunks)
+        probe = active_probe()
+        if probe.enabled and probe.trace:
+            inner = body
+
+            def body(s, e):  # noqa: F811 - traced overload of the chunk body
+                with probe.span("pool:task", start=s, stop=e):
+                    return inner(s, e)
+
         if len(bounds) == 1:
             # Single chunk: run inline, skip executor overhead.
             return [body(0, n_items)]
@@ -61,7 +71,18 @@ class ThreadPool:
         """Run arbitrary thunks to completion; barrier before returning."""
         if not tasks:
             return []
-        futures = [self._executor.submit(t) for t in tasks]
+        probe = active_probe()
+        if probe.enabled and probe.trace:
+            def traced(thunk, index):
+                with probe.span("pool:task", index=index):
+                    return thunk()
+
+            futures = [
+                self._executor.submit(traced, t, i)
+                for i, t in enumerate(tasks)
+            ]
+        else:
+            futures = [self._executor.submit(t) for t in tasks]
         wait(futures)
         return [f.result() for f in futures]
 

@@ -24,13 +24,17 @@ paper's policy-independence claim yields the same results, just slower.
 from __future__ import annotations
 
 import collections
+import threading
 from typing import Iterable, List, Optional, Union
 
 from repro.frontier.base import Frontier
 from repro.graph.graph import Graph
 from repro.execution.scheduler import AsyncScheduler, ProcessFn
+from repro.observability.probe import active_probe
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.supervisor import run_with_fallback
+from repro.utils.counters import IterationStats, RunStats
+from repro.utils.timing import WallClock
 
 
 class AsyncEnactor:
@@ -49,6 +53,13 @@ class AsyncEnactor:
         Optional fault tolerance: task retry and worker supervision go
         to the scheduler; when supervision allows degradation, repeated
         parallel failures fall back to a sequential drain.
+    collect_stats:
+        Account tasks/edges/wall time into :attr:`last_stats` — the same
+        :class:`~repro.utils.counters.RunStats` shape (and, under an
+        ambient probe, the same ``loop.*`` metric names) the BSP
+        enactors report, so profiles are uniform across timing models.
+        The whole run is one pseudo-iteration, since asynchrony has no
+        supersteps.
     """
 
     def __init__(
@@ -58,11 +69,15 @@ class AsyncEnactor:
         num_workers: int = 4,
         timeout: Optional[float] = 120.0,
         resilience: Optional[ResiliencePolicy] = None,
+        collect_stats: bool = True,
     ) -> None:
         self.graph = graph
         self.resilience = resilience
         self.scheduler = AsyncScheduler(num_workers, resilience=resilience)
         self.timeout = timeout
+        self.collect_stats = collect_stats
+        #: Stats of the most recent :meth:`run` (empty before any run).
+        self.last_stats = RunStats()
 
     def run(
         self,
@@ -74,27 +89,64 @@ class AsyncEnactor:
         ``process(vertex, push)`` handles one active vertex and calls
         ``push(u)`` for every vertex it re-activates.  Returns the total
         number of tasks processed (≥ the number of distinct vertices
-        touched, since re-activation re-processes).
+        touched, since re-activation re-processes); per-run accounting
+        lands in :attr:`last_stats`.
         """
         if isinstance(initial, Frontier):
             items = [int(v) for v in initial.to_indices()]
         else:
             items = [int(v) for v in initial]
 
+        probe = active_probe()
+        counted = process
+        edges = [0]
+        if self.collect_stats:
+            degrees = self.graph.csr().degrees()
+            edges_lock = threading.Lock()
+
+            def counted(item: int, push) -> None:  # noqa: F811
+                process(item, push)
+                d = int(degrees[item])
+                with edges_lock:
+                    edges[0] += d
+
         def parallel() -> int:
             return self.scheduler.run(
-                process, items, self.graph.n_vertices, timeout=self.timeout
+                counted, items, self.graph.n_vertices, timeout=self.timeout
             )
 
-        resilience = self.resilience
-        if resilience is None or resilience.supervision is None:
-            return parallel()
-        return run_with_fallback(
-            parallel,
-            lambda: self._run_sequential(items, process),
-            config=resilience.supervision,
-            counters=resilience.counters,
-        )
+        def execute() -> int:
+            resilience = self.resilience
+            if resilience is None or resilience.supervision is None:
+                return parallel()
+            return run_with_fallback(
+                parallel,
+                lambda: self._run_sequential(items, counted),
+                config=resilience.supervision,
+                counters=resilience.counters,
+            )
+
+        clock = WallClock()
+        with probe.span("async:run", seed_items=len(items)) as span:
+            with clock.measure():
+                processed = execute()
+            span.set("tasks_processed", processed)
+            span.set("edges_expanded", edges[0])
+        if self.collect_stats:
+            stats = RunStats()
+            stats.record(
+                IterationStats(
+                    iteration=0,
+                    frontier_size=processed,
+                    edges_touched=edges[0],
+                    seconds=clock.elapsed,
+                )
+            )
+            stats.converged = True
+            self.last_stats = stats
+            if probe.enabled:
+                probe.metrics.record_run(stats)
+        return processed
 
     def _run_sequential(self, items: List[int], process: ProcessFn) -> int:
         """Degraded mode: drain the task graph on the calling thread.

@@ -33,6 +33,7 @@ from repro.loop.convergence import (
     EmptyFrontier,
     LoopState,
 )
+from repro.observability.probe import active_probe
 from repro.resilience.chaos import active_injector
 from repro.resilience.checkpoint import Checkpoint, snapshot_arrays
 from repro.resilience.policy import ResiliencePolicy
@@ -105,6 +106,7 @@ class Enactor:
         if context:
             state.context.update(context)
         stats = RunStats()
+        probe = active_probe()
         degrees = self.graph.csr().degrees() if self.collect_stats else None
         checkpointing = (
             resilience is not None
@@ -115,7 +117,7 @@ class Enactor:
 
         if self.convergence(state):
             stats.converged = True
-            return stats
+            return self._finish(stats, probe)
 
         frontier = initial_frontier
         while True:
@@ -126,6 +128,7 @@ class Enactor:
                     f"{frontier.size() if frontier is not None else 'n/a'})"
                 )
             in_size = frontier.size() if frontier is not None else 0
+            edges_touched = 0
             if self.collect_stats:
                 edges_touched = (
                     int(degrees[frontier.to_indices()].sum())
@@ -133,7 +136,13 @@ class Enactor:
                     else 0
                 )
                 t0 = time.perf_counter()
-            frontier = self._run_step(step, frontier, state, resilience)
+            with probe.span(
+                "superstep",
+                iteration=state.iteration,
+                frontier_size=in_size,
+                edges_expanded=edges_touched,
+            ):
+                frontier = self._run_step(step, frontier, state, resilience)
             state.iteration += 1
             state.frontier = frontier
             if self.collect_stats:
@@ -147,12 +156,18 @@ class Enactor:
                 )
             if self.convergence(state):
                 stats.converged = True
-                return stats
+                return self._finish(stats, probe)
             if (
                 checkpointing
                 and state.iteration % resilience.checkpoint_every == 0
             ):
                 self._save_checkpoint(state, frontier, resilience, state_arrays)
+
+    def _finish(self, stats: RunStats, probe) -> RunStats:
+        """Fold the finished run into the ambient metrics registry."""
+        if probe.enabled:
+            probe.metrics.record_run(stats)
+        return stats
 
     def resume_from_checkpoint(
         self,
@@ -235,18 +250,19 @@ class Enactor:
         resilience: ResiliencePolicy,
         state_arrays: StateArrays,
     ) -> None:
-        previous = resilience.store.latest()
-        resilience.store.save(
-            Checkpoint(
-                superstep=state.iteration,
-                frontier_indices=frontier.to_indices()
-                if frontier is not None
-                else np.empty(0, dtype=np.int64),
-                capacity=frontier.capacity
-                if frontier is not None
-                else self.graph.n_vertices,
-                arrays=snapshot_arrays(state_arrays, previous),
-                context=dict(state.context),
+        with active_probe().span("checkpoint:save", superstep=state.iteration):
+            previous = resilience.store.latest()
+            resilience.store.save(
+                Checkpoint(
+                    superstep=state.iteration,
+                    frontier_indices=frontier.to_indices()
+                    if frontier is not None
+                    else np.empty(0, dtype=np.int64),
+                    capacity=frontier.capacity
+                    if frontier is not None
+                    else self.graph.n_vertices,
+                    arrays=snapshot_arrays(state_arrays, previous),
+                    context=dict(state.context),
+                )
             )
-        )
-        resilience.counters.increment("checkpoints_saved")
+            resilience.counters.increment("checkpoints_saved")

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import CheckpointError, ConvergenceError
 from repro.frontier.bucketed import BucketedFrontier
 from repro.graph.graph import Graph
+from repro.observability.probe import active_probe
 from repro.resilience.chaos import active_injector
 from repro.resilience.checkpoint import (
     KIND_PRIORITY,
@@ -77,6 +78,7 @@ class PriorityEnactor:
         and bucket-granular checkpointing, as in the BSP enactor.
         """
         stats = RunStats()
+        probe = active_probe()
         degrees = self.graph.csr().degrees() if self.collect_stats else None
         injector = resilience.active_chaos() if resilience else None
         checkpointing = (
@@ -96,18 +98,21 @@ class PriorityEnactor:
             processed = 0
             # Inner fixed point over the current bucket: the step may
             # re-activate elements back into it.
-            while frontier.size():
-                ids = frontier.take_current()
-                processed += ids.shape[0]
-                if self.collect_stats and ids.size:
-                    edges_touched += int(degrees[ids].sum())
-                activated_ids, activated_priorities = self._run_step(
-                    step, ids, frontier.current_bucket, injector, resilience
-                )
-                if len(activated_ids):
-                    frontier.add_with_priorities(
-                        activated_ids, activated_priorities
+            with probe.span("bucket", bucket=frontier.current_bucket) as span:
+                while frontier.size():
+                    ids = frontier.take_current()
+                    processed += ids.shape[0]
+                    if self.collect_stats and ids.size:
+                        edges_touched += int(degrees[ids].sum())
+                    activated_ids, activated_priorities = self._run_step(
+                        step, ids, frontier.current_bucket, injector, resilience
                     )
+                    if len(activated_ids):
+                        frontier.add_with_priorities(
+                            activated_ids, activated_priorities
+                        )
+                span.set("frontier_size", processed)
+                span.set("edges_expanded", edges_touched)
             if self.collect_stats:
                 stats.record(
                     IterationStats(
@@ -128,6 +133,8 @@ class PriorityEnactor:
             if not frontier.advance_bucket():
                 break
         stats.converged = True
+        if probe.enabled and self.collect_stats:
+            probe.metrics.record_run(stats)
         return stats
 
     def resume_from_checkpoint(
@@ -196,6 +203,18 @@ class PriorityEnactor:
         return resilience.execute(attempt, site=f"bucket:{bucket_index}")
 
     def _save_checkpoint(
+        self,
+        frontier: BucketedFrontier,
+        buckets_done: int,
+        resilience: ResiliencePolicy,
+        state_arrays: Dict[str, np.ndarray],
+    ) -> None:
+        with active_probe().span("checkpoint:save", superstep=buckets_done):
+            self._save_checkpoint_body(
+                frontier, buckets_done, resilience, state_arrays
+            )
+
+    def _save_checkpoint_body(
         self,
         frontier: BucketedFrontier,
         buckets_done: int,

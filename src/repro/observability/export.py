@@ -1,0 +1,280 @@
+"""Exporters: Chrome trace-event JSON, JSONL event log, terminal summary.
+
+Three consumers, three formats:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format (the ``chrome://tracing`` / Perfetto "JSON object" flavor): one
+  complete (``"ph": "X"``) event per span, one track per worker thread
+  (thread-name metadata events), span events as thread-scoped instants.
+  Open the file with https://ui.perfetto.dev or ``chrome://tracing``.
+* :func:`write_events_jsonl` — one JSON object per line (a ``meta``
+  header, then every span, then every metric), the machine-readable run
+  record scripts can grep or load incrementally.
+* :func:`render_summary` — the human-readable post-run table: span
+  aggregates by name, then the metrics snapshot.
+
+The matching validators (:func:`validate_chrome_trace`,
+:func:`validate_events_jsonl`) return a list of problems (empty = valid)
+and back both the CI schema check and the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.observability.span import Span
+from repro.observability.probe import Probe
+
+#: Schema tag stamped into both export formats.
+SCHEMA_VERSION = "repro-observability/v1"
+
+
+def _to_us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+# -- Chrome trace-event format ---------------------------------------------------------
+
+
+def to_chrome_trace(probe: Probe, *, process_name: str = "repro") -> Dict[str, Any]:
+    """Render the probe's spans as a Trace Event Format object.
+
+    Thread tracks are labelled with the Python thread names
+    (``repro-async-3``, ``repro-worker_0``, ``MainThread``), so a trace
+    of a threaded run shows exactly the per-worker timelines Gunrock's
+    workload characterization plots are built from.
+    """
+    spans = probe.tracer.spans() if probe.trace else []
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    threads: Dict[int, str] = {}
+    for span in spans:
+        threads.setdefault(span.thread_id, span.thread_name)
+    # Stable small tids: Perfetto sorts tracks by tid, so map thread
+    # idents to dense indices with the main thread first.
+    tid_of = {ident: i for i, ident in enumerate(sorted(threads))}
+    for ident, name in threads.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid_of[ident],
+                "args": {"name": name or f"thread-{ident}"},
+            }
+        )
+    for span in spans:
+        tid = tid_of[span.thread_id]
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(":")[0],
+                "ph": "X",
+                "ts": _to_us(span.start),
+                "dur": _to_us(span.duration),
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for ev in span.events:
+            events.append(
+                {
+                    "name": ev.name,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _to_us(ev.timestamp),
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {k: _jsonable(v) for k, v in ev.attrs.items()},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SCHEMA_VERSION,
+            "spans": len(spans),
+            "spans_dropped": probe.tracer.dropped if probe.trace else 0,
+        },
+    }
+
+
+def write_chrome_trace(probe: Probe, path: str, **kwargs: Any) -> None:
+    """Serialize :func:`to_chrome_trace` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(probe, **kwargs), fh)
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Schema-check a loaded Chrome trace object; returns problems."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"trace root must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "i", "B", "E"):
+            problems.append(f"{where} has unknown phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where} ({ph}) missing {key!r}")
+        if ph == "X":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where} complete event missing numeric ts")
+            if not isinstance(ev.get("dur"), (int, float)):
+                problems.append(f"{where} complete event missing numeric dur")
+            elif ev["dur"] < 0:
+                problems.append(f"{where} has negative duration")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where} instant event has invalid scope")
+    return problems
+
+
+# -- JSONL event log -------------------------------------------------------------------
+
+
+def write_events_jsonl(probe: Probe, path: str, **meta: Any) -> None:
+    """Write the run record: a meta header line, then spans, then metrics."""
+    spans = probe.tracer.spans() if probe.trace else []
+    header = {
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "wall_epoch": probe.tracer.wall_epoch if probe.trace else None,
+        "spans": len(spans),
+        "spans_dropped": probe.tracer.dropped if probe.trace else 0,
+    }
+    header.update({k: _jsonable(v) for k, v in meta.items()})
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for span in spans:
+            record = span.to_dict()
+            record["attrs"] = {
+                k: _jsonable(v) for k, v in record["attrs"].items()
+            }
+            fh.write(json.dumps(record) + "\n")
+        fh.write(
+            json.dumps({"type": "metrics", "values": probe.metrics.as_dict()})
+            + "\n"
+        )
+
+
+def validate_events_jsonl(lines: Iterable[str]) -> List[str]:
+    """Schema-check a JSONL event log given as an iterable of lines."""
+    problems: List[str] = []
+    saw_meta = saw_metrics = False
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i + 1}: invalid JSON ({exc})")
+            continue
+        kind = record.get("type")
+        if kind == "meta":
+            saw_meta = True
+            if record.get("schema") != SCHEMA_VERSION:
+                problems.append(
+                    f"line {i + 1}: schema {record.get('schema')!r} != "
+                    f"{SCHEMA_VERSION!r}"
+                )
+            if i != 0:
+                problems.append(f"line {i + 1}: meta must be the first line")
+        elif kind == "span":
+            for key in ("id", "name", "ts", "dur", "thread_id", "attrs"):
+                if key not in record:
+                    problems.append(f"line {i + 1}: span missing {key!r}")
+        elif kind == "metrics":
+            saw_metrics = True
+            if not isinstance(record.get("values"), dict):
+                problems.append(f"line {i + 1}: metrics missing values object")
+        else:
+            problems.append(f"line {i + 1}: unknown record type {kind!r}")
+    if not saw_meta:
+        problems.append("no meta header line")
+    if not saw_metrics:
+        problems.append("no metrics line")
+    return problems
+
+
+# -- terminal summary ------------------------------------------------------------------
+
+
+def render_summary(probe: Probe, *, top: int = 20) -> str:
+    """The post-run table: span aggregates by name, then metrics."""
+    out: List[str] = []
+    spans = probe.tracer.spans() if probe.trace else []
+    if spans:
+        by_name: Dict[str, List[Span]] = defaultdict(list)
+        for span in spans:
+            by_name[span.name].append(span)
+        total = sum(s.duration for s in spans if s.parent_id is None) or sum(
+            s.duration for s in spans
+        )
+        out.append(f"{'span':<28} {'count':>7} {'total':>11} {'mean':>10} {'share':>7}")
+        out.append("-" * 68)
+        rows = sorted(
+            by_name.items(),
+            key=lambda kv: -sum(s.duration for s in kv[1]),
+        )[:top]
+        for name, group in rows:
+            tot = sum(s.duration for s in group)
+            share = tot / total if total > 0 else 0.0
+            out.append(
+                f"{name:<28} {len(group):>7} {tot * 1e3:>8.3f} ms "
+                f"{tot / len(group) * 1e6:>7.1f} us {share:>6.1%}"
+            )
+        if probe.tracer.dropped:
+            out.append(f"(+{probe.tracer.dropped} spans dropped at buffer cap)")
+        out.append("")
+    metrics = probe.metrics.as_dict()
+    if metrics:
+        out.append(f"{'metric':<36} value")
+        out.append("-" * 68)
+        for name, value in metrics.items():
+            if isinstance(value, dict):  # histogram summary
+                out.append(
+                    f"{name:<36} n={value['count']} mean={value['mean']:.4g} "
+                    f"min={value['min']:.4g} max={value['max']:.4g}"
+                )
+            else:
+                out.append(f"{name:<36} {value}")
+    return "\n".join(out) if out else "(no telemetry recorded)"
+
+
+# -- helpers ---------------------------------------------------------------------------
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce NumPy scalars and other leaves into JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)

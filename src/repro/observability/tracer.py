@@ -1,0 +1,137 @@
+"""The :class:`Tracer` — nested-span recording with thread-safe buffering.
+
+One tracer observes one run (or one profiling session).  Every thread
+keeps its own span stack (``threading.local``), so spans nest correctly
+under the threaded scheduler: a worker's ``scheduler:task`` spans parent
+to whatever that *worker* has open, never to another thread's superstep.
+Completed spans land in one shared, lock-guarded, bounded buffer.
+
+Timing uses :meth:`repro.utils.timing.WallClock.measure` — each span
+owns a stopwatch started on entry and stopped on exit — and timestamps
+are ``perf_counter`` offsets from the tracer's epoch so spans recorded
+on different threads share a single monotonic timeline.
+
+The buffer is bounded (default one hundred thousand spans): a pathological
+run cannot exhaust memory through its own telemetry.  Overflow drops the
+*newest* spans and counts them in :attr:`Tracer.dropped`, which the
+exporters surface.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional
+
+from repro.utils.timing import WallClock
+from repro.observability.span import Span, SpanEvent
+
+#: Default cap on buffered spans (see module docstring).
+DEFAULT_MAX_SPANS = 100_000
+
+
+class Tracer:
+    """Collects nested spans from any number of threads.
+
+    Parameters
+    ----------
+    max_spans:
+        Buffer bound; completed spans beyond it are dropped (counted in
+        :attr:`dropped`), keeping telemetry overhead and memory bounded.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.max_spans = max_spans
+        #: Wall-clock epoch (``time.time``) paired with the perf epoch —
+        #: lets exporters translate offsets into absolute times.
+        self.wall_epoch = time.time()
+        self._perf_epoch = time.perf_counter()
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._local = threading.local()
+        self.dropped = 0
+
+    # -- clock -------------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the tracer epoch (shared across threads)."""
+        return time.perf_counter() - self._perf_epoch
+
+    # -- span stack --------------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; yields it so callers can ``.set()`` exit
+        attributes.  Always records, even when the body raises (the span
+        then carries an ``error`` attribute with the exception type)."""
+        thread = threading.current_thread()
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            start=self.now(),
+            parent_id=parent,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            attrs=attrs,
+        )
+        stack.append(span)
+        clock = WallClock()
+        try:
+            with clock.measure():
+                yield span
+        except BaseException as exc:
+            span.set("error", type(exc).__name__)
+            raise
+        finally:
+            stack.pop()
+            span.end = span.start + clock.elapsed
+            with self._lock:
+                if len(self._spans) < self.max_spans:
+                    self._spans.append(span)
+                else:
+                    self.dropped += 1
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration event on the calling thread's open span
+        (dropped silently when no span is open — events decorate spans,
+        they are not a standalone log)."""
+        span = self.current_span()
+        if span is None:
+            return
+        span.add_event(SpanEvent(name=name, timestamp=self.now(), attrs=attrs))
+
+    # -- buffer ------------------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Snapshot of completed spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        """Empty the buffer and reset the drop count."""
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0

@@ -1,0 +1,56 @@
+"""Schema checks as a command: ``python -m repro.observability.validate``.
+
+CI's smoke-profile job runs ``repro profile sssp --trace t.json --events
+e.jsonl`` and then this module over the outputs; a non-empty problem
+list is a failing exit code with the problems on stderr.  Files are
+dispatched by extension: ``*.jsonl`` is checked as an event log,
+anything else as a Chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.observability.export import (
+    validate_chrome_trace,
+    validate_events_jsonl,
+)
+
+
+def validate_file(path: str) -> List[str]:
+    """Validate one export file; returns its problems (empty = valid)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            if path.endswith(".jsonl"):
+                return validate_events_jsonl(fh)
+            return validate_chrome_trace(json.load(fh))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"could not read {path}: {exc}"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Validate each file argument; exit 0 iff all pass (2 on usage)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(
+            "usage: python -m repro.observability.validate "
+            "<trace.json|events.jsonl> [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for path in argv:
+        problems = validate_file(path)
+        if problems:
+            failed = True
+            for p in problems:
+                print(f"{path}: {p}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -51,6 +51,7 @@ from repro.execution.policy import (
     resolve_policy,
 )
 from repro.execution.thread_pool import get_pool
+from repro.observability.probe import active_probe
 from repro.types import VERTEX_DTYPE
 
 
@@ -249,6 +250,28 @@ def neighbors_expand(
         output_representation = "queue"
     output = _make_output(output_representation, graph.n_vertices)
 
+    probe = active_probe()
+    if not probe.enabled:
+        return _expand_dispatch(
+            policy, graph, frontier, condition, output, direction, candidates
+        )
+    with probe.span(
+        "operator:advance",
+        direction=direction,
+        policy=policy.name,
+        frontier_size=len(frontier),
+    ) as span:
+        result = _expand_dispatch(
+            policy, graph, frontier, condition, output, direction, candidates
+        )
+        span.set("output_size", len(result))
+        return result
+
+
+def _expand_dispatch(
+    policy, graph, frontier, condition, output, direction, candidates
+):
+    """Overload selection shared by the traced and untraced paths."""
     if direction == "pull":
         return _pull(graph, frontier, condition, output, candidates, policy)
 

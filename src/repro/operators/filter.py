@@ -27,6 +27,7 @@ from repro.execution.policy import (
     resolve_policy,
 )
 from repro.execution.thread_pool import even_chunks, get_pool
+from repro.observability.probe import active_probe
 
 
 def filter_frontier(
@@ -62,6 +63,21 @@ def filter_frontier(
     if vertices.size == 0:
         return output
 
+    probe = active_probe()
+    if not probe.enabled:
+        return _filter_dispatch(policy, vertices, predicate, output)
+    with probe.span(
+        "operator:filter",
+        policy=policy.name,
+        frontier_size=int(vertices.size),
+    ) as span:
+        result = _filter_dispatch(policy, vertices, predicate, output)
+        span.set("output_size", len(result))
+        return result
+
+
+def _filter_dispatch(policy, vertices, predicate, output):
+    """Overload selection shared by the traced and untraced paths."""
     if isinstance(policy, SequencedPolicy):
         for v in vertices:
             if predicate(int(v)):

@@ -25,6 +25,7 @@ from repro.execution.policy import (
     resolve_policy,
 )
 from repro.execution.thread_pool import even_chunks, get_pool
+from repro.observability.probe import active_probe
 
 _OPS = {
     "sum": (np.add.reduce, 0.0),
@@ -59,6 +60,17 @@ def reduce_values(
     selected = _selected(np.asarray(values), frontier)
     if selected.size == 0:
         return float(identity)
+    probe = active_probe()
+    if not probe.enabled:
+        return _reduce_dispatch(policy, reducer, selected)
+    with probe.span(
+        "operator:reduce", op=op, policy=policy.name, n=int(selected.size)
+    ):
+        return _reduce_dispatch(policy, reducer, selected)
+
+
+def _reduce_dispatch(policy, reducer, selected):
+    """Overload selection shared by the traced and untraced paths."""
     if isinstance(policy, (SequencedPolicy, VectorPolicy)):
         # Sequential and vectorized share NumPy's reduction; the "seq"
         # distinction matters for operators with user code, not for a

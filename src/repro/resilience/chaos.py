@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import FaultInjected, ResilienceError
+from repro.observability.probe import active_probe
 from repro.utils.rng import spawn_rngs
 
 #: Every fault kind an injector can produce, in stream-derivation order
@@ -189,6 +190,7 @@ class FaultInjector:
     def maybe_fail_task(self, site: str = "task") -> None:
         """Raise :class:`FaultInjected` at a task/superstep boundary."""
         if self.decide("task"):
+            active_probe().event("fault", kind="task", site=site)
             raise FaultInjected(
                 f"injected task fault at {site} "
                 f"(fault #{self.counts['task']}, seed={self.seed})"
@@ -197,6 +199,7 @@ class FaultInjector:
     def maybe_fail_io(self, site: str = "io") -> None:
         """Raise :class:`FaultInjected` at a graph-I/O boundary."""
         if self.decide("io"):
+            active_probe().event("fault", kind="io", site=site)
             raise FaultInjected(
                 f"injected transient I/O fault at {site} "
                 f"(fault #{self.counts['io']}, seed={self.seed})"
@@ -204,7 +207,10 @@ class FaultInjector:
 
     def should_kill_worker(self) -> bool:
         """Whether the asking worker thread dies now (silently exits)."""
-        return self.decide("worker_death")
+        if self.decide("worker_death"):
+            active_probe().event("fault", kind="worker_death")
+            return True
+        return False
 
     def split_messages(
         self, destinations: np.ndarray, values: np.ndarray

@@ -28,6 +28,7 @@ from repro.errors import (
     ResilienceError,
     RetryExhausted,
 )
+from repro.observability.probe import active_probe
 from repro.utils.counters import ResilienceCounters
 
 #: Exception types retried by default: chaos faults plus the transient
@@ -146,6 +147,12 @@ class RetryPolicy:
                 if out_of_budget:
                     if counters is not None:
                         counters.increment("retries_exhausted")
+                    active_probe().event(
+                        "retry:exhausted",
+                        site=site,
+                        attempts=attempt,
+                        error=type(exc).__name__,
+                    )
                     where = f" at {site}" if site else ""
                     raise RetryExhausted(
                         f"operation{where} failed after {attempt} attempts: "
@@ -154,6 +161,12 @@ class RetryPolicy:
                     ) from exc
                 if counters is not None:
                     counters.increment("tasks_retried")
+                active_probe().event(
+                    "retry",
+                    site=site,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
                 delay = self.delay_for(attempt - 1)
                 if delay > 0:
                     sleep(delay)

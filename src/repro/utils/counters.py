@@ -9,7 +9,24 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
+
+#: Process-wide forwarding hook the observability layer installs: while a
+#: probe is ambient, every ``ResilienceCounters.increment`` also lands in
+#: the probe's MetricsRegistry under the same name.  A plain module
+#: global (not observability imports) so ``utils`` stays dependency-free
+#: and the un-probed path costs a single ``is None`` check.
+_metrics_sink: Optional[Callable[[str, int], None]] = None
+
+
+def set_metrics_sink(sink: Optional[Callable[[str, int], None]]) -> None:
+    """Install (or with ``None`` remove) the counter-forwarding hook.
+
+    Called by :func:`repro.observability.probe.install_probe`; user code
+    normally never touches this directly.
+    """
+    global _metrics_sink
+    _metrics_sink = sink
 
 
 class WorkCounter:
@@ -91,11 +108,20 @@ class ResilienceCounters:
         self._lock = threading.Lock()
 
     def increment(self, name: str, n: int = 1) -> None:
-        """Add ``n`` occurrences of the named event."""
+        """Add ``n`` occurrences of the named event.
+
+        While an observability probe is ambient the count is mirrored
+        into its metrics registry under the same name (see
+        :func:`set_metrics_sink`), which is how the resilience layer's
+        telemetry and the loop/operator telemetry share one sink.
+        """
         if n < 0:
             raise ValueError(f"cannot count negative events, got {n}")
         with self._lock:
             self._counts[name] = self._counts.get(name, 0) + n
+        sink = _metrics_sink
+        if sink is not None:
+            sink(name, n)
 
     def __getitem__(self, name: str) -> int:
         with self._lock:

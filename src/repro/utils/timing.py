@@ -9,20 +9,31 @@ throughout — monotonic and the highest-resolution clock Python exposes.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 
 class WallClock:
-    """A start/stop stopwatch accumulating total elapsed seconds."""
+    """A start/stop stopwatch accumulating total elapsed seconds.
+
+    The clock is restartable: after :meth:`stop`, calling :meth:`start`
+    again resumes accumulation into :attr:`elapsed` (the shape the
+    tracing spans need — one clock per span, many measured sections per
+    clock).  Only starting an already *running* clock is an error.
+    """
 
     def __init__(self) -> None:
         self._start: Optional[float] = None
         self.elapsed: float = 0.0
 
     def start(self) -> "WallClock":
-        """Begin timing; returns self for chaining."""
-        if self._start is not None:
+        """Begin (or resume) timing; returns self for chaining.
+
+        Raises :class:`RuntimeError` only when the clock is currently
+        running — a stopped clock restarts and keeps accumulating.
+        """
+        if self.running:
             raise RuntimeError("WallClock already running")
         self._start = time.perf_counter()
         return self
@@ -43,6 +54,19 @@ class WallClock:
         """Zero the accumulator and stop any running measurement."""
         self._start = None
         self.elapsed = 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator["WallClock"]:
+        """Time the enclosed block: ``start()`` on entry, ``stop()`` on
+        exit (also on exception), yielding the clock.  Each use adds one
+        measured section to :attr:`elapsed`; the tracer wraps every span
+        body in one of these.
+        """
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
 
 
 @dataclass

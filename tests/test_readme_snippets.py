@@ -38,3 +38,23 @@ def test_raw_components_block():
     from repro import sssp
 
     assert np.allclose(dist, sssp(g, 0).distances, atol=1e-3)
+
+
+def test_observability_block(tmp_path):
+    import json
+
+    from repro import generators, sssp
+    from repro.observability.export import (
+        render_summary,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from repro.observability.probe import Probe
+
+    g = generators.rmat(8, 8, weighted=True, seed=7)
+    with Probe() as probe:
+        sssp(g, 0)
+    assert "superstep" in render_summary(probe)
+    path = tmp_path / "trace.json"
+    write_chrome_trace(probe, str(path))
+    assert validate_chrome_trace(json.loads(path.read_text())) == []
