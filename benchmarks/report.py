@@ -123,8 +123,22 @@ def _bootstrap_repro() -> None:
         sys.path.insert(0, src)
 
 
-def collect_entry(label: str = "") -> dict:
-    """Run the trajectory workloads under the probe; return the entry."""
+#: Trials per workload when collecting a trajectory entry.  MTEPS is a
+#: *throughput capacity* metric; a single run of these millisecond-scale
+#: workloads is dominated by scheduler noise and first-call
+#: initialization on a shared machine, so each workload runs
+#: ``TRAJECTORY_TRIALS`` times and the entry keeps the fastest run —
+#: the least-contaminated estimate of steady state.  The kept run's
+#: ``trials`` field records the count for provenance.
+TRAJECTORY_TRIALS = 5
+
+
+def collect_entry(label: str = "", trials: int = TRAJECTORY_TRIALS) -> dict:
+    """Run the trajectory workloads under the probe; return the entry.
+
+    Each workload is measured ``trials`` times on a fresh seeded graph
+    and the fastest run is recorded (see :data:`TRAJECTORY_TRIALS`).
+    """
     _bootstrap_repro()
     import numpy as np
 
@@ -134,12 +148,17 @@ def collect_entry(label: str = "") -> dict:
     workloads = []
     for spec in TRAJECTORY_WORKLOADS:
         side = int(np.sqrt(1 << spec["scale"]))
-        graph = gen.grid_2d(side, side, weighted=True, seed=0)
-        report = profile_algorithm(graph, spec["algorithm"])
-        entry = report.summary_metrics()
-        entry["name"] = spec["name"]
-        entry["scale"] = spec["scale"]
-        workloads.append(entry)
+        best = None
+        for _ in range(max(1, trials)):
+            graph = gen.grid_2d(side, side, weighted=True, seed=0)
+            report = profile_algorithm(graph, spec["algorithm"])
+            entry = report.summary_metrics()
+            if best is None or entry["seconds"] < best["seconds"]:
+                best = entry
+        best["name"] = spec["name"]
+        best["scale"] = spec["scale"]
+        best["trials"] = max(1, trials)
+        workloads.append(best)
     return {
         "schema": BENCH_SCHEMA,
         "label": label,

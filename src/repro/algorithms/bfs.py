@@ -21,9 +21,14 @@ from repro.frontier.sparse import SparseFrontier
 from repro.graph.graph import Graph
 from repro.loop.enactor import Enactor
 from repro.operators.advance import neighbors_expand
-from repro.operators.conditions import bulk_condition
+from repro.operators.fused import (
+    claim_levels_condition,
+    dedup_ids,
+    fused_kernel_of,
+)
 from repro.execution.policy import (
     ExecutionPolicy,
+    VectorPolicy,
     par_vector,
     resolve_policy,
 )
@@ -95,27 +100,41 @@ def bfs(
     if direction == "pull":
         graph.csc()  # materialize the transposed view up front
 
-    @bulk_condition
-    def discover(srcs, dsts, edges, weights):
-        # Claim destinations not yet visited.  Duplicate dsts within a
-        # batch both pass (several parents discover one child); the level
-        # write is idempotent and the parent write races benignly (any
-        # discovered parent is a valid BFS parent).  The seq overload calls
-        # this with scalars; normalize so one body serves both.
-        scalar = np.ndim(srcs) == 0
-        s = np.atleast_1d(np.asarray(srcs, dtype=np.int64))
-        d = np.atleast_1d(np.asarray(dsts, dtype=np.int64))
-        fresh = levels[d] == UNREACHED
-        if np.any(fresh):
-            dd = d[fresh]
-            levels[dd] = levels[s[fresh]] + 1
-            parents[dd] = s[fresh]
-        return bool(fresh[0]) if scalar else fresh
+    # Claim destinations not yet visited.  Duplicate dsts within a batch
+    # both pass (several parents discover one child); the level write is
+    # idempotent and the parent write races benignly (any discovered
+    # parent is a valid BFS parent).  The factory's condition carries a
+    # fused claim kernel, so the vectorized policy runs discovery as one
+    # pass; every other policy calls the condition exactly as before.
+    discover = claim_levels_condition(levels, parents, unreached=UNREACHED)
+
+    enactor = Enactor(graph)
+
+    # The fused claim kernel (vectorized policy) and every pull overload
+    # emit deduplicated frontiers already; only the unfused push paths
+    # may surface one child per discovering parent.
+    emits_sets = (
+        isinstance(policy, VectorPolicy)
+        and fused_kernel_of(discover) is not None
+    )
+
+    def _dedup(out):
+        # Dedup via the pooled bitmap round-trip; output stays a sorted
+        # set, same as the np.unique formulation, minus the sort.
+        ids = (
+            out.indices_view()
+            if isinstance(out, SparseFrontier)
+            else out.to_indices()
+        )
+        f = SparseFrontier(n)
+        f.add_many_trusted(dedup_ids(ids, n, enactor.workspace))
+        return f
 
     def push_step(frontier, state):
-        out = neighbors_expand(policy, graph, frontier, discover)
-        # Dedup: the dense round-trip keeps the frontier a set.
-        return SparseFrontier.from_indices(np.unique(out.to_indices()), n)
+        out = neighbors_expand(
+            policy, graph, frontier, discover, workspace=enactor.workspace
+        )
+        return out if emits_sets else _dedup(out)
 
     def pull_step(frontier, state):
         candidates = np.nonzero(levels == UNREACHED)[0].astype(VERTEX_DTYPE)
@@ -126,8 +145,9 @@ def bfs(
             discover,
             direction="pull",
             candidates=candidates,
+            workspace=enactor.workspace,
         )
-        return SparseFrontier.from_indices(np.unique(out.to_indices()), n)
+        return out if emits_sets else _dedup(out)
 
     if direction == "auto":
 
@@ -145,7 +165,6 @@ def bfs(
         step = push_step if direction == "push" else pull_step
 
     frontier = SparseFrontier.from_indices([source], n)
-    enactor = Enactor(graph)
     result.stats = enactor.run(
         frontier,
         step,

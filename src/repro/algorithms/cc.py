@@ -28,7 +28,7 @@ from repro.frontier.sparse import SparseFrontier
 from repro.graph.graph import Graph
 from repro.loop.enactor import Enactor
 from repro.operators.advance import neighbors_expand
-from repro.operators.conditions import bulk_condition
+from repro.operators.fused import dedup_ids, min_relax_condition
 from repro.execution.policy import (
     ExecutionPolicy,
     par_vector,
@@ -93,23 +93,27 @@ def _cc_label_propagation(graph: Graph, policy, *, resilience=None) -> CCResult:
     # reverse graph shares the same labels array.
     reverse = graph.reverse() if graph.properties.directed else None
 
-    @bulk_condition
-    def propagate(srcs, dsts, edges, weights):
-        cand = labels[srcs]
-        old = labels[dsts].copy()
-        np.minimum.at(labels, dsts, cand)
-        return cand < old
+    # Unweighted min-relax on the label array — the CC propagation is the
+    # same condition shape as SSSP's, so it rides the same fused kernel.
+    propagate = min_relax_condition(labels, weighted=False)
+
+    enactor = Enactor(graph)
 
     def step(frontier, state):
-        out = neighbors_expand(policy, graph, frontier, propagate)
+        out = neighbors_expand(
+            policy, graph, frontier, propagate, workspace=enactor.workspace
+        )
         merged = out.to_indices()
         if reverse is not None:
-            out_r = neighbors_expand(policy, reverse, frontier, propagate)
+            out_r = neighbors_expand(
+                policy, reverse, frontier, propagate, workspace=enactor.workspace
+            )
             merged = np.concatenate([merged, out_r.to_indices()])
-        return SparseFrontier.from_indices(np.unique(merged), n)
+        nxt = SparseFrontier(n)
+        nxt.add_many_trusted(dedup_ids(merged, n, enactor.workspace))
+        return nxt
 
     frontier = SparseFrontier.from_indices(np.arange(n, dtype=VERTEX_DTYPE), n)
-    enactor = Enactor(graph)
     stats = enactor.run(
         frontier, step, resilience=resilience, state_arrays={"labels": labels}
     )

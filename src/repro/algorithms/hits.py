@@ -16,6 +16,7 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
 from repro.utils.counters import RunStats
+from repro.operators.fused import segmented_sum
 
 
 @dataclass
@@ -53,16 +54,14 @@ def hits(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        new_auth = np.zeros(n, dtype=np.float64)
-        np.add.at(
-            new_auth, coo.cols, coo.vals.astype(np.float64) * hubs[coo.rows]
+        new_auth = segmented_sum(
+            coo.cols, coo.vals.astype(np.float64) * hubs[coo.rows], n
         )
         norm = np.linalg.norm(new_auth)
         if norm > 0:
             new_auth /= norm
-        new_hubs = np.zeros(n, dtype=np.float64)
-        np.add.at(
-            new_hubs, coo.rows, coo.vals.astype(np.float64) * new_auth[coo.cols]
+        new_hubs = segmented_sum(
+            coo.rows, coo.vals.astype(np.float64) * new_auth[coo.cols], n
         )
         norm = np.linalg.norm(new_hubs)
         if norm > 0:

@@ -31,6 +31,7 @@ from repro.execution.policy import (
     resolve_policy,
 )
 from repro.execution.thread_pool import even_chunks, get_pool
+from repro.operators.fused import segmented_sum
 from repro.utils.counters import RunStats
 
 
@@ -72,8 +73,7 @@ def pagerank(
     # Rank mass flows along edges in proportion to edge weight (degrees
     # for unit weights) — the same convention as networkx, so oracles
     # compare directly on weighted graphs.
-    out_weight = np.zeros(n, dtype=np.float64)
-    np.add.at(out_weight, coo.rows, coo.vals.astype(np.float64))
+    out_weight = segmented_sum(coo.rows, coo.vals.astype(np.float64), n)
     dangling = out_weight == 0
     ranks = np.full(n, 1.0 / n, dtype=np.float64)
 
@@ -82,9 +82,8 @@ def pagerank(
     def superstep_vector() -> None:
         r = state_box["ranks"]
         share = np.where(dangling, 0.0, r / np.maximum(out_weight, 1e-300))
-        incoming = np.zeros(n, dtype=np.float64)
-        np.add.at(
-            incoming, coo.cols, coo.vals.astype(np.float64) * share[coo.rows]
+        incoming = segmented_sum(
+            coo.cols, coo.vals.astype(np.float64) * share[coo.rows], n
         )
         dangling_mass = float(r[dangling].sum()) / n
         new_ranks = (1.0 - damping) / n + damping * (incoming + dangling_mass)

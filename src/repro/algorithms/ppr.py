@@ -22,6 +22,7 @@ from repro.graph.graph import Graph
 from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
 from repro.utils.counters import IterationStats, RunStats
 from repro.utils.validation import check_probability
+from repro.operators.fused import segmented_sum
 
 
 @dataclass
@@ -56,8 +57,7 @@ def personalized_pagerank(
     if int(seeds.min()) < 0 or int(seeds.max()) >= n:
         raise ValueError(f"seed ids must lie in [0, {n})")
     coo = graph.coo()
-    out_weight = np.zeros(n, dtype=np.float64)
-    np.add.at(out_weight, coo.rows, coo.vals.astype(np.float64))
+    out_weight = segmented_sum(coo.rows, coo.vals.astype(np.float64), n)
     dangling = out_weight == 0
 
     teleport = np.zeros(n, dtype=np.float64)
@@ -67,9 +67,8 @@ def personalized_pagerank(
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         share = np.where(dangling, 0.0, ranks / np.maximum(out_weight, 1e-300))
-        incoming = np.zeros(n, dtype=np.float64)
-        np.add.at(
-            incoming, coo.cols, coo.vals.astype(np.float64) * share[coo.rows]
+        incoming = segmented_sum(
+            coo.cols, coo.vals.astype(np.float64) * share[coo.rows], n
         )
         dangling_mass = float(ranks[dangling].sum())
         new_ranks = (

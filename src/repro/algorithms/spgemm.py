@@ -25,6 +25,7 @@ from repro.graph.csr import CSRMatrix
 from repro.graph.graph import Graph
 from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
 from repro.types import EDGE_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.operators.fused import segmented_sum
 
 
 def spgemm(
@@ -74,8 +75,8 @@ def spgemm(
         # Collapse duplicate (i, j) pairs.
         keys = i_rep.astype(np.int64) * n + j_dst.astype(np.int64)
         uniq, inverse = np.unique(keys, return_inverse=True)
-        summed = np.zeros(uniq.shape[0], dtype=np.float64)
-        np.add.at(summed, inverse, contrib)
+        # `inverse` covers 0..len(uniq)-1 densely: bincount territory.
+        summed = segmented_sum(inverse, contrib, uniq.shape[0])
         out_rows.append((uniq // n).astype(VERTEX_DTYPE))
         out_cols.append((uniq % n).astype(VERTEX_DTYPE))
         out_vals.append(summed.astype(WEIGHT_DTYPE))

@@ -25,6 +25,7 @@ from repro.execution.policy import (
     resolve_policy,
 )
 from repro.execution.thread_pool import even_chunks, get_pool
+from repro.operators.fused import segmented_sum
 
 
 def spmv(
@@ -49,7 +50,7 @@ def spmv(
 
     if isinstance(policy, VectorPolicy):
         coo = graph.coo()
-        np.add.at(y, coo.rows, coo.vals.astype(np.float64) * x[coo.cols])
+        y = segmented_sum(coo.rows, coo.vals.astype(np.float64) * x[coo.cols], n)
         return y
 
     def rows_span(start: int, stop: int) -> None:

@@ -33,9 +33,14 @@ from repro.graph.graph import Graph
 from repro.loop.enactor import Enactor
 from repro.loop.async_enactor import AsyncEnactor
 from repro.operators.advance import neighbors_expand
+from repro.operators.fused import (
+    dedup_ids,
+    fused_kernel_of,
+    min_relax_condition,
+)
 from repro.operators.uniquify import uniquify
-from repro.operators.conditions import bulk_condition, scalar_condition
-from repro.execution.atomics import AtomicArray, bulk_min_relax
+from repro.operators.conditions import scalar_condition
+from repro.execution.atomics import AtomicArray
 from repro.execution.policy import (
     ExecutionPolicy,
     SequencedPolicy,
@@ -43,7 +48,7 @@ from repro.execution.policy import (
     par_vector,
     resolve_policy,
 )
-from repro.types import INF, VALUE_DTYPE
+from repro.types import INF, VALUE_DTYPE, VERTEX_DTYPE
 from repro.utils.counters import RunStats
 from repro.utils.validation import check_vertex_in_range
 
@@ -70,6 +75,7 @@ def sssp(
     source: int,
     *,
     policy: Union[str, ExecutionPolicy] = par_vector,
+    direction: str = "push",
     output_representation: str = "sparse",
     deduplicate_frontier: bool = True,
     resilience=None,
@@ -85,8 +91,13 @@ def sssp(
     policy:
         Execution policy for the advance operator; the algorithm text is
         identical for all of them.
+    direction:
+        ``"push"``, ``"pull"``, or ``"auto"`` (Beamer heuristic per
+        superstep) — forwarded to the advance; results are identical in
+        every mode because min-relaxation is direction-agnostic.
     output_representation:
-        Frontier representation produced by the advance each superstep.
+        Frontier representation produced by the advance each superstep
+        (``"auto"`` switches sparse↔dense on frontier density).
     deduplicate_frontier:
         Uniquify between supersteps (saves re-relaxations; disable to
         observe the raw Listing 4 behavior, which is still correct).
@@ -118,11 +129,18 @@ def sssp(
             return new_d < curr_d
 
     else:
+        # Bulk + fused: same relaxation, with the single-pass kernel
+        # attached so the vectorized policy skips the generic pipeline.
+        condition = min_relax_condition(dist)
 
-        @bulk_condition
-        def condition(srcs, dsts, edges, weights):
-            new_d = dist[srcs] + weights
-            return bulk_min_relax(dist, dsts, new_d)
+    enactor = Enactor(graph)
+
+    # The fused kernel emits deduplicated frontiers; the explicit
+    # uniquify pass is only needed on the unfused routes.
+    emits_sets = (
+        isinstance(policy, VectorPolicy)
+        and fused_kernel_of(condition) is not None
+    )
 
     def step(f, state):
         out = neighbors_expand(
@@ -130,13 +148,14 @@ def sssp(
             graph,
             f,
             condition,
+            direction=direction,
             output_representation=output_representation,
+            workspace=enactor.workspace,
         )
-        if deduplicate_frontier:
-            out = uniquify(policy, out)
+        if deduplicate_frontier and not emits_sets:
+            out = uniquify(policy, out, workspace=enactor.workspace)
         return out
 
-    enactor = Enactor(graph)
     stats = enactor.run(
         frontier, step, resilience=resilience, state_arrays={"dist": dist}
     )
@@ -215,35 +234,33 @@ def sssp_delta_stepping(
     dist = np.full(n, INF, dtype=VALUE_DTYPE)
     dist[source] = 0.0
     light = csr.values < delta
+    heavy = ~light
     stats = RunStats()
 
-    @bulk_condition
-    def relax_light(srcs, dsts, edges, weights):
-        mask = light[edges]
-        new_d = np.where(mask, dist[srcs] + weights, INF)
-        return bulk_min_relax(dist, dsts, new_d) & mask
+    # Edge-masked fused relaxations (push-only kernels: the mask indexes
+    # CSR edge ids).  Identical semantics to the handwritten
+    # where(mask, new_d, INF) conditions under every policy.
+    relax_light = min_relax_condition(dist, edge_mask=light)
+    relax_heavy = min_relax_condition(dist, edge_mask=heavy)
 
-    @bulk_condition
-    def relax_heavy(srcs, dsts, edges, weights):
-        mask = ~light[edges]
-        new_d = np.where(mask, dist[srcs] + weights, INF)
-        return bulk_min_relax(dist, dsts, new_d) & mask
-
+    from repro.execution.workspace import Workspace
     from repro.utils.counters import IterationStats
     import time as _time
 
+    workspace = Workspace()
     bucket_idx = 0
     finalized = np.zeros(n, dtype=bool)
-
-    def in_current_bucket() -> np.ndarray:
-        return (
-            (dist >= bucket_idx * delta)
-            & (dist < (bucket_idx + 1) * delta)
-            & ~finalized
-        )
+    # Fused kernels emit deduplicated frontiers already.
+    emits_sets = (
+        isinstance(policy, VectorPolicy)
+        and fused_kernel_of(relax_light) is not None
+    )
 
     while True:
-        active = np.nonzero(in_current_bucket())[0]
+        lo = bucket_idx * delta
+        hi = lo + delta
+        candidates = (dist >= lo) & (dist < hi) & ~finalized
+        active = np.nonzero(candidates)[0]
         if active.size == 0:
             pending = dist[~finalized & (dist < INF)]
             if pending.size == 0:
@@ -259,19 +276,35 @@ def sssp_delta_stepping(
         in_r = np.zeros(n, dtype=bool)
         while active.size:
             in_r[active] = True
-            f = SparseFrontier.from_indices(active, n)
+            f = SparseFrontier(n)
+            f.add_many_trusted(active.astype(VERTEX_DTYPE, copy=False))
             edges_touched += int(csr.degrees_of(f.indices_view()).sum())
-            out = neighbors_expand(policy, graph, f, relax_light)
-            touched = np.unique(out.to_indices())
-            mask = in_current_bucket()
-            active = touched[mask[touched]] if touched.size else touched
+            out = neighbors_expand(
+                policy, graph, f, relax_light, workspace=workspace
+            )
+            out_ids = (
+                out.indices_view()
+                if isinstance(out, SparseFrontier)
+                else out.to_indices()
+            )
+            touched = (
+                out_ids if emits_sets else dedup_ids(out_ids, n, workspace)
+            )
+            if touched.size:
+                # Re-admit only vertices whose (just-relaxed) distance
+                # still lands in this bucket — a gather over the touched
+                # set, not a fresh full-length bucket mask per round.
+                dt = dist[touched]
+                active = touched[(dt >= lo) & (dt < hi) & ~finalized[touched]]
+            else:
+                active = touched
         # Distances of this bucket are now final; one heavy relaxation
         # from R completes the bucket.
         members = np.nonzero(in_r)[0]
         finalized[members] = True
         f = SparseFrontier.from_indices(members, n)
         edges_touched += int(csr.degrees_of(f.indices_view()).sum())
-        neighbors_expand(policy, graph, f, relax_heavy)
+        neighbors_expand(policy, graph, f, relax_heavy, workspace=workspace)
         stats.record(
             IterationStats(
                 iteration=bucket_idx,

@@ -102,6 +102,22 @@ class SparseFrontier(Frontier):
         self._data[self._size : self._size + arr.shape[0]] = arr
         self._size += arr.shape[0]
 
+    def add_many_trusted(self, arr: np.ndarray) -> None:
+        """Bulk append of ids already known to be valid.
+
+        The fused kernels call this with ids read straight out of the
+        graph's own ``column_indices`` / ``row_indices`` arrays — in
+        range by construction — so the range check and dtype round-trip
+        of :meth:`add_many` would be pure overhead on the hot path.
+        Never pass user-supplied ids here.
+        """
+        k = arr.shape[0]
+        if k == 0:
+            return
+        self._reserve(k)
+        self._data[self._size : self._size + k] = arr
+        self._size += k
+
     def clear(self) -> None:
         self._size = 0
 

@@ -34,6 +34,7 @@ from repro.loop.convergence import (
     LoopState,
 )
 from repro.observability.probe import active_probe
+from repro.execution.workspace import Workspace
 from repro.resilience.chaos import active_injector
 from repro.resilience.checkpoint import Checkpoint, snapshot_arrays
 from repro.resilience.policy import ResiliencePolicy
@@ -80,6 +81,10 @@ class Enactor:
         self.convergence = convergence or EmptyFrontier()
         self.max_iterations = max_iterations
         self.collect_stats = collect_stats
+        #: Pooled scratch buffers, reused across this enactor's supersteps.
+        #: Algorithms thread it into operators via ``workspace=``; sharing
+        #: one workspace across concurrently-running enactors is not safe.
+        self.workspace = Workspace()
 
     def run(
         self,
@@ -130,11 +135,13 @@ class Enactor:
             in_size = frontier.size() if frontier is not None else 0
             edges_touched = 0
             if self.collect_stats:
-                edges_touched = (
-                    int(degrees[frontier.to_indices()].sum())
-                    if frontier is not None and in_size
-                    else 0
-                )
+                if frontier is not None and in_size:
+                    active = (
+                        frontier.indices_view()
+                        if isinstance(frontier, SparseFrontier)
+                        else frontier.to_indices()
+                    )
+                    edges_touched = int(degrees.take(active).sum())
                 t0 = time.perf_counter()
             with probe.span(
                 "superstep",

@@ -87,7 +87,7 @@ def to_chrome_trace(probe: Probe, *, process_name: str = "repro") -> Dict[str, A
                 "args": args,
             }
         )
-        for ev in span.events:
+        for ev in span.events or ():
             events.append(
                 {
                     "name": ev.name,

@@ -23,7 +23,19 @@ Direction (§III-C): ``push`` walks out-edges of active sources via the
 CSR view; ``pull`` walks in-edges of *candidate* vertices via the CSC
 view and asks whether any active in-neighbor satisfies the condition.
 Pull hands the condition CSC edge positions (documented, since edge ids
-then index the transposed layout).
+then index the transposed layout).  ``direction="auto"`` picks per call
+via the Beamer alpha/beta heuristic; ``output_representation="auto"``
+picks sparse vs dense from the input frontier's density (both in
+:mod:`repro.operators.fused`).
+
+Conditions built by the fused factories
+(:func:`~repro.operators.fused.min_relax_condition`,
+:func:`~repro.operators.fused.claim_levels_condition`) carry a
+single-pass kernel; under the vectorized policy ``neighbors_expand``
+routes through it — same signature, same results, one pass instead of
+gather → condition → scatter.  The optional ``workspace=`` reuses
+scratch buffers across calls (see
+:mod:`repro.execution.workspace`).
 """
 
 from __future__ import annotations
@@ -41,6 +53,13 @@ from repro.frontier.queue import AsyncQueueFrontier
 from repro.frontier.sparse import SparseFrontier
 from repro.graph.graph import Graph
 from repro.operators.conditions import apply_edge_condition
+from repro.operators.fused import (
+    _gather_segments,
+    choose_direction,
+    choose_representation,
+    dedup_ids,
+    fused_kernel_of,
+)
 from repro.operators.load_balance import make_chunks
 from repro.execution.policy import (
     ExecutionPolicy,
@@ -96,11 +115,27 @@ def _push_seq(graph, vertices, condition, output):
     return output
 
 
-def _push_vector(graph, vertices, condition, output):
+def _push_vector(graph, vertices, condition, output, workspace=None):
     csr = graph.csr()
-    sources, dests, edges, weights = csr.expand_vertices(vertices)
+    if workspace is None:
+        sources, dests, edges, weights = csr.expand_vertices(vertices)
+        if dests.size == 0:
+            return output
+    else:
+        edges, counts = _gather_segments(csr.row_offsets, vertices, workspace)
+        if edges is None:
+            return output
+        sources = np.repeat(vertices, counts)
+        dests = workspace.take("advance.dsts", csr.column_indices, edges)
+        weights = workspace.take("advance.wts", csr.values, edges)
     mask = apply_edge_condition(condition, sources, dests, edges, weights)
-    output.add_many(dests[mask])
+    passed = dests[mask]
+    # Destinations come from the graph's own column_indices: in range by
+    # construction, so the sparse output can skip re-validation.
+    if isinstance(output, SparseFrontier):
+        output.add_many_trusted(passed)
+    else:
+        output.add_many(passed)
     return output
 
 
@@ -154,7 +189,7 @@ def _push_threaded(policy, graph, vertices, condition, output, *, ordered_merge)
 # -- pull implementation ----------------------------------------------------------
 
 
-def _pull(graph, frontier, condition, output, candidates, policy):
+def _pull(graph, frontier, condition, output, candidates, policy, workspace=None):
     """Pull advance: for each candidate, scan in-edges from active sources.
 
     A candidate joins the output if **any** of its in-edges from an
@@ -167,8 +202,16 @@ def _pull(graph, frontier, condition, output, candidates, policy):
     if isinstance(frontier, DenseFrontier):
         active = frontier.flags_view()
     else:
-        active = np.zeros(n, dtype=bool)
-        idx = frontier.to_indices()
+        active = (
+            workspace.cleared("advance.active", n, bool)
+            if workspace is not None
+            else np.zeros(n, dtype=bool)
+        )
+        idx = (
+            frontier.indices_view()
+            if isinstance(frontier, SparseFrontier)
+            else frontier.to_indices()
+        )
         if idx.size:
             active[idx] = True
     if candidates is None:
@@ -192,7 +235,7 @@ def _pull(graph, frontier, condition, output, candidates, policy):
         return output
     srcs, dsts, eids, wts = srcs[live], dsts[live], eids[live], wts[live]
     mask = apply_edge_condition(condition, srcs, dsts, eids, wts)
-    winners = np.unique(dsts[mask])
+    winners = dedup_ids(dsts[mask], n, workspace)
     output.add_many(winners)
     return output
 
@@ -209,6 +252,7 @@ def neighbors_expand(
     direction: str = "push",
     output_representation: str = "sparse",
     candidates: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> Frontier:
     """Expand ``frontier`` along graph edges, keeping edges that satisfy
     ``condition`` (Listing 3).
@@ -226,13 +270,22 @@ def neighbors_expand(
         ``cond(src, dst, edge, weight) -> bool`` — scalar, bulk, or both
         (see :mod:`repro.operators.conditions`).
     direction:
-        ``"push"`` (expand out-edges of active vertices) or ``"pull"``
-        (test in-edges of ``candidates`` against the active set).
+        ``"push"`` (expand out-edges of active vertices), ``"pull"``
+        (test in-edges of ``candidates`` against the active set), or
+        ``"auto"`` (Beamer alpha/beta heuristic picks per call from
+        frontier size × average degree).
     output_representation:
-        ``"sparse"`` | ``"dense"`` | ``"queue"`` for the output frontier.
-        ``par_nosync`` defaults to (and is most useful with) ``"queue"``.
+        ``"sparse"`` | ``"dense"`` | ``"queue"`` for the output frontier,
+        or ``"auto"`` (dense once the input frontier passes the density
+        threshold).  ``par_nosync`` defaults to (and is most useful
+        with) ``"queue"``.
     candidates:
         Pull only: vertex ids to consider (default: every vertex).
+    workspace:
+        Optional :class:`~repro.execution.workspace.Workspace` whose
+        pooled buffers the vectorized/pull/fused paths reuse across
+        calls.  ``None`` falls back to plain allocation.  Must not be
+        shared with the threaded policies' chunk bodies.
 
     Returns
     -------
@@ -243,45 +296,70 @@ def neighbors_expand(
         or use a dense output for set semantics.
     """
     policy = resolve_policy(policy)
+    if direction == "auto":
+        direction = choose_direction(graph, frontier)
     if direction not in ("push", "pull"):
-        raise ValueError(f"direction must be 'push' or 'pull', got {direction!r}")
+        raise ValueError(
+            f"direction must be 'push', 'pull', or 'auto', got {direction!r}"
+        )
+    if output_representation == "auto":
+        output_representation = choose_representation(frontier)
     if isinstance(policy, ParallelNoSyncPolicy) and output_representation == "sparse":
         # The natural pairing for the asynchronous overload.
         output_representation = "queue"
     output = _make_output(output_representation, graph.n_vertices)
 
+    # Fused single-pass routing: only the vectorized overload, and only
+    # when the condition carries a kernel that supports the direction
+    # (edge-masked kernels are push-only — CSC edge ids index the
+    # transposed layout).
+    kernel = None
+    if isinstance(policy, VectorPolicy):
+        kernel = fused_kernel_of(condition)
+        if kernel is not None and direction == "pull" and not kernel.supports_pull:
+            kernel = None
+
     probe = active_probe()
     if not probe.enabled:
         return _expand_dispatch(
-            policy, graph, frontier, condition, output, direction, candidates
+            policy, graph, frontier, condition, output, direction, candidates,
+            kernel, workspace,
         )
     with probe.span(
         "operator:advance",
         direction=direction,
         policy=policy.name,
         frontier_size=len(frontier),
+        fused=kernel is not None,
+        representation=output_representation,
     ) as span:
         result = _expand_dispatch(
-            policy, graph, frontier, condition, output, direction, candidates
+            policy, graph, frontier, condition, output, direction, candidates,
+            kernel, workspace,
         )
         span.set("output_size", len(result))
         return result
 
 
 def _expand_dispatch(
-    policy, graph, frontier, condition, output, direction, candidates
+    policy, graph, frontier, condition, output, direction, candidates,
+    kernel=None, workspace=None,
 ):
     """Overload selection shared by the traced and untraced paths."""
     if direction == "pull":
-        return _pull(graph, frontier, condition, output, candidates, policy)
+        if kernel is not None:
+            return kernel.pull(graph, frontier, candidates, output, workspace)
+        return _pull(graph, frontier, condition, output, candidates, policy, workspace)
 
     vertices = _frontier_vertices(frontier)
     if vertices.size == 0:
         return output
+    if kernel is not None:
+        return kernel.push(graph, vertices, output, workspace)
     if isinstance(policy, SequencedPolicy):
         return _push_seq(graph, vertices, condition, output)
     if isinstance(policy, VectorPolicy):
-        return _push_vector(graph, vertices, condition, output)
+        return _push_vector(graph, vertices, condition, output, workspace)
     if isinstance(policy, ParallelPolicy):
         return _push_threaded(
             policy, graph, vertices, condition, output, ordered_merge=True

@@ -1,0 +1,540 @@
+"""Fused advance kernels and frontier-adaptive dispatch heuristics.
+
+The operator chain the paper composes per superstep — advance, apply
+the user condition, scatter the survivors into the output frontier —
+is semantically three steps but does not have to be three *passes*.
+For the condition shapes that dominate graph analytics the whole chain
+collapses into one vectorized kernel (Gunrock's fused-operator trick):
+
+* **min-relax** — SSSP / delta-stepping / CC label propagation:
+  ``candidate = values[src] (+ weight); atomic-min into values[dst];
+  emit improved destinations``;
+* **claim-unvisited** — BFS discovery: ``emit destinations whose level
+  is unset, stamping level and parent``;
+* **sum-aggregate** — PageRank / HITS / SpMV: a dense segmented sum,
+  provided here as :func:`segmented_sum` (``np.bincount`` beats
+  ``np.add.at`` by an order of magnitude on dense index arrays).
+
+Algorithms opt in by building their condition through a factory below
+(:func:`min_relax_condition`, :func:`claim_levels_condition`).  The
+result is an ordinary bulk condition — byte-identical under every
+policy — that additionally carries a :class:`FusedKernel`;
+``neighbors_expand`` detects the kernel and, under the vectorized
+policy, routes the whole superstep through the single-pass form
+instead of the generic gather → condition → scatter pipeline.  Every
+other policy ignores the kernel and runs the condition unchanged, so
+fusion never forks semantics.
+
+The same module holds the frontier-adaptive dispatch heuristics the
+enactor layer uses (§III-C's direction choice, made per-iteration):
+:func:`choose_direction` is the Beamer alpha/beta push↔pull rule driven
+by frontier size × average degree; :class:`DirectionOptimizer` adds the
+hysteresis (stay pulled until the frontier re-narrows);
+:func:`choose_representation` picks sparse vs dense output frontiers at
+a density threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.frontier.base import Frontier
+from repro.frontier.dense import DenseFrontier
+from repro.frontier.sparse import SparseFrontier
+from repro.graph.graph import Graph
+from repro.operators.conditions import bulk_condition
+from repro.execution.atomics import bulk_min_relax
+from repro.execution.workspace import Workspace
+from repro.types import INF, VERTEX_DTYPE
+
+#: Attribute carrying a condition's fused kernel (when eligible).
+FUSED_ATTR = "__repro_fused_kernel__"
+
+#: Beamer direction-optimization defaults (alpha: push→pull when the
+#: frontier's edge estimate exceeds m/alpha; beta: pull→push when the
+#: frontier shrinks under n/beta).
+DEFAULT_ALPHA = 14.0
+DEFAULT_BETA = 24.0
+
+#: Output frontiers denser than this fraction of the graph switch to
+#: the bitmap representation (measured on the *input* frontier, the
+#: best single predictor available before the expand runs).
+DENSE_REPRESENTATION_THRESHOLD = 0.05
+
+
+def fused_kernel_of(condition: Callable) -> Optional["FusedKernel"]:
+    """The fused kernel attached to ``condition``, if any."""
+    return getattr(condition, FUSED_ATTR, None)
+
+
+# -- output plumbing (trusted: ids come from the graph's own arrays) -----------
+
+
+def _emit(output: Frontier, ids: np.ndarray) -> Frontier:
+    """Append ``ids`` (already-validated vertex ids) to ``output``."""
+    if isinstance(output, SparseFrontier):
+        output.add_many_trusted(ids)
+    elif isinstance(output, DenseFrontier):
+        output.add_many(ids)
+    else:  # queue or exotic frontier: generic path
+        output.add_many(ids)
+    return output
+
+
+# -- fused kernels ---------------------------------------------------------------
+
+
+class FusedKernel:
+    """A single-pass advance+condition+scatter kernel.
+
+    ``push`` expands the frontier's out-edges via the CSR;
+    ``pull`` tests candidates' in-edges against the active set via the
+    CSC.  Both must apply exactly the state mutations the generic
+    pipeline would for the same condition, and emit the same output
+    *set* — fused kernels additionally deduplicate and sort their
+    emission (the bitmap round-trip is nearly free inside the kernel),
+    so algorithms can skip their own between-superstep dedup pass when
+    the fused route is active.
+    """
+
+    name = "fused"
+    supports_pull = True
+
+    def push(
+        self,
+        graph: Graph,
+        vertices: np.ndarray,
+        output: Frontier,
+        workspace: Optional[Workspace],
+    ) -> Frontier:
+        """Expand ``vertices``' out-edges (CSR), mutate state, emit into
+        ``output``."""
+        raise NotImplementedError
+
+    def pull(
+        self,
+        graph: Graph,
+        frontier: Frontier,
+        candidates: Optional[np.ndarray],
+        output: Frontier,
+        workspace: Optional[Workspace],
+    ) -> Frontier:
+        """Scan ``candidates``' in-edges (CSC) against the active
+        ``frontier``, mutate state, emit into ``output``."""
+        raise NotImplementedError
+
+
+def _gather_segments(offsets, vertices, workspace):
+    """Multi-range gather bookkeeping shared by the fused kernels.
+
+    Returns ``(edge_ids, counts)`` — the flat positions of every edge
+    incident to ``vertices`` in the given offsets array, and the
+    per-vertex segment lengths.  Uses the workspace's cached ramp so the
+    steady state allocates only the two ``repeat`` outputs.
+
+    Written in method/``out=`` form (``.take``, ``.repeat``, in-place
+    arithmetic into just-produced temporaries): on superstep-sized
+    frontiers every avoided Python-level ufunc dispatch is a visible
+    fraction of the kernel.
+    """
+    starts = offsets.take(vertices)
+    ends = offsets.take(vertices + 1)
+    counts = np.subtract(ends, starts, out=starts)  # starts dies here
+    cum = counts.cumsum()
+    total = int(cum[-1]) if counts.size else 0
+    if total == 0:
+        return None, counts
+    # Segment base of each edge slot: ends - cum == starts - (cum - counts).
+    base = np.subtract(ends, cum, out=ends)  # ends dies here
+    edge_ids = base.repeat(counts)
+    ramp = (
+        workspace.arange(total)
+        if workspace is not None
+        else np.arange(total, dtype=edge_ids.dtype)
+    )
+    np.add(ramp, edge_ids, out=edge_ids)
+    return edge_ids, counts
+
+
+def dedup_ids(
+    ids: np.ndarray, capacity: int, workspace: Optional[Workspace] = None
+) -> np.ndarray:
+    """Sorted duplicate-free copy of ``ids`` via a bitmap round-trip.
+
+    O(k + n) scatter/gather instead of ``np.unique``'s O(k log k) sort —
+    the per-superstep dedup cost for frontiers that are any appreciable
+    fraction of the graph, with the flag buffer pooled when a workspace
+    is supplied.  (``np.unique`` also lazily imports ``numpy.ma`` on
+    first use, a one-time hit that would otherwise land inside the first
+    timed superstep of a cold process.)
+    """
+    if workspace is not None:
+        flags = workspace.cleared("dedup.flags", capacity, bool)
+    else:
+        flags = np.zeros(capacity, dtype=bool)
+    flags[ids] = True
+    return np.nonzero(flags)[0].astype(VERTEX_DTYPE, copy=False)
+
+
+def _active_flags(frontier: Frontier, n: int, workspace: Optional[Workspace]):
+    """Dense bool view of a frontier's active set (pooled when possible)."""
+    if isinstance(frontier, DenseFrontier):
+        return frontier.flags_view()
+    if workspace is not None:
+        flags = workspace.cleared("fused.active", n, bool)
+    else:
+        flags = np.zeros(n, dtype=bool)
+    idx = (
+        frontier.indices_view()
+        if isinstance(frontier, SparseFrontier)
+        else frontier.to_indices()
+    )
+    if idx.size:
+        flags[idx] = True
+    return flags
+
+
+class MinRelaxKernel(FusedKernel):
+    """Fused relax-and-emit: the SSSP / delta-stepping / CC shape.
+
+    ``candidate[e] = values[src(e)] (+ weight(e) when weighted)``,
+    batched ``atomic::min`` into ``values``, output = the (deduplicated,
+    sorted) set of destinations whose pre-batch value improved — exactly
+    :func:`~repro.execution.atomics.bulk_min_relax` run inside the
+    expand, with no intermediate edge tuple materialized for the
+    condition protocol.
+
+    ``edge_mask`` restricts relaxation to a fixed edge subset (delta
+    stepping's light/heavy split).  Masked kernels are push-only: the
+    mask indexes CSR edge ids, which do not survive the transpose.
+    """
+
+    name = "min_relax"
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        weighted: bool = True,
+        edge_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self.values = values
+        self.weighted = weighted
+        self.edge_mask = edge_mask
+        self.supports_pull = edge_mask is None
+
+    def push(self, graph, vertices, output, workspace):
+        """Relax the frontier's out-edges in one batched min pass."""
+        csr = graph.csr()
+        edge_ids, counts = _gather_segments(csr.row_offsets, vertices, workspace)
+        if edge_ids is None:
+            return output
+        values = self.values
+        dsts = (
+            workspace.take("fused.dsts", csr.column_indices, edge_ids)
+            if workspace is not None
+            else csr.column_indices.take(edge_ids)
+        )
+        # Gather per-vertex then repeat: k reads + one repeat instead of
+        # a length-E fancy gather through a repeated source array.
+        cand = values.take(vertices).repeat(counts)
+        if self.weighted:
+            cand += csr.values.take(edge_ids)
+        if self.edge_mask is not None:
+            live = self.edge_mask.take(edge_ids)
+            np.copyto(cand, INF, where=~live)
+        old = values.take(dsts)  # pre-batch copy
+        np.minimum.at(values, dsts, cand)
+        improved = cand < old
+        if self.edge_mask is not None:
+            improved &= live
+        winners = dsts.compress(improved)
+        if winners.size:
+            return _emit(
+                output, dedup_ids(winners, values.shape[0], workspace)
+            )
+        return output
+
+    def pull(self, graph, frontier, candidates, output, workspace):
+        """Relax candidates' in-edges from the active set (CSC side)."""
+        csc = graph.csc()
+        n = graph.n_vertices
+        active = _active_flags(frontier, n, workspace)
+        if candidates is None:
+            cand_ids = np.arange(n, dtype=VERTEX_DTYPE)
+        else:
+            cand_ids = np.asarray(candidates, dtype=VERTEX_DTYPE).ravel()
+        if cand_ids.size == 0:
+            return output
+        edge_ids, counts = _gather_segments(csc.col_offsets, cand_ids, workspace)
+        if edge_ids is None:
+            return output
+        srcs = csc.row_indices[edge_ids]
+        live = active[srcs]
+        if not np.any(live):
+            return output
+        srcs = srcs[live]
+        dsts = np.repeat(cand_ids, counts)[live]
+        values = self.values
+        cand = values[srcs]
+        if self.weighted:
+            cand = cand + csc.values[edge_ids[live]]
+        improved = bulk_min_relax(values, dsts, cand)
+        return _emit(output, dedup_ids(dsts[improved], n, workspace))
+
+
+class ClaimLevelsKernel(FusedKernel):
+    """Fused BFS discovery: claim unvisited destinations, stamping level
+    and parent in the same pass.
+
+    Matches the classic bulk ``discover`` condition exactly: freshness
+    is evaluated against pre-batch levels (so several parents of one
+    child all pass) and the level/parent writes are last-write-wins,
+    which is benign — any discovering parent is a valid BFS parent.
+    """
+
+    name = "claim_levels"
+
+    def __init__(
+        self, levels: np.ndarray, parents: np.ndarray, *, unreached: int = -1
+    ) -> None:
+        self.levels = levels
+        self.parents = parents
+        self.unreached = unreached
+
+    def push(self, graph, vertices, output, workspace):
+        """Claim unvisited children of the frontier (CSR expand)."""
+        csr = graph.csr()
+        edge_ids, counts = _gather_segments(csr.row_offsets, vertices, workspace)
+        if edge_ids is None:
+            return output
+        levels = self.levels
+        dsts = (
+            workspace.take("fused.dsts", csr.column_indices, edge_ids)
+            if workspace is not None
+            else csr.column_indices.take(edge_ids)
+        )
+        fresh = levels.take(dsts) == self.unreached
+        claimed = dsts.compress(fresh)
+        if claimed.size:
+            srcs = vertices.repeat(counts).compress(fresh)
+            levels[claimed] = levels.take(srcs) + 1
+            self.parents[claimed] = srcs
+            return _emit(
+                output, dedup_ids(claimed, levels.shape[0], workspace)
+            )
+        return output
+
+    def pull(self, graph, frontier, candidates, output, workspace):
+        """Unvisited candidates scan in-edges for a visited parent."""
+        csc = graph.csc()
+        n = graph.n_vertices
+        active = _active_flags(frontier, n, workspace)
+        if candidates is None:
+            cand_ids = np.arange(n, dtype=VERTEX_DTYPE)
+        else:
+            cand_ids = np.asarray(candidates, dtype=VERTEX_DTYPE).ravel()
+        if cand_ids.size == 0:
+            return output
+        edge_ids, counts = _gather_segments(csc.col_offsets, cand_ids, workspace)
+        if edge_ids is None:
+            return output
+        srcs = csc.row_indices[edge_ids]
+        live = active[srcs]
+        if not np.any(live):
+            return output
+        srcs = srcs[live]
+        dsts = np.repeat(cand_ids, counts)[live]
+        levels = self.levels
+        fresh = levels[dsts] == self.unreached
+        if not np.any(fresh):
+            return output
+        claimed = dsts[fresh]
+        claiming = srcs[fresh]
+        levels[claimed] = levels[claiming] + 1
+        self.parents[claimed] = claiming
+        return _emit(output, dedup_ids(claimed, n, workspace))
+
+
+# -- condition factories ------------------------------------------------------------
+
+
+def min_relax_condition(
+    values: np.ndarray,
+    *,
+    weighted: bool = True,
+    edge_mask: Optional[np.ndarray] = None,
+) -> Callable:
+    """A bulk min-relax condition carrying its fused kernel.
+
+    Under any policy the returned condition behaves exactly like the
+    handwritten form (``new = values[src] (+ w); return
+    bulk_min_relax(values, dst, new)``); under ``par_vector`` the
+    attached :class:`MinRelaxKernel` lets ``neighbors_expand`` run the
+    whole superstep in one pass.
+    """
+
+    if edge_mask is None and weighted:
+
+        @bulk_condition
+        def condition(srcs, dsts, edges, weights):
+            return bulk_min_relax(values, dsts, values[srcs] + weights)
+
+    elif edge_mask is None:
+
+        @bulk_condition
+        def condition(srcs, dsts, edges, weights):
+            return bulk_min_relax(values, dsts, values[srcs])
+
+    else:
+
+        @bulk_condition
+        def condition(srcs, dsts, edges, weights):
+            mask = edge_mask[edges]
+            cand = np.where(mask, values[srcs] + weights, INF)
+            return bulk_min_relax(values, dsts, cand) & mask
+
+    setattr(
+        condition,
+        FUSED_ATTR,
+        MinRelaxKernel(values, weighted=weighted, edge_mask=edge_mask),
+    )
+    return condition
+
+
+def claim_levels_condition(
+    levels: np.ndarray, parents: np.ndarray, *, unreached: int = -1
+) -> Callable:
+    """A BFS discovery condition carrying its fused kernel.
+
+    The plain-call form serves both scalar (``seq``) and bulk policies,
+    normalizing scalars the same way the handwritten BFS condition did.
+    """
+
+    @bulk_condition
+    def condition(srcs, dsts, edges, weights):
+        scalar = np.ndim(srcs) == 0
+        s = np.atleast_1d(np.asarray(srcs, dtype=np.int64))
+        d = np.atleast_1d(np.asarray(dsts, dtype=np.int64))
+        fresh = levels[d] == unreached
+        if np.any(fresh):
+            claimed = d[fresh]
+            levels[claimed] = levels[s[fresh]] + 1
+            parents[claimed] = s[fresh]
+        return bool(fresh[0]) if scalar else fresh
+
+    setattr(
+        condition, FUSED_ATTR, ClaimLevelsKernel(levels, parents, unreached=unreached)
+    )
+    return condition
+
+
+# -- segmented sums (the PageRank / HITS / SpMV aggregate) -----------------------------
+
+
+def segmented_sum(
+    indices: np.ndarray,
+    weights: np.ndarray,
+    size: int,
+    *,
+    workspace: Optional[Workspace] = None,
+) -> np.ndarray:
+    """Dense scatter-add: ``out[i] = Σ weights[k] for indices[k] == i``.
+
+    The ``np.bincount`` form of ``np.add.at(out, indices, weights)`` —
+    an order of magnitude faster when ``indices`` covers most of
+    ``0..size-1`` (every whole-graph aggregate does).  Returns float64,
+    matching the accumulator dtype the rank algorithms already use.
+    Prefer ``np.add.at`` only when the index set is a small, sparse
+    subset of the range (then the O(size) bincount pass dominates).
+    """
+    return np.bincount(indices, weights=weights, minlength=size)
+
+
+# -- frontier-adaptive dispatch ------------------------------------------------------
+
+
+def choose_direction(
+    graph: Graph,
+    frontier: Frontier,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    beta: float = DEFAULT_BETA,
+    last_direction: str = "push",
+) -> str:
+    """Beamer-style per-iteration push↔pull choice.
+
+    Estimates the frontier's outgoing work as ``|frontier| × average
+    degree`` (degree statistics, no per-vertex gather) and switches to
+    pull when it exceeds ``m / alpha`` — the regime where scanning
+    candidates' in-edges beats expanding a huge frontier.  Once pulled,
+    switches back to push only when the frontier re-narrows below
+    ``n / beta`` (the hysteresis that avoids thrashing at the crossover).
+    """
+    n = graph.n_vertices
+    m = graph.n_edges
+    size = frontier.size()
+    if n == 0 or m == 0 or size == 0:
+        return "push"
+    frontier_edges = size * (m / n)
+    if last_direction == "pull":
+        return "push" if size < n / beta else "pull"
+    return "pull" if frontier_edges > m / alpha else "push"
+
+
+class DirectionOptimizer:
+    """Stateful direction chooser: :func:`choose_direction` + memory.
+
+    One instance serves one run; ``choose`` records its decision so the
+    hysteresis branch sees the previous superstep's direction, and
+    ``history`` keeps the per-iteration choices for result objects and
+    span-level assertions.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+        beta: float = DEFAULT_BETA,
+    ) -> None:
+        if alpha <= 0 or beta <= 0:
+            raise ValueError(
+                f"alpha and beta must be positive, got {alpha}, {beta}"
+            )
+        self.graph = graph
+        self.alpha = alpha
+        self.beta = beta
+        self.history: list = []
+
+    @property
+    def last_direction(self) -> str:
+        return self.history[-1] if self.history else "push"
+
+    def choose(self, frontier: Frontier) -> str:
+        """Pick push/pull for this superstep and record the choice."""
+        direction = choose_direction(
+            self.graph,
+            frontier,
+            alpha=self.alpha,
+            beta=self.beta,
+            last_direction=self.last_direction,
+        )
+        self.history.append(direction)
+        return direction
+
+
+def choose_representation(
+    frontier: Frontier,
+    *,
+    threshold: float = DENSE_REPRESENTATION_THRESHOLD,
+) -> str:
+    """Sparse↔dense output choice at a density threshold.
+
+    The input frontier's active fraction is the predictor: a dense
+    frontier expands into a dense output (bitmap dedup is free there),
+    a narrow one stays sparse (O(k) instead of O(n) per superstep).
+    """
+    return "dense" if frontier.active_fraction() >= threshold else "sparse"
