@@ -7,6 +7,8 @@ Usage:
     python benchmarks/report.py --json BENCH_PR2.json   # write a trajectory entry
     python benchmarks/report.py --check BENCH_PR2.json  # schema-validate one
     python benchmarks/report.py --trajectory            # render all BENCH_*.json
+    python benchmarks/report.py --compare BENCH_PR3.json BENCH_PR4.json
+                                                        # regression gate (exit 1)
 
 Tables: groups map to DESIGN.md experiment ids (T1, L1-L4, P1-P4, F1-F2,
 A1, ablations); within each group rows are sorted fastest-first and shown
@@ -16,8 +18,10 @@ factor" shape EXPERIMENTS.md records.
 Trajectory: each PR commits a ``BENCH_PRn.json`` file — a small, seeded,
 probe-instrumented workload sweep — so performance across the PR stack
 can be compared from the files alone.  ``--json`` produces the entry for
-this checkout, ``--check`` is the CI well-formedness gate, and
-``--trajectory`` renders every committed entry side by side.
+this checkout, ``--check`` is the CI well-formedness gate,
+``--trajectory`` renders every committed entry side by side, and
+``--compare`` runs the regression gate between two entries (exit 1 on
+regression — what CI runs against the previous PR's entry).
 """
 
 from __future__ import annotations
@@ -159,12 +163,38 @@ def collect_entry(label: str = "", trials: int = TRAJECTORY_TRIALS) -> dict:
         best["scale"] = spec["scale"]
         best["trials"] = max(1, trials)
         workloads.append(best)
-    return {
+    entry = {
         "schema": BENCH_SCHEMA,
         "label": label,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "workloads": workloads,
     }
+    _ledger_entry(entry)
+    return entry
+
+
+def _ledger_entry(entry: dict) -> None:
+    """Best-effort run-ledger record of a trajectory collection.
+
+    Stores the workload sweep under ``metrics.workloads`` — the shape
+    ``repro diff`` compares directly against another benchmark record or
+    a committed ``BENCH_*.json``.
+    """
+    from repro.observability import ledger as ledger_mod
+
+    if not ledger_mod.ledger_enabled():
+        return
+    record = ledger_mod.make_record(
+        kind="benchmark",
+        algorithm="trajectory",
+        label=entry.get("label", ""),
+        metrics={"workloads": entry["workloads"]},
+    )
+    try:
+        run_id = ledger_mod.RunLedger().append(record)
+    except OSError:
+        return
+    print(f"ledger: {run_id}", file=sys.stderr)
 
 
 def check_entry(entry) -> list:
@@ -265,6 +295,45 @@ def main(argv=None) -> int:
     if argv and argv[0] == "--trajectory":
         print(render_trajectory(trajectory_files()))
         return 0
+    if argv and argv[0] == "--compare":
+        threshold = None
+        if "--threshold" in argv:
+            i = argv.index("--threshold")
+            try:
+                threshold = float(argv[i + 1])
+            except (IndexError, ValueError):
+                print("--threshold requires a number", file=sys.stderr)
+                return 2
+            del argv[i : i + 2]
+        if len(argv) != 3:
+            print(
+                "usage: report.py --compare BASELINE.json CANDIDATE.json "
+                "[--threshold X]",
+                file=sys.stderr,
+            )
+            return 2
+        _bootstrap_repro()
+        from repro.observability.regression import (
+            DEFAULT_THRESHOLD,
+            compare,
+            load_comparable,
+        )
+
+        try:
+            baseline = load_comparable(argv[1])
+            candidate = load_comparable(argv[2])
+            report = compare(
+                baseline,
+                candidate,
+                threshold=threshold if threshold is not None else DEFAULT_THRESHOLD,
+                baseline_label=os.path.basename(argv[1]),
+                candidate_label=os.path.basename(argv[2]),
+            )
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"--compare: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return report.exit_code()
     if len(argv) != 1:
         print(__doc__)
         return 2

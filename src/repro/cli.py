@@ -9,6 +9,13 @@ GPU graph frameworks ship:
 * ``repro run``      — run an algorithm and print (or save) results;
 * ``repro profile``  — run an algorithm under the observability probe and
   export traces (Chrome/Perfetto), event logs (JSONL), or a summary;
+* ``repro explain``  — trace analysis: critical path, per-layer time
+  attribution, worker imbalance, frontier timeline, diagnosis — from a
+  trace file or a run-ledger id;
+* ``repro diff``     — the regression gate: compare two runs or two
+  ``BENCH_*.json`` entries, exit nonzero on regression;
+* ``repro ledger``   — list or show run-ledger records (every ``run``/
+  ``profile`` appends one under ``.repro/runs/``);
 * ``repro partition``— partition and report quality metrics;
 * ``repro table1``   — print the regenerated capability matrix.
 
@@ -214,6 +221,66 @@ def _export_probe(probe, args: argparse.Namespace, algorithm: str) -> None:
         print(f"event log written to {args.events}")
 
 
+def _append_ledger_record(
+    args: argparse.Namespace,
+    *,
+    kind: str,
+    algorithm: str,
+    metrics: dict,
+    stats=None,
+    probe=None,
+    config_keys: Sequence[str] = (),
+) -> None:
+    """Append one run-ledger record (quietly skipped when disabled).
+
+    The analysis engine's attribution is embedded when the run collected
+    spans, so ``repro explain <run-id>`` can answer from the ledger
+    alone.  Recording failures never fail the command — telemetry must
+    not break runs.
+    """
+    from repro.observability import ledger as ledger_mod
+
+    if getattr(args, "no_ledger", False) or not ledger_mod.ledger_enabled():
+        return
+    analysis = None
+    if probe is not None and probe.enabled and probe.trace and len(probe.tracer):
+        from repro.observability.analysis import analyze_probe
+
+        analysis = analyze_probe(probe).to_dict()
+    config = {
+        key: getattr(args, key)
+        for key in config_keys
+        if getattr(args, key, None) is not None
+    }
+    record = ledger_mod.make_record(
+        kind=kind,
+        algorithm=algorithm,
+        config=config,
+        metrics=metrics,
+        stats=stats,
+        analysis=analysis,
+    )
+    try:
+        run_id = ledger_mod.RunLedger(
+            getattr(args, "ledger_dir", None)
+        ).append(record)
+    except OSError as exc:
+        print(f"ledger: not recorded ({exc})", file=sys.stderr)
+        return
+    # stderr: --json consumers own stdout.
+    print(f"ledger: {run_id}", file=sys.stderr)
+
+
+def _add_ledger_args(p: argparse.ArgumentParser) -> None:
+    """Ledger controls shared by the recording subcommands."""
+    p.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the .repro/runs ledger record for this invocation",
+    )
+    p.add_argument("--ledger-dir", help="ledger root (default .repro/runs)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: execute an algorithm and report stats.
 
@@ -221,25 +288,29 @@ def cmd_run(args: argparse.Namespace) -> int:
     :class:`~repro.observability.probe.Probe` and the telemetry is
     exported afterwards — ``repro run`` and ``repro profile`` share the
     same instrumentation, they differ in emphasis (results vs telemetry).
+    Every run appends a run-ledger record (``--no-ledger`` opts out).
     """
     if getattr(args, "trace", None) or getattr(args, "events", None):
         from repro.observability.probe import Probe
 
         probe = Probe()
         with probe:
-            code = _run_body(args)
+            code = _run_body(args, probe=probe)
         _export_probe(probe, args, args.algorithm)
         return code
     return _run_body(args)
 
 
-def _run_body(args: argparse.Namespace) -> int:
+def _run_body(args: argparse.Namespace, probe=None) -> int:
     """The ``run`` command's algorithm dispatch (probe-agnostic)."""
+    import time as time_mod
+
     import repro.algorithms as alg
 
     g = _load_graph(args.graph, directed=not args.undirected)
     name = args.algorithm
     resilience = _build_resilience(args)
+    t0 = time_mod.perf_counter()
     if name == "sssp":
         result = alg.sssp(
             g, args.source, policy=args.policy, resilience=resilience
@@ -269,6 +340,15 @@ def _run_body(args: argparse.Namespace) -> int:
     elif name == "tc":
         result = alg.triangle_count(g)
         print(f"triangles: {result.total}")
+        _append_ledger_record(
+            args,
+            kind="run",
+            algorithm=name,
+            metrics={"seconds": time_mod.perf_counter() - t0,
+                     "triangles": int(result.total)},
+            probe=probe,
+            config_keys=("graph", "policy", "seed"),
+        )
         return 0
     elif name == "kcore":
         result = alg.kcore_decomposition(g)
@@ -292,6 +372,15 @@ def _run_body(args: argparse.Namespace) -> int:
     elif name == "ktruss":
         result = alg.ktruss_decomposition(g)
         print(f"max truss: {result.max_truss}")
+        _append_ledger_record(
+            args,
+            kind="run",
+            algorithm=name,
+            metrics={"seconds": time_mod.perf_counter() - t0,
+                     "max_truss": int(result.max_truss)},
+            probe=probe,
+            config_keys=("graph", "policy", "seed"),
+        )
         return 0
     elif name == "communities":
         result = alg.label_propagation_communities(g, seed=args.seed)
@@ -303,10 +392,28 @@ def _run_body(args: argparse.Namespace) -> int:
         )
     else:  # pragma: no cover
         raise ValueError(name)
+    seconds = time_mod.perf_counter() - t0
     print(
         f"{name}: {stats.num_iterations} supersteps, "
         f"{stats.total_edges_touched} edges touched, "
         f"{stats.mteps:.3f} MTEPS"
+    )
+    _append_ledger_record(
+        args,
+        kind="run",
+        algorithm=name,
+        metrics={
+            "seconds": seconds,
+            "iterations": stats.num_iterations,
+            "edges_expanded": stats.total_edges_touched,
+            "mteps": stats.mteps,
+            "converged": stats.converged,
+            "n_vertices": g.n_vertices,
+            "n_edges": g.n_edges,
+        },
+        stats=stats,
+        probe=probe,
+        config_keys=("graph", "policy", "direction", "source", "seed"),
     )
     if resilience is not None:
         active = resilience.counters.as_dict()
@@ -365,6 +472,169 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"({len(report.probe.tracer) if report.probe.trace else 0} spans)"
         )
     _export_probe(report.probe, args, args.algorithm)
+    _append_ledger_record(
+        args,
+        kind="profile",
+        algorithm=args.algorithm,
+        metrics=report.summary_metrics(),
+        stats=report.stats,
+        probe=report.probe,
+        config_keys=("graph", "scale", "policy", "workers", "source", "seed"),
+    )
+    return 0
+
+
+# -- trace analysis / ledger / regression commands -------------------------------------
+
+
+def _render_ledger_analysis(record: dict) -> str:
+    """Human rendering of a ledger record's stored analysis summary."""
+    lines = [
+        f"run {record['run_id']} — {record.get('kind')} "
+        f"{record.get('algorithm')} at {record.get('created_at')}"
+    ]
+    metrics = record.get("metrics", {})
+    if "seconds" in metrics:
+        lines.append(f"  seconds: {metrics['seconds'] * 1e3:.3f} ms")
+    for key in ("iterations", "edges_expanded", "mteps", "converged"):
+        if key in metrics:
+            lines.append(f"  {key}: {metrics[key]}")
+    analysis = record.get("analysis")
+    if analysis:
+        wall = analysis.get("wall_seconds", 0.0) or 0.0
+        lines.append(
+            f"  traced wall: {wall * 1e3:.3f} ms over "
+            f"{analysis.get('span_count', 0)} spans "
+            f"(coverage {analysis.get('coverage', 0.0):.1%})"
+        )
+        layers = analysis.get("layers", {})
+        denom = max(wall, sum(layers.values()))  # parallel runs exceed wall
+        for layer, seconds in sorted(layers.items(), key=lambda kv: -kv[1]):
+            share = seconds / denom if denom > 0 else 0.0
+            lines.append(f"    {layer:<12} {seconds * 1e3:>9.3f} ms {share:>7.1%}")
+        lines.append(
+            f"  imbalance factor: {analysis.get('imbalance_factor', 1.0):.2f}x"
+        )
+        path = analysis.get("critical_path", [])
+        if path:
+            lines.append("  critical path:")
+            for entry in path:
+                lines.append(
+                    f"    {entry['name']:<28} x{entry['count']:<6} "
+                    f"{entry['seconds'] * 1e3:>9.3f} ms {entry['share']:>7.1%}"
+                )
+        lines.append(f"  diagnosis: {analysis.get('diagnosis', '(none)')}")
+    supersteps = record.get("supersteps", [])
+    if supersteps:
+        lines.append(f"  supersteps recorded: {len(supersteps)}")
+    return "\n".join(lines)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: trace analysis of a file or a ledger run id."""
+    import os
+
+    target = args.target
+    if os.path.exists(target):
+        from repro.observability.analysis import analyze_file
+
+        report = analyze_file(target)
+        if report.span_count == 0:
+            print(f"{target}: no spans to analyze", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render(max_timeline_rows=args.timeline_rows))
+        return 0
+    from repro.observability.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    record = ledger.get(target)
+    if record is None:
+        print(
+            f"{target}: neither a trace file nor a (unique) run id in "
+            f"{ledger.path}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(_render_ledger_analysis(record))
+    return 0
+
+
+def _resolve_diff_side(ledger, target: str) -> tuple:
+    """A diff operand: a JSON file path or a ledger run id.
+
+    Returns ``(label, payload)``; raises ``SystemExit`` when unresolvable.
+    """
+    import os
+
+    if os.path.exists(target):
+        from repro.observability.regression import load_comparable
+
+        return os.path.basename(target), load_comparable(target)
+    record = ledger.get(target)
+    if record is None:
+        raise SystemExit(
+            f"{target}: neither a JSON file nor a (unique) run id in "
+            f"{ledger.path}"
+        )
+    return str(record["run_id"]), record
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """``repro diff``: the regression gate between two runs/entries."""
+    from repro.observability.ledger import RunLedger
+    from repro.observability.regression import DEFAULT_THRESHOLD, compare
+
+    ledger = RunLedger(args.ledger_dir)
+    label_a, payload_a = _resolve_diff_side(ledger, args.baseline)
+    label_b, payload_b = _resolve_diff_side(ledger, args.candidate)
+    try:
+        report = compare(
+            payload_a,
+            payload_b,
+            threshold=(
+                args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+            ),
+            baseline_label=label_a,
+            candidate_label=label_b,
+        )
+    except ValueError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return report.exit_code()
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    """``repro ledger``: list recent records, or show one by id."""
+    from repro.observability.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    if args.run_id:
+        record = ledger.get(args.run_id)
+        if record is None:
+            print(f"{args.run_id}: not found in {ledger.path}", file=sys.stderr)
+            return 1
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    records = ledger.tail(args.last)
+    if not records:
+        print(f"no records in {ledger.path}")
+        return 0
+    print(f"{'run id':<26} {'kind':<10} {'algorithm':<18} {'seconds':>10}  created")
+    for record in records:
+        seconds = record.get("metrics", {}).get("seconds")
+        cell = f"{seconds * 1e3:.2f} ms" if isinstance(seconds, (int, float)) else "-"
+        print(
+            f"{record['run_id']:<26} {record.get('kind', '?'):<10} "
+            f"{record.get('algorithm', '?'):<18} {cell:>10}  "
+            f"{record.get('created_at', '?')}"
+        )
     return 0
 
 
@@ -499,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         help="run under the probe and write a JSONL event log here",
     )
+    _add_ledger_args(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -549,7 +820,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--top", type=int, default=20, help="span rows in the summary table"
     )
+    _add_ledger_args(p)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "explain",
+        help="analyze a trace file or a ledgered run: critical path, "
+        "per-layer attribution, imbalance, frontier timeline",
+    )
+    p.add_argument(
+        "target",
+        help="a Chrome trace / events JSONL path, or a run id (prefix ok)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument(
+        "--timeline-rows",
+        type=int,
+        default=12,
+        help="max frontier-timeline rows in the rendered report",
+    )
+    p.add_argument("--ledger-dir", help="ledger root (default .repro/runs)")
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser(
+        "diff",
+        help="regression gate: compare two runs or benchmark entries; "
+        "exits 1 on regression",
+    )
+    p.add_argument("baseline", help="run id, ledger record, or BENCH_*.json path")
+    p.add_argument("candidate", help="run id, ledger record, or BENCH_*.json path")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative slowdown that counts as a regression (default 0.25)",
+    )
+    p.add_argument("--ledger-dir", help="ledger root (default .repro/runs)")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("ledger", help="list or show recorded runs")
+    p.add_argument("run_id", nargs="?", help="show one record (prefix ok)")
+    p.add_argument("--last", type=int, default=10, help="rows to list")
+    p.add_argument("--ledger-dir", help="ledger root (default .repro/runs)")
+    p.set_defaults(fn=cmd_ledger)
 
     p = sub.add_parser("partition", help="partition a graph, report quality")
     p.add_argument("graph")

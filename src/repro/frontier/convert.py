@@ -66,12 +66,21 @@ def convert(frontier: Frontier, target: Union[str, Type[Frontier]]) -> Frontier:
             f"cannot convert a {frontier.kind.value} frontier to a "
             f"{out.kind.value} frontier: element ids are not comparable"
         )
-    indices = frontier.to_indices()
-    if isinstance(out, DenseFrontier):
-        # Bitmap insertion dedups for free; nothing extra needed.
-        out.add_many(indices)
-    else:
-        out.add_many(indices)
+    from repro.observability.probe import active_probe
+
+    probe = active_probe()
+    if not probe.enabled:
+        out.add_many(frontier.to_indices())
+        return out
+    # Traced: representation changes are frontier-layer work the
+    # analysis engine attributes (the §III-B re-representation cost).
+    with probe.span(
+        "frontier:convert",
+        source=type(frontier).__name__,
+        target=type(out).__name__,
+        size=frontier.size(),
+    ):
+        out.add_many(frontier.to_indices())
     return out
 
 

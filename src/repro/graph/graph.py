@@ -87,18 +87,31 @@ class Graph:
         """
         if name in self._views:
             return self._views[name]
-        if name == "csr":
-            built = self._derive_csr()
-        elif name == "csc":
-            built = self._derive_csc()
-        elif name == "coo":
-            built = self._derive_coo()
-        else:
+        if name not in ("csr", "csc", "coo"):
             raise GraphViewError(
                 f"unknown view name {name!r}; expected one of {sorted(_VIEW_CLASSES)}"
             )
+        # View derivation is the graph layer's one nontrivial cost (a
+        # linear-time transpose / expansion); trace it so the analysis
+        # engine can attribute it.  Happens at most once per view, so
+        # the enabled check is off every hot path.
+        from repro.observability.probe import active_probe
+
+        probe = active_probe()
+        if probe.enabled:
+            with probe.span("graph:view", view=name, n_edges=self.n_edges):
+                built = self._derive_view(name)
+        else:
+            built = self._derive_view(name)
         self._views[name] = built
         return built
+
+    def _derive_view(self, name: str) -> ViewType:
+        if name == "csr":
+            return self._derive_csr()
+        if name == "csc":
+            return self._derive_csc()
+        return self._derive_coo()
 
     def csr(self) -> CSRMatrix:
         """The push-traversal (CSR) view."""

@@ -127,7 +127,11 @@ class AsyncEnactor:
             )
 
         clock = WallClock()
-        with probe.span("async:run", seed_items=len(items)) as span:
+        with probe.span(
+            "async:run",
+            seed_items=len(items),
+            workers=self.scheduler.num_workers,
+        ) as span:
             with clock.measure():
                 processed = execute()
             span.set("tasks_processed", processed)

@@ -148,8 +148,17 @@ class Enactor:
                 iteration=state.iteration,
                 frontier_size=in_size,
                 edges_expanded=edges_touched,
-            ):
+            ) as span:
                 frontier = self._run_step(step, frontier, state, resilience)
+                if probe.enabled:
+                    # Superstep summary hook: the output frontier size
+                    # closes the loop for the analysis engine's frontier
+                    # timeline.  Guarded so the disabled path never pays
+                    # for frontier.size().
+                    span.set(
+                        "output_frontier_size",
+                        frontier.size() if frontier is not None else 0,
+                    )
             state.iteration += 1
             state.frontier = frontier
             if self.collect_stats:

@@ -113,6 +113,9 @@ class PriorityEnactor:
                         )
                 span.set("frontier_size", processed)
                 span.set("edges_expanded", edges_touched)
+                # Superstep summary hook (see the BSP enactor): what the
+                # drained bucket re-activated into later buckets.
+                span.set("output_frontier_size", int(frontier.total_size()))
             if self.collect_stats:
                 stats.record(
                     IterationStats(

@@ -61,8 +61,38 @@ from repro.observability.export import (
     write_chrome_trace,
     write_events_jsonl,
 )
+from repro.observability.analysis import (
+    AnalysisReport,
+    analyze_file,
+    analyze_probe,
+    analyze_spans,
+)
+from repro.observability.ledger import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    ledger_enabled,
+    make_record,
+    resolve_ledger_dir,
+)
+from repro.observability.regression import (
+    RegressionReport,
+    compare,
+    load_comparable,
+)
 
 __all__ = [
+    "AnalysisReport",
+    "analyze_file",
+    "analyze_probe",
+    "analyze_spans",
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "ledger_enabled",
+    "make_record",
+    "resolve_ledger_dir",
+    "RegressionReport",
+    "compare",
+    "load_comparable",
     "Counter",
     "Gauge",
     "Histogram",

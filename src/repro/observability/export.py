@@ -88,6 +88,12 @@ def to_chrome_trace(probe: Probe, *, process_name: str = "repro") -> Dict[str, A
             }
         )
         for ev in span.events or ():
+            # Instants are tied to their enclosing span (span/span_id in
+            # args): a retry mark in Perfetto names the superstep it
+            # interrupted, and the analysis engine can re-join them.
+            ev_args = {k: _jsonable(v) for k, v in ev.attrs.items()}
+            ev_args["span"] = span.name
+            ev_args["span_id"] = span.span_id
             events.append(
                 {
                     "name": ev.name,
@@ -97,7 +103,7 @@ def to_chrome_trace(probe: Probe, *, process_name: str = "repro") -> Dict[str, A
                     "ts": _to_us(ev.timestamp),
                     "pid": 0,
                     "tid": tid,
-                    "args": {k: _jsonable(v) for k, v in ev.attrs.items()},
+                    "args": ev_args,
                 }
             )
     return {
@@ -146,8 +152,18 @@ def validate_chrome_trace(obj: Any) -> List[str]:
                 problems.append(f"{where} complete event missing numeric dur")
             elif ev["dur"] < 0:
                 problems.append(f"{where} has negative duration")
-        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
-            problems.append(f"{where} instant event has invalid scope")
+        if ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                problems.append(f"{where} instant event has invalid scope")
+            if ev.get("cat") == "event":
+                args = ev.get("args")
+                if not isinstance(args, dict) or not isinstance(
+                    args.get("span_id"), int
+                ):
+                    problems.append(
+                        f"{where} span-event instant missing integer "
+                        f"args.span_id (enclosing-span tie)"
+                    )
     return problems
 
 
@@ -235,16 +251,26 @@ def render_summary(probe: Probe, *, top: int = 20) -> str:
         )
         out.append(f"{'span':<28} {'count':>7} {'total':>11} {'mean':>10} {'share':>7}")
         out.append("-" * 68)
-        rows = sorted(
+        ranked = sorted(
             by_name.items(),
             key=lambda kv: -sum(s.duration for s in kv[1]),
-        )[:top]
-        for name, group in rows:
+        )
+        for name, group in ranked[:top]:
             tot = sum(s.duration for s in group)
             share = tot / total if total > 0 else 0.0
             out.append(
                 f"{name:<28} {len(group):>7} {tot * 1e3:>8.3f} ms "
                 f"{tot / len(group) * 1e6:>7.1f} us {share:>6.1%}"
+            )
+        if len(ranked) > top:
+            # Truncation must be visible: roll the hidden names up.
+            hidden = ranked[top:]
+            hidden_total = sum(
+                s.duration for _, group in hidden for s in group
+            )
+            out.append(
+                f"(+{len(hidden)} more span names, "
+                f"{hidden_total * 1e3:.3f} ms total)"
             )
         if probe.tracer.dropped:
             out.append(f"(+{probe.tracer.dropped} spans dropped at buffer cap)")

@@ -18,7 +18,9 @@ into the standard loop metrics.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Dict, List, Optional, Union
 
 
@@ -69,15 +71,21 @@ class Gauge:
 class Histogram:
     """A bounded-reservoir distribution of observed values.
 
-    Count/sum/min/max are exact; percentiles come from the first
-    ``reservoir`` observations (plenty for per-superstep series, and
-    bounded so per-task reporting cannot grow memory without limit).
+    Count/sum/min/max are exact.  Percentiles come from a **uniform**
+    reservoir maintained with Vitter's algorithm R: once the reservoir
+    is full, observation *i* replaces a random slot with probability
+    ``reservoir / i``, so every observation — early superstep or late —
+    is equally likely to be retained.  (Keeping the *first* N instead
+    would skew long-run percentiles toward warm-up supersteps.)  The RNG
+    is seeded from the histogram name, so a given observation sequence
+    always yields the same sample — reports are reproducible.
     """
 
     __slots__ = ("name", "count", "total", "_min", "_max", "_sample",
-                 "reservoir", "_lock")
+                 "reservoir", "_rng", "_lock")
 
-    def __init__(self, name: str, reservoir: int = 4096) -> None:
+    def __init__(self, name: str, reservoir: int = 4096,
+                 seed: Optional[int] = None) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -85,6 +93,11 @@ class Histogram:
         self._max: Optional[float] = None
         self._sample: List[float] = []
         self.reservoir = reservoir
+        # Deterministic per-name seed (zlib.crc32, unlike hash(), is
+        # stable across processes), overridable for tests.
+        self._rng = random.Random(
+            zlib.crc32(name.encode("utf-8")) if seed is None else seed
+        )
         self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
@@ -99,6 +112,11 @@ class Histogram:
                 self._max = value
             if len(self._sample) < self.reservoir:
                 self._sample.append(value)
+            else:
+                # Vitter's algorithm R: keep with probability k/i.
+                slot = self._rng.randrange(self.count)
+                if slot < self.reservoir:
+                    self._sample[slot] = value
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the retained sample (0 if empty)."""

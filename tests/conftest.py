@@ -92,3 +92,10 @@ def small_ws():
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """CLI invocations inside tests must not write a ledger into the
+    developer's working directory; each test gets its own."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))

@@ -16,6 +16,7 @@ The headline properties the issue pins:
 import json
 import threading
 import time
+from collections import defaultdict
 
 import numpy as np
 import pytest
@@ -555,3 +556,147 @@ def test_null_probe_is_shared_and_allocation_free():
     span_a = NULL_PROBE.span("a").__enter__()
     span_b = NULL_PROBE.span("b").__enter__()
     assert span_a is span_b  # shared singleton, nothing allocated
+
+# -- reservoir sampling (unbiased percentiles) ----------------------------------------
+
+
+def test_histogram_reservoir_is_uniform_not_tail_biased():
+    """Algorithm R keeps each observation with probability k/n, so the
+    bounded sample stays representative of the whole stream — the
+    percentiles of an ascending ramp must land near their true values,
+    not near the tail that arrived after the reservoir filled."""
+    h = Histogram("ramp", reservoir=256)
+    n = 20_000
+    for v in range(n):
+        h.observe(v)
+    assert h.count == n
+    # Exact stats survive regardless of sampling.
+    s = h.summary()
+    assert s["min"] == 0 and s["max"] == n - 1
+    assert s["mean"] == pytest.approx((n - 1) / 2)
+    # A tail-biased reservoir (overwrite-on-overflow) would put p50 far
+    # above n/2; a uniform one lands near it (256 samples: sd of the
+    # median estimate is a few hundred).
+    assert abs(h.percentile(50) - n / 2) < 0.15 * n
+    assert h.percentile(10) < 0.35 * n
+    assert h.percentile(90) > 0.65 * n
+
+
+def test_histogram_reservoir_seeded_and_deterministic():
+    """Same name, same stream => same sample (seed derives from the
+    metric name), so test runs and run-to-run summaries are stable."""
+    a, b = Histogram("x", reservoir=32), Histogram("x", reservoir=32)
+    for v in range(5000):
+        a.observe(v)
+        b.observe(v)
+    assert a.percentile(50) == b.percentile(50)
+    assert a.percentile(99) == b.percentile(99)
+    # A different name reseeds (a different but equally valid sample).
+    c = Histogram("y", reservoir=32)
+    for v in range(5000):
+        c.observe(v)
+    assert c.count == a.count
+
+
+# -- summary truncation rollup --------------------------------------------------------
+
+
+def test_render_summary_truncation_rolls_up_hidden_spans():
+    probe = Probe()
+    with probe:
+        for i in range(8):
+            with probe.span(f"operator:kind{i}"):
+                pass
+    text = render_summary(probe, top=3)
+    assert "(+5 more span names," in text
+    assert "ms total)" in text
+    # No rollup line when everything fits.
+    assert "more span names" not in render_summary(probe, top=8)
+
+
+# -- instant events tie to their enclosing span ---------------------------------------
+
+
+def test_chrome_instants_carry_enclosing_span_identity():
+    probe = Probe()
+    with probe:
+        with probe.span("superstep", iteration=3):
+            probe.event("retry", site="advance", attempt=1)
+    trace = to_chrome_trace(probe)
+    assert validate_chrome_trace(trace) == []
+    (instant,) = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert instant["args"]["span"] == "superstep"
+    # The id matches the recorded span's id.
+    (recorded,) = probe.tracer.spans()
+    assert instant["args"]["span_id"] == recorded.span_id
+    assert instant["s"] == "t" and instant["cat"] == "event"
+
+
+def test_chrome_trace_validator_rejects_untied_instant():
+    probe = Probe()
+    with probe:
+        with probe.span("superstep"):
+            probe.event("fault", kind="task")
+    trace = to_chrome_trace(probe)
+    (instant,) = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    del instant["args"]["span_id"]
+    problems = validate_chrome_trace(trace)
+    assert any("span_id" in p for p in problems)
+
+
+# -- concurrent enactors under one probe ----------------------------------------------
+
+
+def test_concurrent_enactors_share_one_probe(tmp_path, grid):
+    """Two enactor runs driven from two threads record into the same
+    ambient probe without corrupting each other's span stacks; both
+    exports stay schema-valid and the tracks stay thread-separated."""
+    probe = Probe()
+    errors = []
+
+    def run():
+        try:
+            sssp(grid, 0)
+        except Exception as exc:  # pragma: no cover - diagnostic only
+            errors.append(exc)
+
+    with probe:
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert not errors
+
+    spans = probe.tracer.spans()
+    supersteps = [s for s in spans if s.name == "superstep"]
+    by_thread = defaultdict(list)
+    for s in supersteps:
+        by_thread[s.thread_id].append(s)
+    assert len(by_thread) == 2, "each enactor thread owns its own track"
+    # Parenting never crosses threads: a span's parent lives on its own
+    # thread (per-thread stacks).
+    ids_by_thread = {
+        tid: {s.span_id for s in spans if s.thread_id == tid}
+        for tid in {s.thread_id for s in spans}
+    }
+    for s in spans:
+        if s.parent_id is not None:
+            assert s.parent_id in ids_by_thread[s.thread_id]
+
+    trace = to_chrome_trace(probe)
+    assert validate_chrome_trace(trace) == []
+    tids = {
+        e["tid"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "superstep"
+    }
+    assert len(tids) == 2
+
+    events_path = tmp_path / "concurrent.jsonl"
+    write_events_jsonl(probe, str(events_path))
+    with open(events_path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    assert validate_events_jsonl(lines) == []
+    parsed = [json.loads(line) for line in lines]
+    assert sum(1 for r in parsed if r.get("type") == "span") == len(spans)
