@@ -35,6 +35,7 @@ Quickstart (Listing 4 in one call)::
 from repro import graph
 from repro.graph import (
     Graph,
+    as_undirected_simple,
     from_edge_array,
     from_edge_list,
     from_csr_arrays,
@@ -80,6 +81,7 @@ __version__ = "1.0.0"
 __all__ = [
     "graph",
     "Graph",
+    "as_undirected_simple",
     "from_edge_array",
     "from_edge_list",
     "from_csr_arrays",

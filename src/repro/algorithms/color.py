@@ -15,6 +15,7 @@ from typing import Union
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.graph.builder import as_undirected_simple
 from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
 from repro.utils.counters import IterationStats, RunStats
 from repro.utils.rng import SeedLike, resolve_rng
@@ -47,7 +48,10 @@ def graph_coloring(
     resolve_policy(policy)
     rng = resolve_rng(seed)
     n = graph.n_vertices
-    csr = graph.csr()
+    # A proper coloring constrains both endpoints of every edge, so a
+    # directed (or self-looped) input must be symmetrized first — CSR
+    # alone would hide in-neighbors and produce monochromatic arcs.
+    csr = as_undirected_simple(graph).csr()
     priorities = rng.permutation(n).astype(np.int64)
     colors = np.full(n, UNCOLORED, dtype=np.int64)
     stats = RunStats()

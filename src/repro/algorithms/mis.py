@@ -17,6 +17,7 @@ from typing import Union
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.graph.builder import as_undirected_simple
 from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
 from repro.utils.counters import IterationStats, RunStats
 from repro.utils.rng import SeedLike, resolve_rng
@@ -51,7 +52,10 @@ def maximal_independent_set(
     resolve_policy(policy)
     rng = resolve_rng(seed)
     n = graph.n_vertices
-    csr = graph.csr()
+    # Independence is a constraint on both endpoints of every edge, so a
+    # directed input must be symmetrized — the CSR of the raw graph would
+    # hide in-neighbors and let two adjacent vertices both win a round.
+    csr = as_undirected_simple(graph).csr()
     in_set = np.zeros(n, dtype=bool)
     excluded = np.zeros(n, dtype=bool)
     stats = RunStats()
@@ -111,8 +115,13 @@ def verify_mis(graph: Graph, in_set: np.ndarray) -> bool:
     touched = cols[in_set[rows]]
     has_in_neighbor[touched] = True
     outside = ~in_set
-    # Isolated vertices must be in the set themselves.
-    isolated = graph.out_degrees() == 0
+    # Isolated vertices must be in the set themselves.  "Isolated" means
+    # no incident non-loop edge in either direction — out-degree alone
+    # would miscount a directed sink as isolated.
+    incident = np.zeros(graph.n_vertices, dtype=np.int64)
+    np.add.at(incident, rows, 1)
+    np.add.at(incident, cols, 1)
+    isolated = incident == 0
     if np.any(outside & isolated):
         return False
     return bool(np.all(has_in_neighbor[outside & ~isolated]))

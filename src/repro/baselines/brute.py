@@ -1,0 +1,136 @@
+"""Brute-force pure-Python references for oracles networkx lacks.
+
+Written against dict-of-sets adjacency with none of the library's own
+operator machinery, so a bug in frontiers/operators/policies cannot
+cancel out in the comparison.  Only suitable for the small conformance
+graphs (everything is O(n·m) or worse on purpose — clarity over speed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def _simple_undirected_adjacency(graph: Graph) -> Dict[int, Set[int]]:
+    """Symmetrized, self-loop-free, deduplicated neighbor sets."""
+    adj: Dict[int, Set[int]] = {v: set() for v in range(graph.n_vertices)}
+    coo = graph.coo()
+    for u, v in zip(coo.rows.tolist(), coo.cols.tolist()):
+        if u != v:
+            adj[u].add(v)
+            adj[v].add(u)
+    return adj
+
+
+def brute_truss_numbers(graph: Graph) -> Dict[Tuple[int, int], int]:
+    """Truss number per canonical undirected edge ``(min, max)``.
+
+    Standard peeling: at level k, repeatedly delete edges whose triangle
+    support in the surviving subgraph is below ``k - 2``; a deleted edge
+    gets truss number ``k - 1`` (floor 2, the no-triangle convention).
+    """
+    adj = _simple_undirected_adjacency(graph)
+    edges = {
+        (u, v) for u in adj for v in adj[u] if u < v
+    }
+    truss: Dict[Tuple[int, int], int] = {}
+    live: Dict[int, Set[int]] = {v: set(nbrs) for v, nbrs in adj.items()}
+
+    def support(u: int, v: int) -> int:
+        return len(live[u] & live[v])
+
+    k = 3
+    remaining = set(edges)
+    while remaining:
+        while True:
+            victims = [
+                (u, v) for (u, v) in remaining if support(u, v) < k - 2
+            ]
+            if not victims:
+                break
+            for u, v in victims:
+                remaining.discard((u, v))
+                truss[(u, v)] = k - 1
+                live[u].discard(v)
+                live[v].discard(u)
+        if remaining:
+            for e in remaining:
+                truss[e] = k
+            k += 1
+    for e in edges:
+        truss.setdefault(e, 2)
+    return truss
+
+
+def brute_core_numbers(graph: Graph) -> np.ndarray:
+    """Core number per vertex by naive peeling on undirected degrees."""
+    adj = _simple_undirected_adjacency(graph)
+    n = graph.n_vertices
+    core = np.zeros(n, dtype=np.int64)
+    live = {v: set(nbrs) for v, nbrs in adj.items()}
+    alive = set(range(n))
+    k = 0
+    while alive:
+        while True:
+            victims = [v for v in alive if len(live[v]) < k + 1]
+            if not victims:
+                break
+            for v in victims:
+                core[v] = k
+                alive.discard(v)
+                for u in live[v]:
+                    live[u].discard(v)
+                live[v].clear()
+        k += 1
+    return core
+
+
+def brute_spmv(graph: Graph, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` accumulated edge by edge in float64."""
+    coo = graph.coo()
+    y = np.zeros(graph.n_vertices, dtype=np.float64)
+    for u, v, w in zip(
+        coo.rows.tolist(), coo.cols.tolist(), coo.vals.tolist()
+    ):
+        y[u] += w * x[v]
+    return y
+
+
+def brute_forest_is_valid(
+    graph: Graph,
+    edge_sources: np.ndarray,
+    edge_destinations: np.ndarray,
+    edge_weights: np.ndarray,
+) -> Tuple[bool, str]:
+    """Check a claimed spanning forest: every edge exists in the graph
+    with its claimed weight, and no cycle forms (union-find)."""
+    coo = graph.coo()
+    weight_of: Dict[Tuple[int, int], Set[float]] = {}
+    for u, v, w in zip(
+        coo.rows.tolist(), coo.cols.tolist(), coo.vals.tolist()
+    ):
+        weight_of.setdefault((u, v), set()).add(round(float(w), 6))
+        weight_of.setdefault((v, u), set()).add(round(float(w), 6))
+    parent = list(range(graph.n_vertices))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v, w in zip(
+        edge_sources.tolist(), edge_destinations.tolist(), edge_weights.tolist()
+    ):
+        claimed = round(float(w), 6)
+        if claimed not in weight_of.get((u, v), set()):
+            return False, f"forest edge ({u}, {v}, w={w:g}) not in the graph"
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False, f"forest edge ({u}, {v}) closes a cycle"
+        parent[ru] = rv
+    return True, ""

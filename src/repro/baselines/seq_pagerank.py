@@ -16,23 +16,33 @@ def sequential_pagerank(
     tolerance: float = 1e-6,
     max_iterations: int = 100,
 ) -> np.ndarray:
-    """Damped PageRank with uniform dangling redistribution."""
+    """Damped PageRank with uniform dangling redistribution.
+
+    Rank mass flows along edges in proportion to edge weight (the
+    networkx convention the framework version follows); with unit
+    weights this reduces to the classic degree-uniform split.  A vertex
+    whose outgoing weight sums to zero is dangling.
+    """
     n = graph.n_vertices
     if n == 0:
         return np.empty(0)
     csr = graph.csr()
     ranks = [1.0 / n] * n
-    degrees = [csr.get_num_neighbors(v) for v in range(n)]
+    out_weight = [
+        sum(float(csr.get_edge_weight(e)) for e in csr.get_edges(v))
+        for v in range(n)
+    ]
     for _ in range(max_iterations):
         incoming = [0.0] * n
         dangling_mass = 0.0
         for v in range(n):
-            if degrees[v] == 0:
+            if out_weight[v] == 0.0:
                 dangling_mass += ranks[v]
                 continue
-            share = ranks[v] / degrees[v]
-            for u in csr.get_neighbors(v):
-                incoming[int(u)] += share
+            for e in csr.get_edges(v):
+                u = int(csr.get_dest_vertex(e))
+                w = float(csr.get_edge_weight(e))
+                incoming[u] += ranks[v] * w / out_weight[v]
         base = (1.0 - damping) / n + damping * dangling_mass / n
         new_ranks = [base + damping * incoming[v] for v in range(n)]
         delta = sum(abs(new_ranks[v] - ranks[v]) for v in range(n))

@@ -17,7 +17,11 @@ GPU graph frameworks ship:
 * ``repro ledger``   — list or show run-ledger records (every ``run``/
   ``profile`` appends one under ``.repro/runs/``);
 * ``repro partition``— partition and report quality metrics;
-* ``repro table1``   — print the regenerated capability matrix.
+* ``repro table1``   — print the regenerated capability matrix;
+* ``repro verify``   — the conformance harness: differential matrix
+  (algorithm × policy × direction × representation × fused over the
+  adversarial graph pool), metamorphic oracles, and the par_nosync
+  race checker; every mismatch prints a one-line repro command.
 
 Every command is a thin shell over the public API, so scripted use and
 programmatic use stay equivalent.
@@ -484,6 +488,152 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: run the conformance harness; exit 1 on any
+    divergence.
+
+    Three suites — differential matrix, metamorphic relations, race
+    checker — all run by default; ``--metamorphic`` / ``--races``
+    narrow to those suites, and any matrix-axis filter (``--policy``,
+    ``--direction``, ``--representation``, ``--fused``) narrows to the
+    matrix alone, which is how the printed repro commands replay a
+    single cell.
+    """
+    from repro.verify import (
+        check_races,
+        run_matrix,
+        run_metamorphic,
+        spec_names,
+    )
+    from repro.verify.graph_pool import GraphPool
+
+    if args.list:
+        from repro.verify import get_spec
+
+        pool = GraphPool(seed=args.seed, quick=not args.full)
+        for name in spec_names():
+            spec = get_spec(name)
+            axes = [a for a in spec.axes.policies if a is not None]
+            print(
+                f"{name:12s} baseline={spec.baseline_name:22s} "
+                f"comparator={spec.comparator_name:22s} "
+                f"policies={','.join(axes) or '-'}"
+            )
+        print(f"graphs: {', '.join(c.name for c in pool.cases())}")
+        return 0
+
+    quick = not args.full
+    axis_filtered = any(
+        x is not None
+        for x in (args.policy, args.direction, args.representation)
+    ) or args.fused != "both"
+    explicit = bool(args.metamorphic or args.races)
+    run_m = (not explicit and not args.no_matrix) or axis_filtered
+    run_meta = (args.metamorphic or not explicit) and not axis_filtered
+    run_r = (args.races or not explicit) and not axis_filtered
+
+    fused_filter = None
+    if args.fused == "on":
+        fused_filter = [True]
+    elif args.fused == "off":
+        fused_filter = [False]
+
+    failed = False
+    records = {}
+    if args.algo:
+        known = set(spec_names())
+        unknown = [a for a in args.algo if a not in known]
+        if unknown:
+            raise SystemExit(
+                f"unknown algorithm(s) {', '.join(sorted(unknown))}; "
+                f"see `repro verify --list`"
+            )
+    if args.graph:
+        pool_names = {
+            c.name for c in GraphPool(seed=args.seed, quick=quick).cases()
+        }
+        unknown = [g for g in args.graph if g not in pool_names]
+        if unknown:
+            mode_hint = "" if args.full else " (full-only graph? add --full)"
+            raise SystemExit(
+                f"unknown graph(s) {', '.join(sorted(unknown))}"
+                f"{mode_hint}; see `repro verify --list`"
+            )
+    if run_m:
+        report = run_matrix(
+            seed=args.seed,
+            quick=quick,
+            algos=args.algo,
+            graphs=args.graph,
+            policies=args.policy,
+            directions=args.direction,
+            representations=args.representation,
+            fused=fused_filter,
+        )
+        mode = "quick" if quick else "full"
+        print(
+            f"matrix: {report.cells_run} cells, {report.cells_passed} "
+            f"passed, {len(report.mismatches)} mismatches "
+            f"({mode}, seed {args.seed}, {report.seconds:.1f}s)"
+        )
+        for m in report.mismatches[:20]:
+            print(f"  MISMATCH {m.cell.label()}: {m.detail}")
+            print(f"    replay: {m.repro}")
+        if len(report.mismatches) > 20:
+            print(f"  ... and {len(report.mismatches) - 20} more")
+        records["matrix"] = report.to_record()
+        failed = failed or not report.ok
+    if run_meta:
+        meta = run_metamorphic(
+            seed=args.seed, quick=quick, graphs=args.graph
+        )
+        print(
+            f"metamorphic: {meta.checks_run} checks, "
+            f"{len(meta.failures)} failures ({meta.seconds:.1f}s)"
+        )
+        for f in meta.failures[:20]:
+            print(f"  FAILED {f.relation} [{f.algo} on {f.graph}]: {f.detail}")
+            print(f"    replay: {f.repro}")
+        records["metamorphic"] = meta.to_record()
+        failed = failed or not meta.ok
+    if run_r:
+        try:
+            races = check_races(
+                seed=args.seed,
+                trials=args.trials,
+                quick=quick,
+                algos=args.algo if args.races else None,
+                graphs=args.graph,
+            )
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+        print(
+            f"races: {races.runs} perturbed runs, "
+            f"{len(races.findings)} findings, "
+            f"{len(races.benign)} benign ({races.seconds:.1f}s)"
+        )
+        for f in races.findings[:20]:
+            print(f"  RACE {f.algo} on {f.graph} ({f.kind}): {f.detail}")
+            print(f"    replay: {f.repro}")
+        records["races"] = races.to_record()
+        failed = failed or not races.ok
+
+    _append_ledger_record(
+        args,
+        kind="verify",
+        algorithm=",".join(args.algo) if args.algo else "all",
+        metrics={"ok": not failed, **records},
+        config_keys=("seed", "full"),
+    )
+    if args.json:
+        print(json.dumps({"ok": not failed, **records}, indent=2))
+    if failed:
+        print("verify: FAILED", file=sys.stderr)
+        return 1
+    print("verify: ok")
+    return 0
+
+
 # -- trace analysis / ledger / regression commands -------------------------------------
 
 
@@ -879,6 +1029,87 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="print the capability matrix")
     p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser(
+        "verify",
+        help="conformance harness: differential matrix, metamorphic "
+        "oracles, race checker; exits 1 on any divergence",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick",
+        action="store_true",
+        help="small graphs, pinned secondary axes (the default; CI mode)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="all pool graphs and the full variant product (nightly mode)",
+    )
+    p.add_argument(
+        "--algo",
+        action="append",
+        help="restrict to this algorithm (repeatable)",
+    )
+    p.add_argument(
+        "--graph",
+        action="append",
+        help="restrict to this pool graph (repeatable)",
+    )
+    p.add_argument(
+        "--policy",
+        action="append",
+        choices=["seq", "par", "par_nosync", "par_vector", "async"],
+        help="matrix only: restrict the policy axis (repeatable)",
+    )
+    p.add_argument(
+        "--direction",
+        action="append",
+        choices=["push", "pull", "auto"],
+        help="matrix only: restrict the direction axis (repeatable)",
+    )
+    p.add_argument(
+        "--representation",
+        action="append",
+        choices=["sparse", "dense", "auto"],
+        help="matrix only: restrict the frontier-representation axis",
+    )
+    p.add_argument(
+        "--fused",
+        choices=["on", "off", "both"],
+        default="both",
+        help="matrix only: restrict the operator-fusion axis",
+    )
+    p.add_argument(
+        "--metamorphic",
+        action="store_true",
+        help="run only the metamorphic suite",
+    )
+    p.add_argument(
+        "--races",
+        action="store_true",
+        help="run only the race checker",
+    )
+    p.add_argument(
+        "--no-matrix",
+        action="store_true",
+        help="skip the differential matrix",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="perturbed runs per (algorithm, graph) in the race checker",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list oracle-registered algorithms and pool graphs",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    _add_ledger_args(p)
+    p.set_defaults(fn=cmd_verify)
 
     return parser
 

@@ -19,9 +19,36 @@ Two faithful realizations of the same linearizable contract:
 from __future__ import annotations
 
 import threading
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+#: Ambient atomics instrument (the race checker's shim).  Installed the
+#: same way FaultInjector is: module-global, consulted at AtomicArray
+#: construction so the common path costs one ``is None`` check per op.
+_ACTIVE_INSTRUMENT = None
+
+
+def active_instrument():
+    """The installed atomics instrument, or ``None``."""
+    return _ACTIVE_INSTRUMENT
+
+
+def install_instrument(instrument) -> Optional[object]:
+    """Install (or with ``None`` remove) the ambient atomics instrument.
+
+    Returns the previously installed instrument so callers can restore
+    it; :class:`repro.verify.races.RaceInstrument` wraps this in a
+    context manager.  An instrument sees every read-modify-write on
+    every :class:`AtomicArray` created while it is installed, via
+    ``before_op(array, kind, index)`` (outside the stripe lock — the
+    hook where scheduling perturbation happens) and ``record(array,
+    kind, index, old, new)`` (inside the lock, after the update).
+    """
+    global _ACTIVE_INSTRUMENT
+    prev = _ACTIVE_INSTRUMENT
+    _ACTIVE_INSTRUMENT = instrument
+    return prev
 
 
 class AtomicArray:
@@ -35,42 +62,67 @@ class AtomicArray:
         self.array = array
         self._locks = [threading.Lock() for _ in range(n_stripes)]
         self._n_stripes = n_stripes
+        self._instrument = _ACTIVE_INSTRUMENT
 
     def _lock_for(self, index: int) -> threading.Lock:
         return self._locks[index % self._n_stripes]
 
     def load(self, index: int):
         """Atomic read of one element."""
+        inst = self._instrument
+        if inst is not None:
+            inst.before_op(self, "load", index)
         with self._lock_for(index):
             return self.array[index].item()
 
     def store(self, index: int, value) -> None:
         """Atomic write of one element."""
+        inst = self._instrument
+        if inst is not None:
+            inst.before_op(self, "store", index)
         with self._lock_for(index):
+            old = self.array[index].item()
             self.array[index] = value
+            if inst is not None:
+                inst.record(self, "store", index, old, value)
 
     def min_at(self, index: int, value) -> float:
         """``atomic::min``: lower ``array[index]`` to ``value`` if smaller;
         return the **old** value (Listing 4's contract)."""
+        inst = self._instrument
+        if inst is not None:
+            inst.before_op(self, "min", index)
         with self._lock_for(index):
             old = self.array[index].item()
             if value < old:
                 self.array[index] = value
+            if inst is not None:
+                inst.record(self, "min", index, old, min(old, value))
             return old
 
     def max_at(self, index: int, value) -> float:
         """``atomic::max`` twin of :meth:`min_at`."""
+        inst = self._instrument
+        if inst is not None:
+            inst.before_op(self, "max", index)
         with self._lock_for(index):
             old = self.array[index].item()
             if value > old:
                 self.array[index] = value
+            if inst is not None:
+                inst.record(self, "max", index, old, max(old, value))
             return old
 
     def add_at(self, index: int, value) -> float:
         """``atomic::add``: fetch-and-add returning the old value."""
+        inst = self._instrument
+        if inst is not None:
+            inst.before_op(self, "add", index)
         with self._lock_for(index):
             old = self.array[index].item()
             self.array[index] = old + value
+            if inst is not None:
+                inst.record(self, "add", index, old, old + value)
             return old
 
     def compare_exchange(self, index: int, expected, desired) -> Tuple[bool, float]:
@@ -78,11 +130,18 @@ class AtomicArray:
 
         Returns ``(succeeded, observed_value)``.
         """
+        inst = self._instrument
+        if inst is not None:
+            inst.before_op(self, "cas", index)
         with self._lock_for(index):
             observed = self.array[index].item()
             if observed == expected:
                 self.array[index] = desired
+                if inst is not None:
+                    inst.record(self, "cas", index, observed, desired)
                 return True, observed
+            if inst is not None:
+                inst.record(self, "cas", index, observed, observed)
             return False, observed
 
 

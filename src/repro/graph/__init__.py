@@ -19,6 +19,7 @@ from repro.graph.coo import COOMatrix
 from repro.graph.adjacency import AdjacencyList
 from repro.graph.graph import Graph
 from repro.graph.builder import (
+    as_undirected_simple,
     from_edge_array,
     from_edge_list,
     from_csr_arrays,
@@ -35,6 +36,7 @@ __all__ = [
     "COOMatrix",
     "AdjacencyList",
     "Graph",
+    "as_undirected_simple",
     "from_edge_array",
     "from_edge_list",
     "from_csr_arrays",

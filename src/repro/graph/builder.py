@@ -106,6 +106,30 @@ def from_edge_array(
     )
 
 
+def as_undirected_simple(graph: Graph) -> Graph:
+    """The simple undirected view of a graph: symmetrized, self-loop-free,
+    deduplicated (parallel edges combined by min weight).
+
+    Algorithms with undirected semantics (coloring, MIS, truss) must see
+    the edge ``(u, v)`` from both endpoints even when the input stores
+    only one arc; this is the canonical way to get that view.  Returns
+    the input unchanged when it is already simple and undirected.
+    """
+    props = graph.properties
+    if not props.directed and not props.has_self_loops:
+        return graph
+    coo = graph.coo()
+    return from_edge_array(
+        coo.rows,
+        coo.cols,
+        coo.vals if props.weighted else None,
+        n_vertices=graph.n_vertices,
+        directed=False,
+        remove_self_loops=True,
+        deduplicate=True,
+    )
+
+
 def from_edge_list(
     edges: Iterable[Sequence],
     *,

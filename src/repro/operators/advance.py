@@ -52,7 +52,7 @@ from repro.frontier.edge import EdgeFrontier
 from repro.frontier.queue import AsyncQueueFrontier
 from repro.frontier.sparse import SparseFrontier
 from repro.graph.graph import Graph
-from repro.operators.conditions import apply_edge_condition
+from repro.operators.conditions import apply_edge_condition, call_condition_scalar
 from repro.operators.fused import (
     _gather_segments,
     choose_direction,
@@ -110,7 +110,7 @@ def _push_seq(graph, vertices, condition, output):
         for e in csr.get_edges(v):
             n = csr.get_dest_vertex(e)
             w = csr.get_edge_weight(e)
-            if condition(v, n, e, w):
+            if call_condition_scalar(condition, v, n, e, w):
                 output.add(n)
     return output
 
@@ -223,11 +223,20 @@ def _pull(graph, frontier, condition, output, candidates, policy, workspace=None
     if isinstance(policy, SequencedPolicy):
         for v in cand:
             v = int(v)
+            # Evaluate EVERY live in-edge, as the bulk overloads do —
+            # conditions may carry side effects (SSSP pull relaxes the
+            # distance inside the condition), so short-circuiting after
+            # the first hit would skip relaxations the other policies
+            # perform and break cross-policy equivalence.
+            hit = False
             for e in csc.get_in_edges(v):
                 u = csc.get_source_vertex(e)
-                if active[u] and condition(u, v, e, csc.get_edge_weight(e)):
-                    output.add(v)
-                    break
+                if active[u] and call_condition_scalar(
+                    condition, u, v, e, csc.get_edge_weight(e)
+                ):
+                    hit = True
+            if hit:
+                output.add(v)
         return output
     srcs, dsts, eids, wts = csc.gather_in_edges(cand)
     live = active[srcs]
@@ -395,7 +404,9 @@ def expand_to_edges(
         for v in vertices:
             v = int(v)
             for e in csr.get_edges(v):
-                if condition(v, csr.get_dest_vertex(e), e, csr.get_edge_weight(e)):
+                if call_condition_scalar(
+                    condition, v, csr.get_dest_vertex(e), e, csr.get_edge_weight(e)
+                ):
                     output.add(e)
         return output
     sources, dests, edges, weights = csr.expand_vertices(vertices)

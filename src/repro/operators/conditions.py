@@ -45,6 +45,35 @@ def scalar_condition(fn: Callable) -> Callable:
     return fn
 
 
+def call_condition_scalar(
+    condition: Callable, src: int, dst: int, edge: int, weight: float
+) -> bool:
+    """Evaluate ``condition`` on a single edge, whatever its form.
+
+    The ``seq`` policies walk one edge at a time, but a condition marked
+    ``@bulk_condition`` only accepts arrays — hand it a length-1 batch so
+    bulk-only algorithms (e.g. Brandes' path counting) still run
+    sequentially instead of crashing on scalar arguments.
+    """
+    if getattr(condition, _BULK_ATTR, None) is True:
+        mask = condition(
+            np.asarray([src], dtype=np.int64),
+            np.asarray([dst], dtype=np.int64),
+            np.asarray([edge], dtype=np.int64),
+            np.asarray([weight]),
+        )
+        return bool(np.asarray(mask).reshape(-1)[0])
+    return bool(condition(src, dst, edge, weight))
+
+
+def call_predicate_scalar(predicate: Callable, vertex: int) -> bool:
+    """Single-vertex twin of :func:`call_condition_scalar`."""
+    if getattr(predicate, _BULK_PRED_ATTR, None) is True:
+        mask = predicate(np.asarray([vertex], dtype=np.int64))
+        return bool(np.asarray(mask).reshape(-1)[0])
+    return bool(predicate(vertex))
+
+
 def _loop_condition(
     condition: Callable,
     sources: np.ndarray,

@@ -17,7 +17,10 @@ from repro.errors import ExecutionPolicyError, FrontierError
 from repro.frontier.base import Frontier, FrontierKind
 from repro.frontier.dense import DenseFrontier
 from repro.frontier.sparse import SparseFrontier
-from repro.operators.conditions import apply_vertex_predicate
+from repro.operators.conditions import (
+    apply_vertex_predicate,
+    call_predicate_scalar,
+)
 from repro.execution.policy import (
     ExecutionPolicy,
     ParallelNoSyncPolicy,
@@ -80,7 +83,7 @@ def _filter_dispatch(policy, vertices, predicate, output):
     """Overload selection shared by the traced and untraced paths."""
     if isinstance(policy, SequencedPolicy):
         for v in vertices:
-            if predicate(int(v)):
+            if call_predicate_scalar(predicate, int(v)):
                 output.add(int(v))
         return output
     if isinstance(policy, VectorPolicy):

@@ -36,6 +36,7 @@ a density threshold.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Optional
 
 import numpy as np
@@ -64,8 +65,38 @@ DEFAULT_BETA = 24.0
 DENSE_REPRESENTATION_THRESHOLD = 0.05
 
 
+#: Global fusion switch.  Fused kernels and the generic pipeline must be
+#: semantically identical; the conformance matrix flips this to prove it
+#: (``repro verify --fused off``).
+_FUSION_ENABLED = True
+
+
+def fusion_enabled() -> bool:
+    """Whether conditions may route through their fused kernels."""
+    return _FUSION_ENABLED
+
+
+@contextmanager
+def fusion_override(enabled: bool):
+    """Temporarily force fusion on or off (conformance sweeps)."""
+    global _FUSION_ENABLED
+    prev = _FUSION_ENABLED
+    _FUSION_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSION_ENABLED = prev
+
+
 def fused_kernel_of(condition: Callable) -> Optional["FusedKernel"]:
-    """The fused kernel attached to ``condition``, if any."""
+    """The fused kernel attached to ``condition``, if any.
+
+    Returns ``None`` while fusion is globally disabled, so every caller
+    (advance dispatch *and* the algorithms' emits-deduplicated-sets
+    bookkeeping) falls back to the generic pipeline consistently.
+    """
+    if not _FUSION_ENABLED:
+        return None
     return getattr(condition, FUSED_ATTR, None)
 
 

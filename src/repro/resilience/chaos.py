@@ -29,6 +29,7 @@ or benchmark runs under chaos by wrapping it in ``with injector:``.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, Optional, Tuple
 
@@ -79,7 +80,7 @@ class FaultInjector:
 
     def __init__(
         self,
-        seed: int = 0,
+        seed: Optional[int] = None,
         *,
         task_rate: float = 0.0,
         worker_death_rate: float = 0.0,
@@ -106,6 +107,11 @@ class FaultInjector:
             raise ResilienceError(
                 f"max_faults must be >= 0, got {max_faults}"
             )
+        if seed is None:
+            # Unseeded injectors follow the ambient chaos seed so the
+            # test harness can replay a whole chaotic run from one env
+            # var; outside tests the fallback keeps the old default.
+            seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
         self.seed = seed
         self.rates = rates
         self.max_faults = max_faults

@@ -1,6 +1,11 @@
 """Shared utilities: timing, RNG management, validation, counters."""
 
-from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.rng import (
+    get_default_seed,
+    resolve_rng,
+    set_default_seed,
+    spawn_rngs,
+)
 from repro.utils.timing import Timer, WallClock
 from repro.utils.counters import (
     IterationStats,
@@ -14,7 +19,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "get_default_seed",
     "resolve_rng",
+    "set_default_seed",
     "spawn_rngs",
     "Timer",
     "WallClock",

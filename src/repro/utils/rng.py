@@ -15,11 +15,38 @@ import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
+#: Ambient default seed consulted when a caller passes ``seed=None``.
+#: ``None`` (the normal state) keeps ``None`` nondeterministic; the test
+#: harness pins it per-test so "unseeded" code paths replay exactly.
+_DEFAULT_SEED: Optional[int] = None
+_DEFAULT_DRAWS: int = 0
+
+
+def set_default_seed(seed: Optional[int]) -> None:
+    """Pin (or with ``None`` unpin) the ambient seed for ``seed=None``.
+
+    Each ``resolve_rng(None)`` under a pinned seed yields a *distinct*
+    child stream (spawned off one :class:`~numpy.random.SeedSequence`),
+    so two unseeded components don't accidentally share randomness — but
+    the whole sequence of streams is a pure function of the pinned seed
+    and call order, which is what per-test replay needs.
+    """
+    global _DEFAULT_SEED, _DEFAULT_DRAWS
+    _DEFAULT_SEED = None if seed is None else int(seed)
+    _DEFAULT_DRAWS = 0
+
+
+def get_default_seed() -> Optional[int]:
+    """The currently pinned ambient seed, or ``None``."""
+    return _DEFAULT_SEED
+
 
 def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
-    * ``None`` → fresh nondeterministic generator.
+    * ``None`` → fresh nondeterministic generator, unless an ambient
+      default seed is pinned (:func:`set_default_seed`), in which case a
+      deterministic child stream of that seed.
     * ``int`` / :class:`numpy.random.SeedSequence` → seeded generator.
     * existing :class:`numpy.random.Generator` → returned unchanged, so a
       caller can thread one generator through a pipeline of stochastic
@@ -27,6 +54,13 @@ def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
     """
     if isinstance(seed, np.random.Generator):
         return seed
+    if seed is None and _DEFAULT_SEED is not None:
+        global _DEFAULT_DRAWS
+        sequence = np.random.SeedSequence(
+            entropy=_DEFAULT_SEED, spawn_key=(_DEFAULT_DRAWS,)
+        )
+        _DEFAULT_DRAWS += 1
+        return np.random.default_rng(sequence)
     return np.random.default_rng(seed)
 
 

@@ -1,0 +1,110 @@
+"""Conformance verification: differential matrix testing, metamorphic
+oracles, and the par_nosync race checker.
+
+Three independent lines of evidence that every point of the execution
+design space (policy × direction × representation × fused) computes the
+same answers:
+
+* :mod:`repro.verify.matrix` — every algorithm variant against its
+  oracle over the adversarial graph pool, each mismatch carrying a
+  one-line repro command;
+* :mod:`repro.verify.metamorphic` — mathematical relations (weight
+  scaling, isolated-vertex insertion, relabel equivariance) that need
+  no reference implementation;
+* :mod:`repro.verify.races` — chaos-perturbed scheduling plus an
+  instrumented-atomics shim that flags lost updates.
+
+Surface: ``repro verify`` (CLI), :func:`run_matrix`,
+:func:`run_metamorphic`, :func:`check_races`.
+"""
+
+from repro.verify.comparators import (
+    COMPARATOR_KINDS,
+    CompareOutcome,
+    ToleranceSpec,
+    bfs_parents_valid,
+    exact_equal,
+    float_allclose,
+    partition_isomorphic,
+    sssp_path_tree_valid,
+)
+from repro.verify.graph_pool import GraphCase, GraphPool
+from repro.verify.matrix import (
+    Cell,
+    MatrixReport,
+    MatrixRunner,
+    Mismatch,
+    repro_command,
+    run_matrix,
+)
+from repro.verify.metamorphic import (
+    RELATIONS,
+    MetamorphicFailure,
+    MetamorphicReport,
+    add_isolated_vertices,
+    check_isolated_vertices,
+    check_permutation,
+    check_weight_scaling,
+    permute_vertices,
+    run_metamorphic,
+    scale_weights,
+)
+from repro.verify.oracles import (
+    REGISTRY,
+    Axes,
+    OracleSpec,
+    RunContext,
+    Variant,
+    get_spec,
+    spec_names,
+)
+from repro.verify.races import (
+    LostUpdate,
+    RaceFinding,
+    RaceInstrument,
+    RaceReport,
+    check_races,
+    specs_with_nosync,
+)
+
+__all__ = [
+    "COMPARATOR_KINDS",
+    "REGISTRY",
+    "RELATIONS",
+    "Axes",
+    "Cell",
+    "CompareOutcome",
+    "GraphCase",
+    "GraphPool",
+    "LostUpdate",
+    "MatrixReport",
+    "MatrixRunner",
+    "MetamorphicFailure",
+    "MetamorphicReport",
+    "Mismatch",
+    "OracleSpec",
+    "RaceFinding",
+    "RaceInstrument",
+    "RaceReport",
+    "RunContext",
+    "ToleranceSpec",
+    "Variant",
+    "add_isolated_vertices",
+    "bfs_parents_valid",
+    "check_isolated_vertices",
+    "check_permutation",
+    "check_races",
+    "check_weight_scaling",
+    "exact_equal",
+    "float_allclose",
+    "get_spec",
+    "partition_isomorphic",
+    "permute_vertices",
+    "repro_command",
+    "run_matrix",
+    "run_metamorphic",
+    "scale_weights",
+    "spec_names",
+    "specs_with_nosync",
+    "sssp_path_tree_valid",
+]

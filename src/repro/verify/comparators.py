@@ -1,0 +1,247 @@
+"""Equivalence specs: how a run's output is compared to its oracle.
+
+Different algorithms admit different notions of "same answer":
+
+* ``exact`` — bitwise-equal arrays/scalars (BFS levels, core numbers,
+  triangle totals).
+* ``float-atol`` — elementwise ``allclose`` with per-algorithm
+  tolerances (SSSP distances, PageRank mass, HITS scores).
+* ``parents-tie-tolerant`` — a parent/predecessor array is *valid*
+  rather than equal: ties between equally-good parents may resolve
+  differently per policy, so we check the tree is consistent with the
+  (exact) level/distance array instead of comparing parents bitwise.
+* ``partition-isomorphism`` — component/community labels match up to a
+  relabeling bijection (label values are representative-dependent).
+* ``predicate`` — no baseline exists; the output must satisfy a
+  semantic validity predicate (proper coloring, maximal independence).
+
+Each comparator returns a :class:`CompareOutcome` whose ``detail`` is a
+one-line human-readable explanation of the first divergence found —
+that line ends up in the matrix report and the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CompareOutcome:
+    """Result of one oracle comparison."""
+
+    ok: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+OK = CompareOutcome(True)
+
+
+def _first_mismatch(mask: np.ndarray) -> int:
+    return int(np.nonzero(mask)[0][0])
+
+
+def exact_equal(got, want) -> CompareOutcome:
+    """Bitwise equality of scalars or arrays (shape included)."""
+    got_a = np.asarray(got)
+    want_a = np.asarray(want)
+    if got_a.shape != want_a.shape:
+        return CompareOutcome(
+            False, f"shape mismatch: got {got_a.shape}, want {want_a.shape}"
+        )
+    if got_a.size == 0:
+        return OK
+    neq = got_a != want_a
+    if not np.any(neq):
+        return OK
+    i = _first_mismatch(neq.ravel())
+    return CompareOutcome(
+        False,
+        f"value mismatch at flat index {i}: "
+        f"got {got_a.ravel()[i]!r}, want {want_a.ravel()[i]!r} "
+        f"({int(np.count_nonzero(neq))} differing entries)",
+    )
+
+
+def float_allclose(
+    got, want, *, atol: float = 1e-6, rtol: float = 1e-5
+) -> CompareOutcome:
+    """``np.allclose`` with infinities required to match exactly.
+
+    ``INF`` marks unreachable vertices, so a finite-vs-infinite pair is a
+    semantic divergence regardless of tolerance.
+    """
+    got_a = np.asarray(got, dtype=np.float64)
+    want_a = np.asarray(want, dtype=np.float64)
+    if got_a.shape != want_a.shape:
+        return CompareOutcome(
+            False, f"shape mismatch: got {got_a.shape}, want {want_a.shape}"
+        )
+    if got_a.size == 0:
+        return OK
+    got_inf = ~np.isfinite(got_a)
+    want_inf = ~np.isfinite(want_a)
+    if np.any(got_inf != want_inf):
+        i = _first_mismatch((got_inf != want_inf).ravel())
+        return CompareOutcome(
+            False,
+            f"reachability mismatch at flat index {i}: "
+            f"got {got_a.ravel()[i]!r}, want {want_a.ravel()[i]!r}",
+        )
+    finite = ~got_inf
+    bad = finite & ~np.isclose(got_a, want_a, atol=atol, rtol=rtol)
+    if not np.any(bad):
+        return OK
+    i = _first_mismatch(bad.ravel())
+    return CompareOutcome(
+        False,
+        f"numeric mismatch at flat index {i}: "
+        f"got {got_a.ravel()[i]:.9g}, want {want_a.ravel()[i]:.9g} "
+        f"(atol={atol}, rtol={rtol}, "
+        f"{int(np.count_nonzero(bad))} entries out of tolerance)",
+    )
+
+
+def partition_isomorphic(got, want) -> CompareOutcome:
+    """Same partition of vertices, labels compared up to bijection.
+
+    Component labels are representative ids, which legitimately differ
+    between, say, label propagation and union-find.  Two labelings are
+    equivalent iff the induced partitions are identical — i.e. the map
+    got-label → want-label (by first occurrence) is a bijection that
+    explains every vertex.
+    """
+    got_a = np.asarray(got).ravel()
+    want_a = np.asarray(want).ravel()
+    if got_a.shape != want_a.shape:
+        return CompareOutcome(
+            False, f"shape mismatch: got {got_a.shape}, want {want_a.shape}"
+        )
+    fwd: dict = {}
+    rev: dict = {}
+    for i in range(got_a.size):
+        g, w = got_a[i].item(), want_a[i].item()
+        if fwd.setdefault(g, w) != w or rev.setdefault(w, g) != g:
+            return CompareOutcome(
+                False,
+                f"partition mismatch at vertex {i}: label {g!r} maps to "
+                f"both {fwd[g]!r} and {w!r} (or the reverse)",
+            )
+    return OK
+
+
+def bfs_parents_valid(
+    parents, levels, graph, source: int
+) -> CompareOutcome:
+    """Tie-tolerant BFS parent check: every reached vertex's parent must
+    be a real in-neighbor exactly one level shallower.
+
+    Any such parent is a correct answer — which parent wins is a benign
+    race between same-level discoverers — so the comparator validates
+    structure instead of comparing arrays.
+    """
+    parents = np.asarray(parents)
+    levels = np.asarray(levels)
+    n = graph.n_vertices
+    if n == 0:
+        return OK
+    if levels[source] != 0 or parents[source] != source:
+        return CompareOutcome(
+            False,
+            f"source {source} has level {levels[source]} / parent "
+            f"{parents[source]}, want 0 / {source}",
+        )
+    for v in range(n):
+        if v == source or levels[v] < 0:
+            continue
+        p = int(parents[v])
+        if p < 0 or p >= n:
+            return CompareOutcome(
+                False, f"reached vertex {v} has invalid parent {p}"
+            )
+        if levels[p] != levels[v] - 1:
+            return CompareOutcome(
+                False,
+                f"vertex {v} (level {levels[v]}) has parent {p} at level "
+                f"{levels[p]}, want level {levels[v] - 1}",
+            )
+        if not graph.has_edge(p, v):
+            return CompareOutcome(
+                False, f"parent edge ({p} -> {v}) does not exist in the graph"
+            )
+    return OK
+
+
+def sssp_path_tree_valid(
+    distances, graph, source: int, *, atol: float = 1e-4
+) -> CompareOutcome:
+    """Structural SSSP check usable without a baseline: the distance
+    array must be a fixed point of relaxation (no edge can improve it)
+    and every finite distance must be witnessed by some in-edge."""
+    dist = np.asarray(distances, dtype=np.float64)
+    n = graph.n_vertices
+    if n == 0:
+        return OK
+    if dist[source] != 0.0:
+        return CompareOutcome(
+            False, f"source distance is {dist[source]}, want 0"
+        )
+    csr = graph.csr()
+    for v in range(n):
+        if not np.isfinite(dist[v]):
+            continue
+        nbrs = csr.get_neighbors(v)
+        wts = csr.get_neighbor_weights(v)
+        for k in range(nbrs.shape[0]):
+            u = int(nbrs[k])
+            if dist[v] + float(wts[k]) < dist[u] - atol:
+                return CompareOutcome(
+                    False,
+                    f"edge ({v} -> {u}, w={float(wts[k]):g}) relaxes "
+                    f"{dist[u]:.9g} to {dist[v] + float(wts[k]):.9g}: "
+                    "not a relaxation fixed point",
+                )
+    return OK
+
+
+#: Named tolerance/equivalence kinds an oracle spec may declare.
+COMPARATOR_KINDS = (
+    "exact",
+    "float-atol",
+    "parents-tie-tolerant",
+    "partition-isomorphism",
+    "predicate",
+)
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """How one algorithm's output is matched to its oracle."""
+
+    kind: str = "exact"
+    atol: float = 1e-6
+    rtol: float = 1e-5
+
+    def __post_init__(self):
+        if self.kind not in COMPARATOR_KINDS:
+            raise ValueError(
+                f"unknown comparator kind {self.kind!r}; expected one of "
+                f"{COMPARATOR_KINDS}"
+            )
+
+    def compare(self, got, want) -> CompareOutcome:
+        """Apply the spec to plain array-like outputs."""
+        if self.kind == "exact":
+            return exact_equal(got, want)
+        if self.kind == "float-atol":
+            return float_allclose(got, want, atol=self.atol, rtol=self.rtol)
+        if self.kind == "partition-isomorphism":
+            return partition_isomorphic(got, want)
+        raise ValueError(
+            f"comparator kind {self.kind!r} needs a custom compare function"
+        )

@@ -1,0 +1,295 @@
+"""The curated adversarial graph pool the conformance matrix sweeps.
+
+Each case is a *named, seeded, deterministic* graph chosen to break a
+specific class of bug: empty graphs catch initialization-order slips,
+self-loops catch ``src == dst`` special cases, multi-edges catch
+dedup-by-accident, zero-weight edges catch ``improved = new < old``
+boundary handling, stars catch hub load-balance paths, and the
+generator-family cases (R-MAT, Kronecker, SBM) exercise the skewed and
+clustered degree distributions real workloads have.
+
+``repro verify --graph <name>`` replays exactly one case; names are the
+stable coordinates that make a mismatch's one-line repro command work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph import from_edge_list
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    grid_2d,
+    kronecker,
+    rmat,
+    star,
+    stochastic_block_model,
+    with_random_weights,
+)
+
+
+@dataclass(frozen=True)
+class GraphCase:
+    """One named pool entry.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used in repro commands and reports.
+    build:
+        ``build(seed) -> Graph`` — deterministic for a given seed.
+    quick:
+        Included in the ``--quick`` matrix (CI); ``False`` = nightly only.
+    tags:
+        Structural facts oracle specs filter on (``"weighted"``,
+        ``"directed"``, ``"has_edges"``, ``"nonnegative"``, ...).
+    source:
+        Canonical source vertex for source-based algorithms (``None``
+        when the case has no vertices).
+    """
+
+    name: str
+    build: Callable[[int], Graph]
+    quick: bool = True
+    tags: Tuple[str, ...] = ()
+    source: Optional[int] = 0
+
+    def matches(self, required: Tuple[str, ...]) -> bool:
+        """Whether every tag in ``required`` is on this case."""
+        return all(tag in self.tags for tag in required)
+
+
+def _empty16(seed: int) -> Graph:
+    return from_edge_list([], n_vertices=16, directed=True)
+
+
+def _single(seed: int) -> Graph:
+    return from_edge_list([], n_vertices=1, directed=True)
+
+
+def _selfloops(seed: int) -> Graph:
+    # Self-loops mixed into a short weighted cycle; loop weights differ
+    # from path weights so a loop mistakenly relaxed shows up.
+    edges = [
+        (0, 0, 0.5),
+        (0, 1, 1.0),
+        (1, 1, 2.0),
+        (1, 2, 1.5),
+        (2, 0, 1.0),
+        (2, 2, 0.25),
+        (2, 3, 4.0),
+    ]
+    return from_edge_list(edges, n_vertices=4, directed=True)
+
+
+def _multiedges(seed: int) -> Graph:
+    # Parallel edges with distinct weights: the cheapest copy must win
+    # for path algorithms and every copy must count for degree/SpMV.
+    edges = [
+        (0, 1, 5.0),
+        (0, 1, 1.0),
+        (0, 1, 3.0),
+        (1, 2, 2.0),
+        (1, 2, 2.0),
+        (2, 3, 1.0),
+        (0, 3, 9.0),
+    ]
+    return from_edge_list(edges, n_vertices=4, directed=True)
+
+
+def _disconnected(seed: int) -> Graph:
+    # Three islands: a weighted path, a triangle, and two isolated
+    # vertices; unreachable handling and per-component labels.
+    edges = [
+        (0, 1, 1.0),
+        (1, 2, 2.0),
+        (3, 4, 1.0),
+        (4, 5, 1.0),
+        (5, 3, 1.0),
+    ]
+    return from_edge_list(edges, n_vertices=8, directed=False)
+
+
+def _zeroweight(seed: int) -> Graph:
+    # Zero-weight edges create distance ties and 0-cost cycles; the
+    # relaxation predicate `new < old` must not loop or mis-rank them.
+    edges = [
+        (0, 1, 0.0),
+        (1, 2, 0.0),
+        (2, 0, 0.0),
+        (1, 3, 1.0),
+        (3, 4, 0.0),
+        (0, 4, 2.0),
+    ]
+    return from_edge_list(edges, n_vertices=5, directed=True)
+
+
+def _star16(seed: int) -> Graph:
+    return with_random_weights(star(16, directed=False), seed=seed + 161)
+
+
+def _chain32(seed: int) -> Graph:
+    # Long unweighted path: maximal iteration count (diameter = n - 1).
+    edges = [(i, i + 1) for i in range(31)]
+    return from_edge_list(edges, n_vertices=32, directed=False)
+
+
+def _grid8(seed: int) -> Graph:
+    return grid_2d(8, 8, weighted=True, seed=seed + 88)
+
+
+def _rmat8(seed: int) -> Graph:
+    return rmat(8, 8, weighted=True, seed=seed + 77)
+
+
+def _kron6(seed: int) -> Graph:
+    initiator = [[0.9, 0.5], [0.5, 0.1]]
+    return kronecker(initiator, 6, 192, weighted=True, seed=seed + 55)
+
+
+def _sbm(seed: int) -> Graph:
+    g, _labels = stochastic_block_model(
+        [24, 24, 16], p_in=0.25, p_out=0.01, weighted=True, seed=seed + 33
+    )
+    return g
+
+
+#: The pool, ordered smallest-to-largest so failures surface on the
+#: cheapest case first.
+POOL: List[GraphCase] = [
+    GraphCase(
+        "single1",
+        _single,
+        tags=("has_vertices", "nonnegative", "directed"),
+    ),
+    GraphCase(
+        "empty16",
+        _empty16,
+        tags=("has_vertices", "nonnegative", "directed"),
+    ),
+    GraphCase(
+        "selfloops4",
+        _selfloops,
+        tags=(
+            "has_vertices",
+            "has_edges",
+            "weighted",
+            "nonnegative",
+            "directed",
+            "self_loops",
+        ),
+    ),
+    GraphCase(
+        "multiedge4",
+        _multiedges,
+        tags=(
+            "has_vertices",
+            "has_edges",
+            "weighted",
+            "nonnegative",
+            "directed",
+            "multi_edges",
+        ),
+    ),
+    GraphCase(
+        "disconnected8",
+        _disconnected,
+        tags=(
+            "has_vertices",
+            "has_edges",
+            "weighted",
+            "nonnegative",
+            "undirected",
+            "disconnected",
+        ),
+    ),
+    GraphCase(
+        "zeroweight5",
+        _zeroweight,
+        tags=(
+            "has_vertices",
+            "has_edges",
+            "weighted",
+            "nonnegative",
+            "directed",
+            "zero_weights",
+        ),
+    ),
+    GraphCase(
+        "star16",
+        _star16,
+        tags=("has_vertices", "has_edges", "weighted", "nonnegative", "undirected"),
+    ),
+    GraphCase(
+        "chain32",
+        _chain32,
+        tags=("has_vertices", "has_edges", "nonnegative", "undirected"),
+    ),
+    GraphCase(
+        "grid8",
+        _grid8,
+        quick=False,
+        tags=("has_vertices", "has_edges", "weighted", "nonnegative", "undirected"),
+    ),
+    GraphCase(
+        "rmat8",
+        _rmat8,
+        quick=False,
+        tags=("has_vertices", "has_edges", "weighted", "nonnegative", "directed"),
+    ),
+    GraphCase(
+        "kron6",
+        _kron6,
+        quick=False,
+        tags=("has_vertices", "has_edges", "weighted", "nonnegative", "directed"),
+    ),
+    GraphCase(
+        "sbm64",
+        _sbm,
+        quick=False,
+        tags=("has_vertices", "has_edges", "weighted", "nonnegative", "undirected"),
+    ),
+]
+
+_BY_NAME: Dict[str, GraphCase] = {case.name: case for case in POOL}
+
+
+def case_names(*, quick_only: bool = False) -> List[str]:
+    """Pool entry names, in sweep order."""
+    return [c.name for c in POOL if c.quick or not quick_only]
+
+
+def get_case(name: str) -> GraphCase:
+    """Look up one case; raises ``KeyError`` with the valid names."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown graph case {name!r}; expected one of {case_names()}"
+        ) from None
+
+
+class GraphPool:
+    """Seeded pool with per-case build caching.
+
+    One matrix sweep touches every case many times (once per variant);
+    the pool memoizes builds so graph generation cost is paid once.
+    """
+
+    def __init__(self, seed: int = 0, *, quick: bool = True) -> None:
+        self.seed = int(seed)
+        self.quick = quick
+        self._cache: Dict[str, Graph] = {}
+
+    def cases(self) -> List[GraphCase]:
+        """The pool's cases (quick subset unless built full)."""
+        return [c for c in POOL if c.quick or not self.quick]
+
+    def graph(self, name: str) -> Graph:
+        """Build (and cache) the named case's graph."""
+        if name not in self._cache:
+            self._cache[name] = get_case(name).build(self.seed)
+        return self._cache[name]

@@ -1,0 +1,311 @@
+"""The differential matrix runner: algorithm × policy × representation ×
+direction × fused over the adversarial graph pool.
+
+Every cell runs one algorithm variant on one pool graph and compares
+the output to the algorithm's oracle under its equivalence spec.  A
+mismatch produces a :class:`Mismatch` carrying a **one-line repro
+command** — ``repro verify --algo sssp --graph star16 --policy
+par_nosync --direction pull --seed 7`` re-runs exactly that cell — and
+the whole sweep is recorded as one ``verify`` record in the run ledger
+(PR4), so CI artifacts answer "what exactly diverged" without rerunning.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.operators.fused import fusion_override
+from repro.verify.graph_pool import GraphCase, GraphPool
+from repro.verify.oracles import (
+    REGISTRY,
+    OracleSpec,
+    RunContext,
+    Variant,
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the conformance matrix: (algorithm, graph, variant)."""
+
+    algo: str
+    graph: str
+    variant: Variant
+    seed: int
+    #: Sweep mode the cell came from; full-mode cells exist outside the
+    #: quick variant slice, so their repro commands must carry --full.
+    quick: bool = True
+
+    def label(self) -> str:
+        """Human cell label, e.g. ``sssp[star16:par/pull]``."""
+        return f"{self.algo}[{self.graph}:{self.variant.label()}]"
+
+
+def repro_command(cell: Cell) -> str:
+    """The minimal one-line CLI invocation replaying one cell."""
+    parts = [
+        "repro verify",
+        f"--algo {cell.algo}",
+        f"--graph {cell.graph}",
+    ]
+    if not cell.quick:
+        parts.append("--full")
+    v = cell.variant
+    if v.policy is not None:
+        parts.append(f"--policy {v.policy}")
+    if v.direction is not None:
+        parts.append(f"--direction {v.direction}")
+    if v.representation is not None:
+        parts.append(f"--representation {v.representation}")
+    if v.fused is not None:
+        parts.append(f"--fused {'on' if v.fused else 'off'}")
+    parts.append(f"--seed {cell.seed}")
+    return " ".join(parts)
+
+
+@dataclass
+class Mismatch:
+    """One divergent cell, with everything needed to replay it."""
+
+    cell: Cell
+    detail: str
+    baseline_name: str
+    kind: str = "differential"  # or "error"
+
+    @property
+    def repro(self) -> str:
+        return repro_command(self.cell)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (embedded in ledger records)."""
+        return {
+            "algo": self.cell.algo,
+            "graph": self.cell.graph,
+            "variant": self.cell.variant.label(),
+            "seed": self.cell.seed,
+            "kind": self.kind,
+            "baseline": self.baseline_name,
+            "detail": self.detail,
+            "repro": self.repro,
+        }
+
+
+@dataclass
+class MatrixReport:
+    """Outcome of one sweep."""
+
+    seed: int
+    quick: bool
+    cells_run: int = 0
+    cells_passed: int = 0
+    cells_skipped: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+    per_algo: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def record_cell(self, cell: Cell, ok: bool) -> None:
+        """Count one executed cell into the totals and per-algo rows."""
+        counts = self.per_algo.setdefault(
+            cell.algo, {"run": 0, "passed": 0, "failed": 0}
+        )
+        counts["run"] += 1
+        self.cells_run += 1
+        if ok:
+            counts["passed"] += 1
+            self.cells_passed += 1
+        else:
+            counts["failed"] += 1
+
+    def to_record(self, *, max_mismatches: int = 50) -> Dict[str, Any]:
+        """Ledger-embeddable summary (bounded)."""
+        return {
+            "seed": self.seed,
+            "mode": "quick" if self.quick else "full",
+            "cells_run": self.cells_run,
+            "cells_passed": self.cells_passed,
+            "cells_skipped": self.cells_skipped,
+            "algorithms": sorted(self.per_algo),
+            "per_algo": self.per_algo,
+            "n_mismatches": len(self.mismatches),
+            "mismatches": [
+                m.to_dict() for m in self.mismatches[:max_mismatches]
+            ],
+            "seconds": round(self.seconds, 3),
+        }
+
+
+class MatrixRunner:
+    """Runs matrix cells with per-(algo, graph) baseline caching."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        quick: bool = True,
+        pool: Optional[GraphPool] = None,
+        registry: Optional[Dict[str, OracleSpec]] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.quick = quick
+        self.pool = pool or GraphPool(seed=self.seed, quick=quick)
+        self.registry = registry if registry is not None else REGISTRY
+        self._baseline_cache: Dict[Tuple[str, str], Any] = {}
+
+    # -- cell enumeration -------------------------------------------------
+
+    def cells_for(
+        self,
+        spec: OracleSpec,
+        *,
+        graphs: Optional[Sequence[str]] = None,
+        policies: Optional[Sequence[str]] = None,
+        directions: Optional[Sequence[str]] = None,
+        representations: Optional[Sequence[str]] = None,
+        fused: Optional[Sequence[bool]] = None,
+    ) -> List[Cell]:
+        """Matrix cells for one algorithm, optionally filtered to a
+        sub-slab (that's how a repro command narrows to one cell)."""
+        cases = [c for c in self.pool.cases() if spec.accepts(c)]
+        if graphs is not None:
+            wanted = set(graphs)
+            cases = [c for c in cases if c.name in wanted]
+        variants = spec.axes.variants(quick=self.quick)
+        if policies is not None:
+            variants = [v for v in variants if v.policy in set(policies)]
+        if directions is not None:
+            variants = [v for v in variants if v.direction in set(directions)]
+        if representations is not None:
+            variants = [
+                v for v in variants if v.representation in set(representations)
+            ]
+        if fused is not None:
+            variants = [v for v in variants if v.fused in set(fused)]
+        return [
+            Cell(
+                algo=spec.name,
+                graph=case.name,
+                variant=v,
+                seed=self.seed,
+                quick=self.quick,
+            )
+            for case in cases
+            for v in variants
+        ]
+
+    # -- execution --------------------------------------------------------
+
+    def baseline_for(self, spec: OracleSpec, graph_name: str) -> Any:
+        """The (cached) oracle output for one (algorithm, graph)."""
+        key = (spec.name, graph_name)
+        if key not in self._baseline_cache:
+            if spec.baseline is None:
+                self._baseline_cache[key] = None
+            else:
+                graph = self.pool.graph(graph_name)
+                ctx = self._context(graph_name)
+                self._baseline_cache[key] = spec.baseline(graph, ctx)
+        return self._baseline_cache[key]
+
+    def _context(self, graph_name: str) -> RunContext:
+        case = next(c for c in self.pool.cases() if c.name == graph_name)
+        return RunContext(seed=self.seed, source=case.source or 0)
+
+    def run_cell(self, cell: Cell) -> Optional[Mismatch]:
+        """Execute one cell; ``None`` means the cell conformed."""
+        spec = self.registry[cell.algo]
+        graph = self.pool.graph(cell.graph)
+        ctx = self._context(cell.graph)
+        want = self.baseline_for(spec, cell.graph)
+        try:
+            if cell.variant.fused is not None:
+                with fusion_override(cell.variant.fused):
+                    got = spec.run(graph, cell.variant, ctx)
+            else:
+                got = spec.run(graph, cell.variant, ctx)
+        except Exception as exc:  # noqa: BLE001 - a crash IS a finding
+            return Mismatch(
+                cell=cell,
+                detail=f"raised {type(exc).__name__}: {exc}",
+                baseline_name=spec.baseline_name,
+                kind="error",
+            )
+        outcome = spec.compare(got, want, graph, ctx)
+        if outcome.ok:
+            return None
+        return Mismatch(
+            cell=cell,
+            detail=outcome.detail,
+            baseline_name=spec.baseline_name,
+        )
+
+    def run(
+        self,
+        *,
+        algos: Optional[Sequence[str]] = None,
+        graphs: Optional[Sequence[str]] = None,
+        policies: Optional[Sequence[str]] = None,
+        directions: Optional[Sequence[str]] = None,
+        representations: Optional[Sequence[str]] = None,
+        fused: Optional[Sequence[bool]] = None,
+        progress=None,
+    ) -> MatrixReport:
+        """Sweep the (filtered) matrix and report every mismatch."""
+        t0 = time.perf_counter()
+        report = MatrixReport(seed=self.seed, quick=self.quick)
+        names = list(algos) if algos is not None else sorted(self.registry)
+        for name in names:
+            if name not in self.registry:
+                raise KeyError(
+                    f"unknown algorithm {name!r}; expected one of "
+                    f"{sorted(self.registry)}"
+                )
+            spec = self.registry[name]
+            cells = self.cells_for(
+                spec,
+                graphs=graphs,
+                policies=policies,
+                directions=directions,
+                representations=representations,
+                fused=fused,
+            )
+            for cell in cells:
+                mismatch = self.run_cell(cell)
+                report.record_cell(cell, ok=mismatch is None)
+                if mismatch is not None:
+                    report.mismatches.append(mismatch)
+                if progress is not None:
+                    progress(cell, mismatch)
+        report.seconds = time.perf_counter() - t0
+        return report
+
+
+def run_matrix(
+    *,
+    seed: int = 0,
+    quick: bool = True,
+    algos: Optional[Sequence[str]] = None,
+    graphs: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    directions: Optional[Sequence[str]] = None,
+    representations: Optional[Sequence[str]] = None,
+    fused: Optional[Sequence[bool]] = None,
+    registry: Optional[Dict[str, OracleSpec]] = None,
+    progress=None,
+) -> MatrixReport:
+    """One-call façade over :class:`MatrixRunner` (CLI and fixtures)."""
+    runner = MatrixRunner(seed=seed, quick=quick, registry=registry)
+    return runner.run(
+        algos=algos,
+        graphs=graphs,
+        policies=policies,
+        directions=directions,
+        representations=representations,
+        fused=fused,
+        progress=progress,
+    )

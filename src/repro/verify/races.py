@@ -1,0 +1,347 @@
+"""The race checker: chaos-seeded interleaving perturbation plus an
+instrumented-atomics shim that flags lost updates under ``par_nosync``.
+
+The threaded policies' correctness argument rests on every shared
+read-modify-write going through :class:`~repro.execution.atomics.
+AtomicArray` (Listing 4's ``atomic::min``).  A bug that *bypasses* the
+atomic — a load-compute-store compound, a raw NumPy write from a worker
+— is exactly the kind that passes every test on a lightly-loaded
+machine and corrupts answers in production.  This module hunts it two
+ways:
+
+* **perturbation** — a :class:`RaceInstrument` installed via
+  :func:`~repro.execution.atomics.install_instrument` injects tiny
+  chaos-seeded sleeps *before* each atomic op (outside the stripe
+  lock), shaking thread interleavings far harder than natural
+  scheduling would;
+* **detection** — the same instrument watches every committed op from
+  inside the lock.  For monotone kinds (``min``: values may only
+  decrease; ``max``: only increase) a commit whose *observed old value*
+  is on the wrong side of the last committed value proves an
+  intervening non-atomic write — a lost update, pinned to the exact
+  array slot.  Independently, each perturbed ``par_nosync`` trial's
+  output is compared against the oracle: divergence on an algorithm not
+  on the **benign-race allowlist** (``OracleSpec.benign_races``) is a
+  defect with a replayable seed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.execution.atomics import install_instrument
+from repro.verify.graph_pool import GraphPool
+from repro.verify.oracles import REGISTRY, OracleSpec, RunContext, Variant
+
+
+@dataclass
+class LostUpdate:
+    """One monotonicity violation observed through the atomics shim."""
+
+    kind: str
+    index: int
+    last_committed: float
+    observed_old: float
+
+    def __str__(self) -> str:
+        return (
+            f"lost update at slot {self.index}: a committed {self.kind} "
+            f"left {self.last_committed:g} but a later op observed "
+            f"{self.observed_old:g} — an intervening write bypassed the "
+            f"atomic"
+        )
+
+
+#: Direction of allowed drift per monotone op kind.
+_MONOTONE = {"min": -1, "max": +1}
+
+
+class RaceInstrument:
+    """Atomics shim: perturbs scheduling and detects lost updates.
+
+    Install ambiently (``with instrument.installed():``); every
+    :class:`AtomicArray` created inside the block reports to it.
+    Monotone state is keyed per (array, slot), so two arrays sharing an
+    index never cross-contaminate.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        perturb: bool = True,
+        sleep_probability: float = 0.2,
+        max_sleep: float = 2e-5,
+        watch_stores: bool = False,
+    ) -> None:
+        self.seed = int(seed)
+        self.perturb = perturb
+        self.sleep_probability = sleep_probability
+        self.max_sleep = max_sleep
+        #: Also treat ``store`` commits as monotone-min evidence.  Off by
+        #: default (stores are legitimately non-monotone in general); the
+        #: torn-RMW tests enable it to catch load-compute-store compounds
+        #: that *should* have been ``min_at``.
+        self.watch_stores = watch_stores
+        self._rng = random.Random(self.seed)
+        self._rng_lock = threading.Lock()
+        self._data_lock = threading.Lock()
+        self._last: Dict[Tuple[int, int], float] = {}
+        self.op_counts: Counter = Counter()
+        self.slot_counts: Counter = Counter()
+        self.violations: List[LostUpdate] = []
+
+    # -- the atomics-shim protocol (see execution/atomics.py) -------------
+
+    def before_op(self, array, kind: str, index: int) -> None:
+        """Perturbation hook: maybe sleep to shake the interleaving."""
+        if not self.perturb:
+            return
+        with self._rng_lock:
+            draw = self._rng.random()
+            stretch = self._rng.random()
+        if draw < self.sleep_probability:
+            time.sleep(stretch * self.max_sleep)
+
+    def record(self, array, kind: str, index: int, old, new) -> None:
+        """Detection hook: account the commit, flag monotone drift."""
+        direction = _MONOTONE.get(kind)
+        if direction is None and self.watch_stores and kind == "store":
+            direction = -1
+        with self._data_lock:
+            self.op_counts[kind] += 1
+            self.slot_counts[(id(array), index)] += 1
+            if direction is None:
+                return
+            key = (id(array), index)
+            last = self._last.get(key)
+            if direction < 0 and float(new) > float(old) + 1e-12:
+                # A commit that RAISED a monotone-min slot is itself a
+                # lost update (a load-compute-store compound wrote back a
+                # stale candidate over a better value).
+                self.violations.append(
+                    LostUpdate(
+                        kind=kind,
+                        index=index,
+                        last_committed=float(old),
+                        observed_old=float(new),
+                    )
+                )
+            if last is not None:
+                drifted = (
+                    old > last + 1e-12
+                    if direction < 0
+                    else old < last - 1e-12
+                )
+                if drifted:
+                    self.violations.append(
+                        LostUpdate(
+                            kind=kind,
+                            index=index,
+                            last_committed=last,
+                            observed_old=float(old),
+                        )
+                    )
+            if last is None:
+                self._last[key] = float(new)
+            elif direction < 0:
+                self._last[key] = min(float(new), last)
+            else:
+                self._last[key] = max(float(new), last)
+
+    # -- lifecycle --------------------------------------------------------
+
+    @contextmanager
+    def installed(self):
+        """Context manager installing this instrument ambiently."""
+        prev = install_instrument(self)
+        try:
+            yield self
+        finally:
+            install_instrument(prev)
+
+    @property
+    def contended_slots(self) -> int:
+        """Slots touched by more than one operation."""
+        return sum(1 for c in self.slot_counts.values() if c > 1)
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+@dataclass
+class RaceFinding:
+    """One flagged race: a divergent output or a lost update."""
+
+    algo: str
+    graph: str
+    seed: int
+    trial: int
+    kind: str  # "divergence" | "lost-update"
+    detail: str
+
+    @property
+    def repro(self) -> str:
+        return (
+            f"repro verify --races --algo {self.algo} "
+            f"--graph {self.graph} --seed {self.seed}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (embedded in ledger records)."""
+        return {
+            "algo": self.algo,
+            "graph": self.graph,
+            "seed": self.seed,
+            "trial": self.trial,
+            "kind": self.kind,
+            "detail": self.detail,
+            "repro": self.repro,
+        }
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one race-checker sweep."""
+
+    seed: int
+    trials: int
+    runs: int = 0
+    findings: List[RaceFinding] = field(default_factory=list)
+    #: Divergences observed on allowlisted algorithms (not defects, but
+    #: recorded so the allowlist stays honest — an empty entry here for
+    #: an allowlisted algorithm suggests the entry is stale).
+    benign: List[RaceFinding] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_record(self) -> Dict[str, Any]:
+        """Ledger-embeddable summary (bounded)."""
+        return {
+            "seed": self.seed,
+            "trials": self.trials,
+            "runs": self.runs,
+            "n_findings": len(self.findings),
+            "findings": [f.to_dict() for f in self.findings[:50]],
+            "n_benign": len(self.benign),
+            "benign": [f.to_dict() for f in self.benign[:20]],
+            "seconds": round(self.seconds, 3),
+        }
+
+
+def specs_with_nosync(
+    registry: Optional[Dict[str, OracleSpec]] = None
+) -> List[OracleSpec]:
+    """Oracle specs whose design space includes ``par_nosync``."""
+    registry = registry if registry is not None else REGISTRY
+    return [
+        spec
+        for spec in registry.values()
+        if "par_nosync" in spec.axes.policies
+    ]
+
+
+def check_races(
+    *,
+    seed: int = 0,
+    trials: int = 3,
+    quick: bool = True,
+    algos: Optional[Sequence[str]] = None,
+    graphs: Optional[Sequence[str]] = None,
+    pool: Optional[GraphPool] = None,
+    registry: Optional[Dict[str, OracleSpec]] = None,
+) -> RaceReport:
+    """Run every ``par_nosync``-capable algorithm under perturbation.
+
+    Each (algorithm, graph) pair runs ``trials`` times with a distinct
+    chaos seed; a run is flagged when the instrument records a lost
+    update or the output diverges from the algorithm's oracle, unless
+    the algorithm is allowlisted (``benign_races``), in which case the
+    observation lands in ``report.benign`` instead.
+    """
+    t0 = time.perf_counter()
+    registry = registry if registry is not None else REGISTRY
+    pool = pool or GraphPool(seed=seed, quick=quick)
+    report = RaceReport(seed=seed, trials=trials)
+    specs = specs_with_nosync(registry)
+    if algos is not None:
+        wanted = set(algos)
+        unknown = wanted - {s.name for s in specs}
+        if unknown:
+            raise KeyError(
+                f"not par_nosync-capable or unknown: {sorted(unknown)}; "
+                f"capable: {sorted(s.name for s in specs)}"
+            )
+        specs = [s for s in specs if s.name in wanted]
+    for spec in specs:
+        cases = [c for c in pool.cases() if spec.accepts(c)]
+        if graphs is not None:
+            keep = set(graphs)
+            cases = [c for c in cases if c.name in keep]
+        for case in cases:
+            graph = pool.graph(case.name)
+            ctx = RunContext(seed=seed, source=case.source or 0)
+            want = spec.baseline(graph, ctx) if spec.baseline else None
+            variant = Variant(policy="par_nosync")
+            for trial in range(trials):
+                instrument = RaceInstrument(seed=seed * 1009 + trial)
+                error: Optional[str] = None
+                try:
+                    with instrument.installed():
+                        got = spec.run(graph, variant, ctx)
+                except Exception as exc:  # noqa: BLE001 - a crash IS a finding
+                    error = f"raised {type(exc).__name__}: {exc}"
+                    got = None
+                report.runs += 1
+                findings: List[RaceFinding] = []
+                for violation in instrument.violations:
+                    findings.append(
+                        RaceFinding(
+                            algo=spec.name,
+                            graph=case.name,
+                            seed=seed,
+                            trial=trial,
+                            kind="lost-update",
+                            detail=str(violation),
+                        )
+                    )
+                if error is not None:
+                    findings.append(
+                        RaceFinding(
+                            algo=spec.name,
+                            graph=case.name,
+                            seed=seed,
+                            trial=trial,
+                            kind="divergence",
+                            detail=error,
+                        )
+                    )
+                elif want is not None or spec.baseline is None:
+                    outcome = spec.compare(got, want, graph, ctx)
+                    if not outcome.ok:
+                        findings.append(
+                            RaceFinding(
+                                algo=spec.name,
+                                graph=case.name,
+                                seed=seed,
+                                trial=trial,
+                                kind="divergence",
+                                detail=outcome.detail,
+                            )
+                        )
+                for finding in findings:
+                    if spec.benign_races is not None:
+                        report.benign.append(finding)
+                    else:
+                        report.findings.append(finding)
+    report.seconds = time.perf_counter() - t0
+    return report

@@ -1,9 +1,16 @@
-"""Shared fixtures: canonical small graphs and policy parametrization."""
+"""Shared fixtures: canonical small graphs, policy parametrization, and
+per-test RNG pinning so any failure replays deterministically."""
 
 from __future__ import annotations
 
+import os
+import random
+import zlib
+
 import numpy as np
 import pytest
+
+from repro.utils.rng import set_default_seed
 
 from repro.execution import par, par_nosync, par_vector, seq
 from repro.graph import from_edge_list
@@ -92,6 +99,29 @@ def small_ws():
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _seeded_rngs(request, monkeypatch):
+    """Pin every RNG entry point per-test, derived from the test's id.
+
+    The seed is ``REPRO_TEST_SEED`` (default 0) mixed with a hash of the
+    test's nodeid, so each test gets a distinct but fully reproducible
+    stream through: the ``random`` module, NumPy's legacy global state,
+    the library's ambient default seed (``resolve_rng(None)``), and the
+    chaos harness (``REPRO_CHAOS_SEED``).  Re-running one failing test
+    therefore replays the exact randomness of the full-suite run — set
+    ``REPRO_TEST_SEED`` to explore other universes.
+    """
+    base = int(os.environ.get("REPRO_TEST_SEED", "0"))
+    node_hash = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    seed = (base * 0x9E3779B1 + node_hash) % (2**31 - 1)
+    random.seed(seed)
+    np.random.seed(seed)
+    set_default_seed(seed)
+    monkeypatch.setenv("REPRO_CHAOS_SEED", str(seed))
+    yield
+    set_default_seed(None)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,123 @@
+"""Shared hypothesis strategies: graphs, frontiers, and vertex lists.
+
+One place to grow adversarial structure generation instead of each
+property-test module hand-rolling its own edge lists.  The graph
+strategy deliberately covers the same pathologies as the conformance
+pool (``repro.verify.graph_pool``): self-loops, parallel edges,
+isolated vertices, empty graphs — hypothesis then *shrinks* any failure
+to the smallest graph exhibiting it, which the fixed pool cannot do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph import from_edge_array
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+
+def vertex_ids(n_vertices: int):
+    """Ids valid for a graph/frontier with ``n_vertices`` slots."""
+    return st.integers(min_value=0, max_value=n_vertices - 1)
+
+
+def vertex_lists(n_vertices: int, *, max_size: int = 200):
+    """Lists of in-range vertex ids (duplicates allowed, any order)."""
+    return st.lists(vertex_ids(n_vertices), max_size=max_size)
+
+
+def edge_weights(*, min_value: float = 0.5, max_value: float = 9.5):
+    """Finite nonnegative float weights in a comparison-friendly band."""
+    return st.floats(
+        min_value, max_value, allow_nan=False, allow_infinity=False
+    )
+
+
+@st.composite
+def graphs(
+    draw,
+    *,
+    n_vertices: int = 16,
+    max_edges: int = 50,
+    directed: bool = True,
+    weighted: bool = True,
+    allow_self_loops: bool = True,
+    min_weight: float = 0.5,
+    max_weight: float = 9.5,
+):
+    """An arbitrary small graph as a built :class:`repro.graph.Graph`.
+
+    Self-loops and parallel edges are generated (and shrunk) naturally
+    unless excluded; the empty graph is the minimal shrink target.
+    """
+    n_edges = draw(st.integers(0, max_edges))
+    srcs = draw(
+        st.lists(
+            vertex_ids(n_vertices), min_size=n_edges, max_size=n_edges
+        )
+    )
+    dsts = draw(
+        st.lists(
+            vertex_ids(n_vertices), min_size=n_edges, max_size=n_edges
+        )
+    )
+    if not allow_self_loops:
+        dsts = [
+            (d + 1) % n_vertices if s == d else d
+            for s, d in zip(srcs, dsts)
+        ]
+        if n_vertices == 1:
+            srcs, dsts = [], []
+    weights = None
+    if weighted:
+        weights = np.asarray(
+            draw(
+                st.lists(
+                    edge_weights(
+                        min_value=min_weight, max_value=max_weight
+                    ),
+                    min_size=len(srcs),
+                    max_size=len(srcs),
+                )
+            ),
+            dtype=WEIGHT_DTYPE,
+        )
+    return from_edge_array(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        weights,
+        n_vertices=n_vertices,
+        directed=directed,
+    )
+
+
+@st.composite
+def graphs_with_frontier(
+    draw,
+    *,
+    n_vertices: int = 16,
+    max_edges: int = 50,
+    max_frontier: int = 20,
+    **graph_kwargs,
+):
+    """A graph plus a list of frontier vertex ids (dups allowed)."""
+    graph = draw(
+        graphs(n_vertices=n_vertices, max_edges=max_edges, **graph_kwargs)
+    )
+    frontier_ids = draw(
+        vertex_lists(n_vertices, max_size=max_frontier)
+    )
+    return graph, frontier_ids
+
+
+@st.composite
+def graphs_with_source(
+    draw, *, n_vertices: int = 16, max_edges: int = 50, **graph_kwargs
+):
+    """A graph plus a valid source vertex (for rooted traversals)."""
+    graph = draw(
+        graphs(n_vertices=n_vertices, max_edges=max_edges, **graph_kwargs)
+    )
+    source = draw(vertex_ids(n_vertices))
+    return graph, source

@@ -352,6 +352,7 @@ def test_gate_ledger_records_and_missing_workloads():
         compare({"schema": "nope"}, _entry(a=0.1))
 
 
+@pytest.mark.slow
 def test_report_py_compare_subprocess_gate(tmp_path):
     """The CI entry point: nonzero exit on a 3x regression."""
     base, cand = tmp_path / "a.json", tmp_path / "b.json"

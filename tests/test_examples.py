@@ -48,6 +48,7 @@ class TestExamples:
         assert "metis-like" in proc.stdout
         assert "NO" not in proc.stdout  # every row matched
 
+    @pytest.mark.slow
     def test_design_space_tour(self):
         proc = run_example("design_space_tour.py")
         assert proc.returncode == 0, proc.stderr

@@ -7,9 +7,9 @@ queue preserves order — but the set of active ids is identical), and
 conversions must be lossless at set level.
 """
 
-import numpy as np
 from hypothesis import given, settings
-from hypothesis import strategies as st
+
+from strategies import vertex_lists as make_vertex_lists
 
 from repro.frontier import (
     AsyncQueueFrontier,
@@ -20,9 +20,8 @@ from repro.frontier import (
 
 CAPACITY = 64
 
-vertex_lists = st.lists(
-    st.integers(min_value=0, max_value=CAPACITY - 1), max_size=200
-)
+#: Shared in-range vertex-list strategy (tests/strategies.py).
+vertex_lists = make_vertex_lists(CAPACITY, max_size=200)
 
 
 @given(vertex_lists)

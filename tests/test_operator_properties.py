@@ -10,8 +10,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from strategies import graphs_with_frontier
+
 from repro.frontier import DenseFrontier, SparseFrontier
-from repro.graph import from_edge_array
 from repro.operators import (
     filter_frontier,
     neighbors_expand,
@@ -20,32 +21,12 @@ from repro.operators import (
 )
 from repro.operators.advance import expand_to_edges
 from repro.execution import par, par_vector, seq
-from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
 
 N = 16
 
-
-@st.composite
-def graph_and_frontier(draw):
-    n_edges = draw(st.integers(0, 50))
-    srcs = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
-    dsts = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
-    weights = draw(
-        st.lists(
-            st.floats(0.5, 9.5, allow_nan=False),
-            min_size=n_edges,
-            max_size=n_edges,
-        )
-    )
-    graph = from_edge_array(
-        np.asarray(srcs, dtype=VERTEX_DTYPE),
-        np.asarray(dsts, dtype=VERTEX_DTYPE),
-        np.asarray(weights, dtype=WEIGHT_DTYPE),
-        n_vertices=N,
-        directed=True,
-    )
-    frontier_ids = draw(st.lists(st.integers(0, N - 1), max_size=20))
-    return graph, frontier_ids
+#: Shared graph+frontier strategy (tests/strategies.py); N-vertex
+#: directed weighted graphs with self-loops and parallel edges.
+graph_and_frontier = graphs_with_frontier
 
 
 def brute_force_expand(graph, frontier_ids, threshold):

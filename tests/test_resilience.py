@@ -570,6 +570,7 @@ class TestSchedulerFailures:
         with pytest.raises(RuntimeError, match="task failed"):
             AsyncScheduler(2).run(bad_once, [0], 10, timeout=10.0)
 
+    @pytest.mark.slow
     def test_timeout_shuts_workers_down(self):
         release = threading.Event()
         before = threading.active_count()
@@ -593,6 +594,7 @@ class TestSchedulerFailures:
             "worker threads left running after TimeoutError"
         )
 
+    @pytest.mark.slow
     def test_worker_death_without_supervision_times_out(self):
         inj = FaultInjector(seed=0, worker_death_rate=1.0)
         pol = ResiliencePolicy(chaos=inj)
@@ -620,6 +622,7 @@ class TestSupervision:
         assert np.array_equal(base, out.distances)
         assert pol.counters["workers_restarted"] > 0
 
+    @pytest.mark.slow
     def test_stall_detected_and_degrades_to_sequential(self, weighted_rmat):
         base = sssp(weighted_rmat, 0).distances
         pol = ResiliencePolicy(

@@ -1,0 +1,95 @@
+"""Unit tests for the conformance comparators: each equivalence spec
+must accept what it should and, more importantly, reject what it must."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.verify.comparators import (
+    ToleranceSpec,
+    bfs_parents_valid,
+    exact_equal,
+    float_allclose,
+    partition_isomorphic,
+)
+
+
+def test_exact_equal_accepts_and_rejects():
+    assert exact_equal(np.array([1, 2, 3]), np.array([1, 2, 3])).ok
+    out = exact_equal(np.array([1, 2, 3]), np.array([1, 9, 3]))
+    assert not out.ok
+    assert "1" in out.detail  # the mismatching index is named
+
+
+def test_exact_equal_shape_mismatch():
+    assert not exact_equal(np.zeros(3), np.zeros(4)).ok
+
+
+def test_float_allclose_tolerance_band():
+    a = np.array([1.0, 2.0])
+    assert float_allclose(a, a + 1e-6, atol=1e-4).ok
+    assert not float_allclose(a, a + 1e-2, atol=1e-4, rtol=1e-6).ok
+
+
+def test_float_allclose_requires_matching_infinities():
+    got = np.array([1.0, np.inf])
+    want = np.array([1.0, 5.0])
+    assert not float_allclose(got, want, atol=1e-4).ok
+    assert float_allclose(
+        np.array([np.inf]), np.array([np.inf]), atol=1e-4
+    ).ok
+
+
+def test_partition_isomorphic_is_label_invariant():
+    a = np.array([0, 0, 1, 1, 2])
+    b = np.array([7, 7, 3, 3, 9])
+    assert partition_isomorphic(a, b).ok
+
+
+def test_partition_isomorphic_rejects_merge_and_split():
+    a = np.array([0, 0, 1, 1])
+    merged = np.array([5, 5, 5, 5])
+    split = np.array([1, 2, 3, 3])
+    assert not partition_isomorphic(a, merged).ok
+    assert not partition_isomorphic(a, split).ok
+
+
+@pytest.fixture
+def tie_graph():
+    """Two equal-length shortest paths 0→3: predecessors may differ."""
+    return from_edge_list(
+        [(0, 1), (0, 2), (1, 3), (2, 3)], n_vertices=4, directed=True
+    )
+
+
+def test_bfs_parents_tie_tolerant(tie_graph):
+    levels = np.array([0, 1, 1, 2])
+    # Both parent choices for vertex 3 are valid BFS trees.
+    for parent_of_3 in (1, 2):
+        parents = np.array([0, 0, 0, parent_of_3])
+        assert bfs_parents_valid(parents, levels, tie_graph, 0).ok
+
+
+def test_bfs_parents_rejects_wrong_level_parent(tie_graph):
+    levels = np.array([0, 1, 1, 2])
+    parents = np.array([0, 0, 0, 0])  # 0 is two levels up, not one
+    assert not bfs_parents_valid(parents, levels, tie_graph, 0).ok
+
+
+def test_bfs_parents_rejects_nonedge_parent(tie_graph):
+    levels = np.array([0, 1, 1, 2])
+    parents = np.array([0, 2, 0, 1])  # no edge 2→1 in the graph
+    assert not bfs_parents_valid(parents, levels, tie_graph, 0).ok
+
+
+def test_tolerance_spec_dispatch():
+    exact = ToleranceSpec(kind="exact")
+    assert exact.compare(np.array([1]), np.array([1])).ok
+    approx = ToleranceSpec(kind="float-atol", atol=1e-3)
+    assert approx.compare(np.array([1.0]), np.array([1.0005])).ok
+    assert not approx.compare(np.array([1.0]), np.array([1.5])).ok
+
+
+def test_tolerance_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        ToleranceSpec(kind="vibes").compare(1, 1)

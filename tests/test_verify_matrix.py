@@ -1,0 +1,156 @@
+"""The conformance matrix: clean on the real library, loud on a bug.
+
+The load-bearing test here is the *injected-bug* one: a deliberately
+broken SSSP relaxation must be caught by the quick matrix with a
+replayable one-line repro command.  A conformance harness that cannot
+detect a planted bug is just a slow no-op.
+"""
+
+import shlex
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.execution.atomics import AtomicArray
+from repro.verify import (
+    MatrixRunner,
+    get_spec,
+    repro_command,
+    run_matrix,
+    spec_names,
+)
+from repro.verify.graph_pool import GraphPool
+
+
+def test_registry_covers_every_algorithm():
+    """ISSUE acceptance: >= 15 oracle-registered algorithms."""
+    names = spec_names()
+    assert len(names) >= 15
+    for required in [
+        "sssp", "bfs", "cc", "scc", "pagerank", "bc", "tc",
+        "kcore", "ktruss", "mst", "color", "mis", "astar", "spmv",
+    ]:
+        assert required in names
+
+
+def test_every_spec_accepts_some_quick_graph():
+    pool = GraphPool(seed=0, quick=True)
+    for name in spec_names():
+        spec = get_spec(name)
+        assert any(
+            spec.accepts(c) for c in pool.cases()
+        ), f"{name} matches no quick pool graph"
+
+
+def test_quick_matrix_is_clean():
+    report = run_matrix(seed=0, quick=True)
+    details = [
+        f"{m.cell.label()}: {m.detail} | replay: {m.repro}"
+        for m in report.mismatches
+    ]
+    assert report.ok, "\n".join(details)
+    assert report.cells_run > 300
+    # Every registered algorithm ran at least one cell.
+    assert sorted(report.per_algo) == spec_names()
+
+
+def test_matrix_filters_narrow_to_one_cell():
+    runner = MatrixRunner(seed=0, quick=True)
+    cells = runner.cells_for(
+        get_spec("sssp"),
+        graphs=["star16"],
+        policies=["par_nosync"],
+    )
+    assert len(cells) == 1
+    assert cells[0].graph == "star16"
+    assert cells[0].variant.policy == "par_nosync"
+
+
+def test_repro_command_round_trips_through_cli(tmp_path, monkeypatch):
+    """The printed one-liner must actually re-run its cell."""
+    runner = MatrixRunner(seed=0, quick=True)
+    cell = runner.cells_for(
+        get_spec("sssp"), graphs=["star16"], policies=["par_nosync"]
+    )[0]
+    command = repro_command(cell)
+    assert command.startswith("repro verify ")
+    argv = shlex.split(command)[1:] + ["--no-ledger"]
+    assert cli_main(argv) == 0
+
+
+def test_unknown_algorithm_is_an_error():
+    with pytest.raises(KeyError):
+        run_matrix(seed=0, quick=True, algos=["definitely_not_an_algo"])
+
+
+def _broken_min_at(original):
+    """A planted SSSP relaxation bug: once a vertex has any finite
+    distance, later (better) relaxations are dropped — the classic
+    'first write wins / forgot to re-relax' defect."""
+
+    def min_at(self, index, value):
+        current = self.array[index].item()
+        if current < 1e38:
+            return current  # drop the (possibly genuine) improvement
+        return original(self, index, value)
+
+    return min_at
+
+
+def test_injected_relaxation_bug_is_caught(monkeypatch):
+    """ISSUE acceptance: a planted sssp bug produces mismatches, each
+    with a replayable one-line repro command."""
+    original = AtomicArray.min_at
+    monkeypatch.setattr(
+        AtomicArray, "min_at", _broken_min_at(original), raising=True
+    )
+    report = run_matrix(
+        seed=0,
+        quick=True,
+        algos=["sssp"],
+        policies=["seq", "par", "par_nosync"],
+    )
+    assert not report.ok, "the planted relaxation bug went undetected"
+    for mismatch in report.mismatches:
+        assert mismatch.repro.startswith("repro verify --algo sssp")
+        assert "--graph" in mismatch.repro
+        assert "--seed" in mismatch.repro
+
+
+def test_injected_bug_repro_command_replays(monkeypatch):
+    """The repro command printed for a planted bug must fail the same
+    way when replayed through the CLI (and pass once the bug is gone)."""
+    original = AtomicArray.min_at
+    monkeypatch.setattr(
+        AtomicArray, "min_at", _broken_min_at(original), raising=True
+    )
+    report = run_matrix(
+        seed=0, quick=True, algos=["sssp"], policies=["par"]
+    )
+    assert not report.ok
+    command = report.mismatches[0].repro
+    argv = shlex.split(command)[1:] + ["--no-ledger"]
+    assert cli_main(argv) == 1, f"replay did not reproduce: {command}"
+    # Un-patch: the same command must now pass.
+    monkeypatch.setattr(AtomicArray, "min_at", original, raising=True)
+    assert cli_main(argv) == 0
+
+
+def test_full_mode_repro_commands_carry_full_flag():
+    runner = MatrixRunner(seed=0, quick=False)
+    cells = runner.cells_for(
+        get_spec("sssp"), graphs=["multiedge4"], policies=["seq"],
+        directions=["pull"],
+    )
+    assert cells, "full mode should expose the pull direction"
+    assert "--full" in repro_command(cells[0])
+
+
+def test_matrix_report_record_is_ledger_shaped():
+    report = run_matrix(seed=0, quick=True, algos=["bfs"])
+    record = report.to_record()
+    assert record["mode"] == "quick"
+    assert record["cells_run"] == report.cells_run
+    assert record["n_mismatches"] == 0
+    assert record["algorithms"] == ["bfs"]

@@ -1,0 +1,139 @@
+"""Metamorphic oracles: the relations hold on the real library, and a
+deliberately broken implementation violates them loudly."""
+
+import numpy as np
+import pytest
+
+import repro.verify.metamorphic as meta
+from repro.graph import from_edge_list
+from repro.verify import (
+    MetamorphicFailure,
+    add_isolated_vertices,
+    check_isolated_vertices,
+    check_weight_scaling,
+    permute_vertices,
+    run_metamorphic,
+    scale_weights,
+)
+
+
+@pytest.fixture
+def diamond():
+    """Weighted diamond 0→{1,2}→3 with distinct path lengths."""
+    return from_edge_list(
+        [(0, 1, 1.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 0.5)],
+        n_vertices=4,
+        directed=True,
+    )
+
+
+# -- the input transformations themselves -------------------------------------
+
+
+def test_scale_weights_scales_every_edge(diamond):
+    scaled = scale_weights(diamond, 3.0)
+    assert np.allclose(
+        np.sort(scaled.coo().vals), np.sort(diamond.coo().vals) * 3.0
+    )
+    assert scaled.n_vertices == diamond.n_vertices
+    assert scaled.n_edges == diamond.n_edges
+
+
+def test_add_isolated_vertices_appends_degree_zero_tail(diamond):
+    grown = add_isolated_vertices(diamond, 3)
+    assert grown.n_vertices == diamond.n_vertices + 3
+    assert grown.n_edges == diamond.n_edges
+    assert np.all(grown.out_degrees()[diamond.n_vertices :] == 0)
+
+
+def test_permute_vertices_preserves_structure(diamond):
+    perm = np.array([2, 0, 3, 1])
+    permuted = permute_vertices(diamond, perm)
+    assert permuted.n_edges == diamond.n_edges
+    # Degree multiset is relabel-invariant.
+    assert sorted(permuted.out_degrees().tolist()) == sorted(
+        diamond.out_degrees().tolist()
+    )
+    # Edge (0, 1, w=1.0) must appear as (perm[0], perm[1]) = (2, 0).
+    coo = permuted.coo()
+    pairs = set(zip(coo.rows.tolist(), coo.cols.tolist()))
+    assert (2, 0) in pairs
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+def test_quick_sweep_is_clean():
+    report = run_metamorphic(seed=0, quick=True)
+    details = [f"{f.relation}/{f.algo}@{f.graph}: {f.detail}" for f in report.failures]
+    assert report.ok, "\n".join(details)
+    assert report.checks_run >= 15
+    assert report.checks_passed == report.checks_run
+
+
+def test_relation_filter_and_unknown_relation():
+    report = run_metamorphic(seed=0, quick=True, relations=["permutation"])
+    assert report.ok and report.checks_run > 0
+    with pytest.raises(KeyError):
+        run_metamorphic(seed=0, quick=True, relations=["vibes"])
+
+
+def test_failure_repro_command_shape():
+    failure = MetamorphicFailure(
+        relation="weight-scaling",
+        algo="sssp",
+        graph="star16",
+        seed=7,
+        detail="x",
+    )
+    assert (
+        failure.repro
+        == "repro verify --metamorphic --algo sssp --graph star16 --seed 7"
+    )
+
+
+def test_report_record_is_ledger_shaped():
+    report = run_metamorphic(seed=0, quick=True, relations=["permutation"])
+    record = report.to_record()
+    assert record["checks_run"] == report.checks_run
+    assert record["n_failures"] == 0
+
+
+# -- a planted bug must be caught ---------------------------------------------
+
+
+def _offset_sssp(original):
+    """A planted bug: every finite distance is off by a constant — the
+    classic 'added the source weight twice' defect.  Scale-invariance
+    breaks because the offset does not scale with the weights."""
+
+    def sssp(graph, source, **kwargs):
+        result = original(graph, source, **kwargs)
+        d = result.distances
+        d[np.isfinite(d) & (d > 0)] += 1.0
+        return result
+
+    return sssp
+
+
+def test_weight_scaling_catches_offset_bug(monkeypatch, diamond):
+    monkeypatch.setattr(meta, "sssp", _offset_sssp(meta.sssp))
+    failure = check_weight_scaling(diamond, "diamond", source=0, seed=0)
+    assert failure is not None
+    assert failure.relation == "weight-scaling"
+    assert "sssp" in failure.repro
+
+
+def test_isolated_vertices_catches_reachable_tail(monkeypatch, diamond):
+    original = meta.sssp
+
+    def leaky_sssp(graph, source, **kwargs):
+        # A planted bug: appended vertices come out reachable.
+        result = original(graph, source, **kwargs)
+        result.distances[diamond.n_vertices :] = 0.0
+        return result
+
+    monkeypatch.setattr(meta, "sssp", leaky_sssp)
+    failure = check_isolated_vertices(diamond, "diamond", source=0, seed=0)
+    assert failure is not None
+    assert failure.relation == "isolated-vertices"

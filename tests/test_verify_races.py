@@ -1,0 +1,130 @@
+"""The race checker: a hand-built torn read-modify-write compound is
+flagged as a lost update, the properly atomic equivalent is not, and the
+library's own par_nosync algorithms come out clean under perturbation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.execution.atomics import AtomicArray
+from repro.verify import (
+    RaceFinding,
+    RaceInstrument,
+    check_races,
+    specs_with_nosync,
+)
+
+
+def _hammer(make_worker, n_threads=8):
+    """Run ``n_threads`` workers concurrently from a common barrier."""
+    gate = threading.Barrier(n_threads)
+    threads = [
+        threading.Thread(target=make_worker(t, gate)) for t in range(n_threads)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+
+
+def test_torn_rmw_compound_is_flagged():
+    """load → compute → store without the lock loses updates; the
+    instrument must catch at least one under heavy perturbation."""
+    instrument = RaceInstrument(
+        seed=0, watch_stores=True, sleep_probability=1.0, max_sleep=2e-4
+    )
+    with instrument.installed():
+        shared = AtomicArray(np.full(1, 1e9))
+
+        def make_worker(t, gate):
+            rng = np.random.default_rng(t)
+
+            def work():
+                gate.wait(timeout=30)
+                for _ in range(60):
+                    current = shared.load(0)  # torn: min is not atomic
+                    value = float(rng.uniform(0.0, 1000.0))
+                    shared.store(0, min(current, value))
+
+            return work
+
+        _hammer(make_worker)
+    assert instrument.violations, "torn RMW compound went undetected"
+    assert instrument.contended_slots >= 1
+    assert "lost update" in str(instrument.violations[0])
+
+
+def test_atomic_min_is_not_flagged():
+    """The same workload through min_at is race-free: zero violations."""
+    instrument = RaceInstrument(
+        seed=0, sleep_probability=1.0, max_sleep=2e-4
+    )
+    with instrument.installed():
+        shared = AtomicArray(np.full(1, 1e9))
+
+        def make_worker(t, gate):
+            rng = np.random.default_rng(t)
+
+            def work():
+                gate.wait(timeout=30)
+                for _ in range(60):
+                    shared.min_at(0, float(rng.uniform(0.0, 1000.0)))
+
+            return work
+
+        _hammer(make_worker)
+    assert instrument.violations == []
+    assert instrument.op_counts["min"] == 8 * 60
+
+
+def test_instrument_only_sees_arrays_created_inside():
+    outside = AtomicArray(np.zeros(2))
+    instrument = RaceInstrument(seed=0, perturb=False)
+    with instrument.installed():
+        outside.min_at(0, -1.0)  # pre-existing array: not instrumented
+        inside = AtomicArray(np.zeros(2))
+        inside.min_at(1, -1.0)
+    assert instrument.op_counts["min"] == 1
+
+
+def test_sweep_capable_specs_exist():
+    specs = specs_with_nosync()
+    names = {s.name for s in specs}
+    assert "sssp" in names
+    assert len(names) >= 3
+
+
+def test_quick_sweep_is_clean():
+    report = check_races(seed=0, trials=2, quick=True)
+    details = [f"{f.algo}@{f.graph}[{f.kind}]: {f.detail}" for f in report.findings]
+    assert report.ok, "\n".join(details)
+    assert report.runs > 0
+
+
+def test_sweep_rejects_unknown_algo():
+    with pytest.raises(KeyError):
+        check_races(seed=0, quick=True, algos=["definitely_not_an_algo"])
+
+
+def test_finding_repro_command_shape():
+    finding = RaceFinding(
+        algo="sssp",
+        graph="star16",
+        seed=3,
+        trial=1,
+        kind="lost-update",
+        detail="x",
+    )
+    assert (
+        finding.repro
+        == "repro verify --races --algo sssp --graph star16 --seed 3"
+    )
+
+
+def test_report_record_is_ledger_shaped():
+    report = check_races(seed=0, trials=1, quick=True, algos=["sssp"])
+    record = report.to_record()
+    assert record["runs"] == report.runs
+    assert record["n_findings"] == 0
+    assert record["trials"] == 1
