@@ -19,6 +19,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import CancellationError
 from repro.frontier.sparse import SparseFrontier
 from repro.graph.graph import Graph
 from repro.loop.convergence import AnyOf, MaxIterations, ValuesConverged
@@ -77,7 +78,7 @@ def pagerank(
     dangling = out_weight == 0
     ranks = np.full(n, 1.0 / n, dtype=np.float64)
 
-    state_box = {"ranks": ranks, "delta": np.inf}
+    state_box = {"ranks": ranks, "delta": np.inf, "iterations": 0}
 
     def superstep_vector() -> None:
         r = state_box["ranks"]
@@ -132,6 +133,7 @@ def pagerank(
         else:
             superstep_scalar(parallel=True)
         state.context["delta"] = state_box["delta"]
+        state_box["iterations"] += 1
         return frontier  # all-vertices frontier is static
 
     convergence = AnyOf(
@@ -144,7 +146,23 @@ def pagerank(
     )
     all_vertices = SparseFrontier.from_indices(np.arange(n), n)
     enactor = Enactor(graph, convergence=convergence, max_iterations=max_iterations + 1)
-    stats = enactor.run(all_vertices, step)
+    try:
+        stats = enactor.run(all_vertices, step)
+    except CancellationError:
+        # Deadline/cancel fired between supersteps: every completed
+        # superstep left a coherent rank vector in the state box, so the
+        # best answer under the budget is the current iterate, surfaced
+        # as an explicitly unconverged partial result rather than an
+        # error — power iteration's anytime property.
+        partial = RunStats()
+        partial.converged = False
+        return PageRankResult(
+            ranks=state_box["ranks"],
+            iterations=state_box["iterations"],
+            delta=float(state_box["delta"]),
+            converged=False,
+            stats=partial,
+        )
 
     ranks = state_box["ranks"]
     delta = float(state_box["delta"])

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.execution.policy import ExecutionPolicy, par_vector, resolve_policy
+from repro.resilience.deadline import active_token
 from repro.utils.counters import IterationStats, RunStats
 from repro.utils.validation import check_probability
 from repro.operators.fused import segmented_sum
@@ -65,7 +66,13 @@ def personalized_pagerank(
     ranks = teleport.copy()
     converged = False
     iterations = 0
+    token = active_token()
     for iterations in range(1, max_iterations + 1):
+        if token is not None and token.should_stop():
+            # Anytime semantics: stop at the last completed iterate and
+            # report it unconverged instead of erroring out.
+            iterations -= 1
+            break
         share = np.where(dangling, 0.0, ranks / np.maximum(out_weight, 1e-300))
         incoming = segmented_sum(
             coo.cols, coo.vals.astype(np.float64) * share[coo.rows], n
@@ -124,8 +131,15 @@ def ppr_forward_push(
     stats = RunStats()
     import time as _time
 
+    converged = True
+    token = active_token()
     iteration = 0
     while True:
+        if token is not None and token.should_stop():
+            # Push is anytime too: p is a valid underestimate whenever
+            # the loop stops; only the residual bound is unmet.
+            converged = False
+            break
         t0 = _time.perf_counter()
         # All vertices currently violating the residual bound, at once —
         # the bulk-synchronous reading of the push loop.
@@ -156,11 +170,11 @@ def ppr_forward_push(
             )
         )
         iteration += 1
-    stats.converged = True
+    stats.converged = converged
     return PPRResult(
         ranks=p,
         seeds=np.asarray([seed]),
         iterations=iteration,
-        converged=True,
+        converged=converged,
         stats=stats,
     )

@@ -285,6 +285,78 @@ def _add_ledger_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--ledger-dir", help="ledger root (default .repro/runs)")
 
 
+class _SigtermInterrupt:
+    """Route SIGTERM to :class:`KeyboardInterrupt` (main thread only).
+
+    A run killed by a supervisor's TERM then takes exactly the Ctrl-C
+    path: flush whatever telemetry exists, append an ``interrupted``
+    ledger record, exit 130.  Off the main thread (tests driving
+    :func:`main` from a worker) signal installation is skipped — the
+    KeyboardInterrupt path itself still works.
+    """
+
+    def __enter__(self) -> "_SigtermInterrupt":
+        import signal
+        import threading
+
+        self._prev = None
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._prev = signal.signal(signal.SIGTERM, self._raise)
+            except ValueError:  # pragma: no cover - non-main interpreter
+                self._prev = None
+        return self
+
+    @staticmethod
+    def _raise(signum, frame) -> None:
+        raise KeyboardInterrupt
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        import signal
+
+        if self._prev is not None:
+            signal.signal(signal.SIGTERM, self._prev)
+
+
+#: Conventional exit code for "terminated by interrupt" (128 + SIGINT).
+INTERRUPT_EXIT = 130
+
+
+def _interrupted_exit(
+    args: argparse.Namespace,
+    *,
+    kind: str,
+    algorithm: str,
+    probe,
+    seconds: float,
+) -> int:
+    """The SIGINT/SIGTERM epilogue for recording commands.
+
+    Whatever the run produced before the interrupt is flushed — the
+    probe's trace buffer to the requested export files, and an
+    ``interrupted: true`` record to the run ledger — so a killed run
+    still leaves evidence, then the conventional 130 is returned.
+    """
+    if probe is not None:
+        try:
+            _export_probe(probe, args, algorithm)
+        except Exception as exc:  # noqa: BLE001 - already dying
+            print(f"interrupt: trace export failed ({exc})", file=sys.stderr)
+    _append_ledger_record(
+        args,
+        kind=kind,
+        algorithm=algorithm,
+        metrics={"seconds": seconds, "interrupted": True},
+        probe=probe,
+    )
+    print(
+        f"interrupted: partial telemetry flushed ({kind} {algorithm}, "
+        f"{seconds:.2f}s in)",
+        file=sys.stderr,
+    )
+    return INTERRUPT_EXIT
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: execute an algorithm and report stats.
 
@@ -293,16 +365,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     exported afterwards — ``repro run`` and ``repro profile`` share the
     same instrumentation, they differ in emphasis (results vs telemetry).
     Every run appends a run-ledger record (``--no-ledger`` opts out).
+    SIGINT/SIGTERM flush partial telemetry and exit 130.
     """
-    if getattr(args, "trace", None) or getattr(args, "events", None):
-        from repro.observability.probe import Probe
+    import time as time_mod
 
-        probe = Probe()
-        with probe:
-            code = _run_body(args, probe=probe)
-        _export_probe(probe, args, args.algorithm)
-        return code
-    return _run_body(args)
+    t0 = time_mod.perf_counter()
+    probe = None
+    try:
+        with _SigtermInterrupt():
+            if getattr(args, "trace", None) or getattr(args, "events", None):
+                from repro.observability.probe import Probe
+
+                probe = Probe()
+                with probe:
+                    code = _run_body(args, probe=probe)
+                _export_probe(probe, args, args.algorithm)
+                return code
+            return _run_body(args)
+    except KeyboardInterrupt:
+        return _interrupted_exit(
+            args,
+            kind="run",
+            algorithm=args.algorithm,
+            probe=probe,
+            seconds=time_mod.perf_counter() - t0,
+        )
 
 
 def _run_body(args: argparse.Namespace, probe=None) -> int:
@@ -443,8 +530,26 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     With no graph argument a seeded weighted grid is generated, so
     ``repro profile sssp --trace out.json`` works standalone (the CI
-    smoke-profile job relies on this).
+    smoke-profile job relies on this).  SIGINT/SIGTERM flush the ledger
+    and exit 130, like ``repro run``.
     """
+    import time as time_mod
+
+    t0 = time_mod.perf_counter()
+    try:
+        with _SigtermInterrupt():
+            return _profile_body(args)
+    except KeyboardInterrupt:
+        return _interrupted_exit(
+            args,
+            kind="profile",
+            algorithm=args.algorithm,
+            probe=None,
+            seconds=time_mod.perf_counter() - t0,
+        )
+
+
+def _profile_body(args: argparse.Namespace) -> int:
     from repro.observability.export import render_summary
     from repro.observability.profile import profile_algorithm
 
@@ -765,14 +870,26 @@ def cmd_ledger(args: argparse.Namespace) -> int:
     from repro.observability.ledger import RunLedger
 
     ledger = RunLedger(args.ledger_dir)
+
+    def warn_skipped() -> None:
+        if ledger.skipped_lines:
+            print(
+                f"warning: skipped {ledger.skipped_lines} corrupt ledger "
+                f"line(s) in {ledger.path} (a crashed writer left torn "
+                f"records; history shown is what remained parseable)",
+                file=sys.stderr,
+            )
+
     if args.run_id:
         record = ledger.get(args.run_id)
+        warn_skipped()
         if record is None:
             print(f"{args.run_id}: not found in {ledger.path}", file=sys.stderr)
             return 1
         print(json.dumps(record, indent=2, sort_keys=True))
         return 0
     records = ledger.tail(args.last)
+    warn_skipped()
     if not records:
         print(f"no records in {ledger.path}")
         return 0
@@ -810,6 +927,148 @@ def cmd_partition(args: argparse.Namespace) -> int:
         np.save(args.output, p.assignment)
         print(f"assignment written to {args.output}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the long-running deadline-driven query daemon.
+
+    Loads/generates the catalog once, recovers the query journal (any
+    query in flight when a previous process died is marked aborted),
+    then serves JSONL queries over TCP until a client sends the
+    ``shutdown`` op (exit 0) or SIGINT/SIGTERM arrives (in-flight
+    queries are cancelled at their next superstep boundary, connection
+    threads joined, exit 130).
+    """
+    import os
+    import signal
+    import threading
+
+    from repro.errors import CatalogError, ServiceError
+    from repro.service import (
+        GraphCatalog,
+        GraphQueryServer,
+        QueryService,
+        ServiceConfig,
+        parse_graph_spec,
+    )
+
+    catalog = GraphCatalog(data_dir=args.data_dir)
+    try:
+        restored = catalog.restore()
+        for spec_text in args.graph or []:
+            catalog.add(parse_graph_spec(spec_text))
+    except CatalogError as exc:
+        raise SystemExit(f"catalog: {exc}") from exc
+    if not len(catalog):
+        raise SystemExit(
+            "serve needs at least one --graph (name=path or name=kind:scale),"
+            " or a --data-dir whose catalog manifest has entries"
+        )
+    if restored:
+        print(f"catalog restored from manifest: {sorted(restored)}",
+              file=sys.stderr)
+
+    config = ServiceConfig(
+        max_concurrent=args.max_concurrent,
+        max_queue_depth=args.max_queue_depth,
+        per_tenant_limit=args.tenant_limit,
+        default_timeout_s=args.default_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        cache_ttl_s=args.cache_ttl,
+        retry_attempts=args.retry_attempts,
+        record_ledger=not args.no_ledger,
+    )
+    try:
+        service = QueryService(
+            catalog, data_dir=args.data_dir, config=config
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"serve: {exc}") from exc
+    if service.recovered:
+        print(
+            f"journal recovery: {len(service.recovered)} in-flight "
+            f"queries from a previous process marked aborted",
+            file=sys.stderr,
+        )
+
+    server = GraphQueryServer(service, host=args.host, port=args.port)
+    interrupted = threading.Event()
+
+    def on_signal(signum, frame) -> None:
+        interrupted.set()
+
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, on_signal)
+            except ValueError:  # pragma: no cover - non-main interpreter
+                pass
+    server.start()
+    host, port = server.address
+    print(
+        f"serving {sorted(catalog.names())} on {host}:{port} "
+        f"(pid {os.getpid()}, {config.max_concurrent} slots)"
+    )
+    sys.stdout.flush()
+    try:
+        while not interrupted.is_set():
+            if service.shutdown_requested.wait(timeout=0.1):
+                break
+    finally:
+        server.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        stats = service.stats()
+        codes = ", ".join(f"{k}={v}" for k, v in stats["codes"].items())
+        print(f"served: {codes or 'no queries'}", file=sys.stderr)
+    if interrupted.is_set():
+        print("interrupted: in-flight queries cancelled, journal flushed",
+              file=sys.stderr)
+        return INTERRUPT_EXIT
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: one request against a running ``repro serve``.
+
+    Prints the full JSON response; exits 0 for 200/206, 1 otherwise, so
+    shell scripts can branch on degradation.
+    """
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    params = {}
+    for kv in args.param or []:
+        key, sep, value = kv.partition("=")
+        if not sep:
+            raise SystemExit(f"--param must look like key=value, got {kv!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value  # bare strings need no quoting
+    if args.op == "query" and not (args.graph and args.algorithm):
+        raise SystemExit("query op needs GRAPH and ALGORITHM arguments")
+    try:
+        with ServiceClient(
+            args.host, args.port, timeout=args.connect_timeout
+        ) as client:
+            if args.op == "query":
+                resp = client.query(
+                    args.graph,
+                    args.algorithm,
+                    params,
+                    timeout_s=args.timeout,
+                    tenant=args.tenant,
+                )
+            else:
+                resp = client.request({"op": args.op})
+    except (OSError, ServiceError) as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(resp, indent=2, sort_keys=True))
+    return 0 if resp.get("code") in (200, 206) else 1
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -1026,6 +1285,88 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", help="write the assignment as .npy")
     p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running query daemon: catalog loaded once, deadline-"
+        "driven queries over a JSONL socket",
+    )
+    p.add_argument(
+        "--graph",
+        action="append",
+        metavar="NAME=SPEC",
+        help="catalog entry: name=path/to/file, or name=kind:scale with "
+        "kind in grid/rmat/er/ws/ba (repeatable)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    p.add_argument(
+        "--data-dir",
+        help="persistence root: catalog manifest, query journal, query "
+        "ledger live here; enables crash recovery on restart",
+    )
+    p.add_argument("--max-concurrent", type=int, default=4)
+    p.add_argument("--max-queue-depth", type=int, default=16)
+    p.add_argument(
+        "--tenant-limit",
+        type=int,
+        default=None,
+        help="per-tenant concurrent-query cap (default unlimited)",
+    )
+    p.add_argument(
+        "--default-timeout",
+        type=float,
+        default=30.0,
+        help="deadline for queries that do not carry one, seconds",
+    )
+    p.add_argument("--breaker-threshold", type=int, default=5)
+    p.add_argument("--breaker-cooldown", type=float, default=2.0)
+    p.add_argument("--cache-ttl", type=float, default=60.0)
+    p.add_argument("--retry-attempts", type=int, default=2)
+    p.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip per-query run-ledger records",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "query", help="send one request to a running `repro serve`"
+    )
+    p.add_argument("graph", nargs="?", help="catalog graph name")
+    p.add_argument(
+        "algorithm",
+        nargs="?",
+        choices=["pagerank", "ppr", "bfs", "sssp", "cc"],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="algorithm parameter (JSON value or bare string; repeatable)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="query deadline in seconds (server default applies if unset)",
+    )
+    p.add_argument("--tenant", default="default")
+    p.add_argument(
+        "--op",
+        choices=["query", "ping", "stats", "catalog", "shutdown"],
+        default="query",
+        help="non-query ops need no graph/algorithm",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=60.0,
+        help="socket timeout for connecting and reading, seconds",
+    )
+    p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("table1", help="print the capability matrix")
     p.set_defaults(fn=cmd_table1)

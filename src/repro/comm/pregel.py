@@ -28,6 +28,7 @@ from repro.comm.messages import Combiner
 from repro.graph.graph import Graph
 from repro.execution.thread_pool import get_pool
 from repro.observability.probe import active_probe
+from repro.resilience.deadline import active_token
 from repro.types import VERTEX_DTYPE
 
 
@@ -229,7 +230,12 @@ class PregelEngine:
         aggregates: Dict[str, float] = {}
 
         probe = active_probe()
+        token = active_token()
         for superstep in range(self.max_supersteps):
+            # Cooperative cancellation at the barrier, before delivery —
+            # the same between-mutations discipline as the BSP enactor.
+            if token is not None:
+                token.check(f"pregel:superstep:{superstep}")
             with probe.span("superstep", iteration=superstep) as span:
                 # Deliver messages sent last superstep.
                 router.flush_barrier()

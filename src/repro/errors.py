@@ -49,6 +49,63 @@ class GraphIOError(GraphAnalyticsError):
     """A graph file could not be parsed."""
 
 
+class CancellationError(GraphAnalyticsError):
+    """Base class for cooperative cancellation (deadline or explicit).
+
+    Deliberately *not* a :class:`ResilienceError`: cancellation is a
+    caller decision, never a transient fault, so no retry policy ever
+    considers it retryable.
+    """
+
+
+class DeadlineExceeded(CancellationError):
+    """A run crossed its absolute monotonic deadline.
+
+    Raised at cooperative checkpoints (superstep boundaries, scheduler
+    wait loops, retry attempts) — never mid-mutation, so pools,
+    workspaces, and schedulers are reusable afterwards.
+    """
+
+
+class QueryCancelled(CancellationError):
+    """A run was explicitly cancelled via its
+    :class:`~repro.resilience.deadline.CancelToken` (server shutdown,
+    client disconnect, operator action)."""
+
+
+class ServiceError(GraphAnalyticsError):
+    """Base class for the query service (:mod:`repro.service`)."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed service request or response (unknown op, missing
+    fields, oversized or non-JSON frame)."""
+
+
+class CatalogError(ServiceError):
+    """A graph catalog entry is unknown, unloadable, or conflicting."""
+
+
+class AdmissionRejected(ServiceError):
+    """The admission controller shed a query (queue full, tenant over
+    its concurrency cap, or the wait for a slot outlived the deadline).
+
+    The 429-equivalent: the query never started, so retrying later is
+    always safe.  ``reason`` is one of ``"queue_full"``,
+    ``"tenant_cap"``, or ``"timeout"``.
+    """
+
+    def __init__(self, message: str, *, reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class BreakerOpen(ServiceError):
+    """The circuit breaker for a (graph, algorithm) pair is open: recent
+    executions kept failing, so new ones are rejected until the cooldown
+    elapses and a half-open probe succeeds."""
+
+
 class ResilienceError(GraphAnalyticsError):
     """Base class for the fault-tolerance subsystem (:mod:`repro.resilience`)."""
 

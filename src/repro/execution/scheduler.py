@@ -42,6 +42,7 @@ from repro.errors import AggregateWorkerError, ExecutionPolicyError
 from repro.frontier.queue import AsyncQueueFrontier
 from repro.observability.probe import active_probe
 from repro.resilience.chaos import active_injector
+from repro.resilience.deadline import active_token
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.supervisor import WorkerSupervisor
 from repro.utils.counters import WorkCounter
@@ -97,8 +98,20 @@ class AsyncScheduler:
         :class:`TimeoutError` if quiescence is not reached in ``timeout``
         seconds; re-raises a single worker exception verbatim and
         aggregates several into :class:`AggregateWorkerError`.
+
+        The calling thread's ambient
+        :class:`~repro.resilience.deadline.CancelToken` (if any) bounds
+        the run too: its remaining budget clamps ``timeout``, its
+        explicit cancel aborts the quiescence wait, and in both cases
+        the workers are stopped, the queue drained, and the matching
+        :class:`~repro.errors.CancellationError` raised — no threads are
+        left spinning after the caller's deadline has passed.
         """
         resilience = self.resilience
+        token = active_token()
+        if token is not None and token.deadline is not None:
+            remaining = max(0.0, token.deadline.remaining())
+            timeout = remaining if timeout is None else min(timeout, remaining)
         injector = (
             resilience.active_chaos() if resilience else active_injector()
         )
@@ -200,6 +213,7 @@ class AsyncScheduler:
             supervisor.start()
 
         timed_out = False
+        cancel_fired = False
         try:
             if items:
                 # Wait in slices so a recorded failure (worker exception
@@ -217,7 +231,9 @@ class AsyncScheduler:
                         else deadline - time.monotonic()
                     )
                     if remaining is not None and remaining <= 0:
-                        if not errors:
+                        if token is not None and token.should_stop():
+                            cancel_fired = True
+                        elif not errors:
                             timed_out = True
                         break
                     step_wait = (
@@ -227,17 +243,23 @@ class AsyncScheduler:
                     )
                     if counter.wait_for_quiescence(timeout=step_wait):
                         break
+                    if token is not None and token.should_stop():
+                        cancel_fired = True
+                        break
                     if stop.is_set():
                         break
         finally:
             stop.set()
-            if timed_out:
+            if timed_out or cancel_fired:
                 # The caller is giving up: drain the queue so no worker
                 # picks up further work during shutdown.
                 queue.clear()
             if supervisor is not None:
                 supervisor.join(timeout=max(1.0, 10 * self.poll_timeout))
             self._join_workers(threads)
+        if cancel_fired:
+            # Raises QueryCancelled or DeadlineExceeded as appropriate.
+            token.check(f"async:run ({processed[0]} processed)")
         if timed_out:
             raise TimeoutError(
                 f"async run did not quiesce within {timeout}s "

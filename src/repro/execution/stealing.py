@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import ExecutionPolicyError
 from repro.execution.scheduler import ProcessFn
 from repro.observability.probe import active_probe
+from repro.resilience.deadline import active_token
 from repro.utils.counters import WorkCounter
 from repro.utils.rng import resolve_rng
 
@@ -89,7 +90,18 @@ class WorkStealingScheduler:
         *,
         timeout: Optional[float] = None,
     ) -> int:
-        """Drive ``process`` to quiescence; returns tasks processed."""
+        """Drive ``process`` to quiescence; returns tasks processed.
+
+        The calling thread's ambient
+        :class:`~repro.resilience.deadline.CancelToken` (if any) clamps
+        ``timeout`` and aborts the quiescence wait when it fires; the
+        deques are drained and workers joined before the
+        :class:`~repro.errors.CancellationError` propagates.
+        """
+        token = active_token()
+        if token is not None and token.deadline is not None:
+            remaining = max(0.0, token.deadline.remaining())
+            timeout = remaining if timeout is None else min(timeout, remaining)
         deques = [_Deque() for _ in range(self.num_workers)]
         counter = WorkCounter()
         stop = threading.Event()
@@ -162,19 +174,61 @@ class WorkStealingScheduler:
         ]
         for t in threads:
             t.start()
+        import time as _time
+
+        timed_out = False
+        cancel_fired = False
         try:
             if items:
-                quiesced = counter.wait_for_quiescence(timeout=timeout)
-                if not quiesced and not errors:
-                    raise TimeoutError(
-                        f"work-stealing run did not quiesce within {timeout}s "
-                        f"({counter.outstanding} outstanding)"
+                # Sliced wait (like AsyncScheduler): a fired token or an
+                # expired budget aborts instead of blocking forever.
+                deadline = (
+                    None if timeout is None else _time.monotonic() + timeout
+                )
+                while True:
+                    remaining = (
+                        None
+                        if deadline is None
+                        else deadline - _time.monotonic()
                     )
+                    if remaining is not None and remaining <= 0:
+                        if token is not None and token.should_stop():
+                            cancel_fired = True
+                        elif not errors:
+                            timed_out = True
+                        break
+                    step_wait = (
+                        0.05 if remaining is None else min(0.05, remaining)
+                    )
+                    if counter.wait_for_quiescence(timeout=step_wait):
+                        break
+                    if token is not None and token.should_stop():
+                        cancel_fired = True
+                        break
+                    if stop.is_set():
+                        break
         finally:
             stop.set()
-            for t in threads:
-                t.join()
+            if timed_out or cancel_fired:
+                # Drain every deque so no worker claims further work
+                # during shutdown, then join with a grace period.
+                for dq in deques:
+                    with dq.lock:
+                        dq.items.clear()
+                grace = max(1.0, 20 * self.poll_timeout)
+                for t in threads:
+                    t.join(timeout=grace)
+            else:
+                for t in threads:
+                    t.join()
         self.steals = sum(steal_counts)
+        if cancel_fired:
+            token.check(f"steal:run ({sum(processed)} processed)")
+        if timed_out:
+            raise TimeoutError(
+                f"work-stealing run did not quiesce within {timeout}s "
+                f"({counter.outstanding} outstanding)"
+            )
         if errors:
             raise errors[0]
         if probe.enabled:

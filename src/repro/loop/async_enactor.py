@@ -161,10 +161,15 @@ class AsyncEnactor:
         applies (chaos task faults remain survivable); worker death is
         meaningless without workers and is not consulted.
         """
+        from repro.resilience.deadline import active_token
+
+        token = active_token()
         resilience = self.resilience
         queue = collections.deque(items)
         processed = 0
         while queue:
+            if token is not None and processed % 64 == 0:
+                token.check("async:sequential-drain")
             item = queue.popleft()
             resilience.execute(
                 lambda item=item: process(item, queue.append),

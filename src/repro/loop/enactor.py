@@ -36,6 +36,7 @@ from repro.loop.convergence import (
 from repro.observability.probe import active_probe
 from repro.execution.workspace import Workspace
 from repro.resilience.chaos import active_injector
+from repro.resilience.deadline import active_token
 from repro.resilience.checkpoint import Checkpoint, snapshot_arrays
 from repro.resilience.policy import ResiliencePolicy
 from repro.utils.counters import IterationStats, RunStats
@@ -124,8 +125,15 @@ class Enactor:
             stats.converged = True
             return self._finish(stats, probe)
 
+        # Cooperative cancellation: the ambient token (installed per
+        # query thread by the service layer) is polled once per
+        # superstep, between mutations, so a timed-out query stops at
+        # the next boundary with every pool and workspace reusable.
+        token = active_token()
         frontier = initial_frontier
         while True:
+            if token is not None:
+                token.check(f"superstep:{state.iteration}")
             if state.iteration >= self.max_iterations:
                 raise ConvergenceError(
                     f"loop exceeded max_iterations={self.max_iterations} "

@@ -32,6 +32,7 @@ from repro.frontier.bucketed import BucketedFrontier
 from repro.graph.graph import Graph
 from repro.observability.probe import active_probe
 from repro.resilience.chaos import active_injector
+from repro.resilience.deadline import active_token
 from repro.resilience.checkpoint import (
     KIND_PRIORITY,
     Checkpoint,
@@ -87,8 +88,11 @@ class PriorityEnactor:
             and resilience.store is not None
             and state_arrays is not None
         )
+        token = active_token()
         buckets_done = _start_buckets
         while not frontier.is_exhausted():
+            if token is not None:
+                token.check(f"bucket:{frontier.current_bucket}")
             if buckets_done >= self.max_buckets:
                 raise ConvergenceError(
                     f"priority loop exceeded max_buckets={self.max_buckets}"
@@ -100,6 +104,10 @@ class PriorityEnactor:
             # re-activate elements back into it.
             with probe.span("bucket", bucket=frontier.current_bucket) as span:
                 while frontier.size():
+                    # The inner fixed point can dominate a run (all-light
+                    # delta-stepping), so it is a checkpoint too.
+                    if token is not None:
+                        token.check(f"bucket:{frontier.current_bucket}")
                     ids = frontier.take_current()
                     processed += ids.shape[0]
                     if self.collect_stats and ids.size:

@@ -144,6 +144,11 @@ class RunLedger:
     def __init__(self, root: Optional[str] = None) -> None:
         self.root = resolve_ledger_dir(root)
         self.path = os.path.join(self.root, "ledger.jsonl")
+        #: Unparseable/garbage lines skipped by the most recent read
+        #: pass (:meth:`records` resets it each time).  Skipping keeps a
+        #: crashed writer from poisoning history, but the tolerance must
+        #: not be silent — readers surface this count.
+        self.skipped_lines = 0
 
     # -- writing -----------------------------------------------------------------------
 
@@ -164,20 +169,41 @@ class RunLedger:
     # -- reading -----------------------------------------------------------------------
 
     def records(self) -> Iterator[Dict[str, Any]]:
-        """All parseable records, oldest first (corrupt lines skipped)."""
+        """All parseable records, oldest first.
+
+        Corrupt lines (truncated writes, non-JSON garbage, records with
+        no run id) are skipped, counted in :attr:`skipped_lines`, and
+        mirrored to the ambient probe as the ``ledger.corrupt_lines``
+        counter — tolerated, never hidden.
+        """
+        self.skipped_lines = 0
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if isinstance(record, dict) and record.get("run_id"):
-                    yield record
+        skipped = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        skipped += 1
+                        self.skipped_lines = skipped
+                        continue
+                    if isinstance(record, dict) and record.get("run_id"):
+                        yield record
+                    else:
+                        skipped += 1
+                        self.skipped_lines = skipped
+        finally:
+            if skipped:
+                from repro.observability.probe import active_probe
+
+                probe = active_probe()
+                if probe.enabled:
+                    probe.counter("ledger.corrupt_lines", skipped)
 
     def tail(self, n: int = 10) -> List[Dict[str, Any]]:
         """The most recent ``n`` records, oldest first."""

@@ -17,7 +17,11 @@ any of it.  Four cooperating pieces:
 * :mod:`~repro.resilience.checkpoint` — periodic superstep snapshots
   (frontier + value arrays, copy-on-write) with resume;
 * :mod:`~repro.resilience.supervisor` — worker restart, a progress
-  watchdog, and graceful degradation to the sequential execution policy.
+  watchdog, and graceful degradation to the sequential execution policy;
+* :mod:`~repro.resilience.deadline` — absolute monotonic
+  :class:`Deadline` and :class:`CancelToken`, the cooperative
+  cancellation substrate the query service threads through every
+  enactor, scheduler, and retry scope.
 
 A :class:`ResiliencePolicy` bundles them; every enactor, the async
 scheduler, and the Pregel engine accept one via ``resilience=``.
@@ -28,6 +32,13 @@ from repro.resilience.chaos import (
     FaultInjector,
     active_injector,
     io_fault_point,
+)
+from repro.resilience.deadline import (
+    CancelToken,
+    Deadline,
+    active_token,
+    check_cancelled,
+    clamp_timeout,
 )
 from repro.resilience.checkpoint import (
     Checkpoint,
@@ -47,6 +58,11 @@ __all__ = [
     "FaultInjector",
     "active_injector",
     "io_fault_point",
+    "CancelToken",
+    "Deadline",
+    "active_token",
+    "check_cancelled",
+    "clamp_timeout",
     "Checkpoint",
     "CheckpointStore",
     "snapshot_arrays",

@@ -29,6 +29,7 @@ from repro.errors import (
     RetryExhausted,
 )
 from repro.observability.probe import active_probe
+from repro.resilience.deadline import active_token
 from repro.utils.counters import ResilienceCounters
 
 #: Exception types retried by default: chaos faults plus the transient
@@ -62,9 +63,20 @@ class RetryPolicy:
         (decorrelates synchronized retry storms; affects timing only,
         never results).
     deadline:
-        Optional overall wall-clock budget in seconds; attempts stop —
-        raising :class:`~repro.errors.RetryExhausted` — once it is spent,
-        even with attempts remaining.
+        Optional overall wall-clock budget in seconds, *relative to call
+        start*; attempts stop — raising
+        :class:`~repro.errors.RetryExhausted` — once it is spent, even
+        with attempts remaining.
+    deadline_at:
+        Optional *absolute monotonic* deadline (a ``time.monotonic()``
+        timestamp, e.g. ``Deadline.after(0.5).at``).  Unlike the
+        relative ``deadline``, nesting cannot overshoot it: every retry
+        scope sharing the timestamp stops at the same instant, and
+        backoff sleeps are clamped so the policy never sleeps past it.
+        The ambient :class:`~repro.resilience.deadline.CancelToken` (if
+        one is installed on the calling thread) is folded in the same
+        way, so service-level deadlines bound nested retries without
+        any parameter threading.
     retry_on:
         Exception types considered transient; anything else propagates
         immediately.
@@ -76,6 +88,7 @@ class RetryPolicy:
     max_delay: float = 0.25
     jitter: float = 0.5
     deadline: Optional[float] = None
+    deadline_at: Optional[float] = None
     retry_on: Tuple[Type[BaseException], ...] = field(
         default=DEFAULT_RETRYABLE
     )
@@ -103,6 +116,28 @@ class RetryPolicy:
     def with_attempts(self, max_attempts: int) -> "RetryPolicy":
         """Copy of this policy with a different attempt budget."""
         return replace(self, max_attempts=max_attempts)
+
+    def with_deadline_at(self, at: float) -> "RetryPolicy":
+        """Copy of this policy bounded by an absolute monotonic deadline
+        (tightens an existing one, never loosens it)."""
+        if self.deadline_at is not None:
+            at = min(at, self.deadline_at)
+        return replace(self, deadline_at=at)
+
+    def _budget_end(self, start: float) -> Optional[float]:
+        """The absolute monotonic instant this execute() must stop at:
+        the tightest of the relative deadline, the absolute deadline,
+        and the calling thread's ambient cancel token."""
+        end: Optional[float] = None
+        if self.deadline is not None:
+            end = start + self.deadline
+        if self.deadline_at is not None:
+            end = self.deadline_at if end is None else min(end, self.deadline_at)
+        token = active_token()
+        if token is not None and token.deadline is not None:
+            at = token.deadline.at
+            end = at if end is None else min(end, at)
+        return end
 
     def is_retryable(self, exc: BaseException) -> bool:
         """Whether ``exc`` is transient under this policy."""
@@ -132,6 +167,8 @@ class RetryPolicy:
         ``retries_exhausted`` on final failure.
         """
         start = time.monotonic()
+        budget_end = self._budget_end(start)
+        token = active_token()
         last: Optional[BaseException] = None
         for attempt in range(1, self.max_attempts + 1):
             try:
@@ -140,9 +177,13 @@ class RetryPolicy:
                 if not self.is_retryable(exc):
                     raise
                 last = exc
-                out_of_budget = attempt >= self.max_attempts or (
-                    self.deadline is not None
-                    and time.monotonic() - start >= self.deadline
+                out_of_budget = (
+                    attempt >= self.max_attempts
+                    or (
+                        budget_end is not None
+                        and time.monotonic() >= budget_end
+                    )
+                    or (token is not None and token.cancelled)
                 )
                 if out_of_budget:
                     if counters is not None:
@@ -168,6 +209,10 @@ class RetryPolicy:
                     error=type(exc).__name__,
                 )
                 delay = self.delay_for(attempt - 1)
+                if budget_end is not None:
+                    # Never sleep past the absolute budget: the retry
+                    # must wake with time left to actually re-attempt.
+                    delay = min(delay, max(0.0, budget_end - time.monotonic()))
                 if delay > 0:
                     sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover

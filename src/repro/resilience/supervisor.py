@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple, Type
 
-from repro.errors import ResilienceError, StallDetected
+from repro.errors import CancellationError, ResilienceError, StallDetected
 from repro.utils.counters import ResilienceCounters
 
 
@@ -178,6 +178,11 @@ def run_with_fallback(
         try:
             return parallel_fn()
         except fall_back_on as exc:
+            if isinstance(exc, CancellationError):
+                # A fired deadline/cancel is a caller decision, not a
+                # failure to recover from — degrading to a (slower)
+                # sequential run would overshoot the deadline by design.
+                raise
             last = exc
             if counters is not None:
                 counters.increment("parallel_failures")

@@ -1,0 +1,154 @@
+"""Admission control: bounded concurrency, bounded queueing, tenant caps.
+
+The service must stay responsive when offered more work than it can do;
+the admission controller is the valve.  Three limits, checked in order:
+
+* **Queue depth** — at most ``max_queue_depth`` callers may be waiting
+  for an execution slot; past that the query is shed *immediately*
+  (fail fast beats queueing into certain deadline death).
+* **Tenant cap** — one tenant may hold at most ``per_tenant_limit``
+  slots, so a single chatty client cannot starve the rest.  Checked at
+  admission time, before any waiting.
+* **Concurrency** — at most ``max_concurrent`` queries execute at once;
+  a caller with remaining deadline budget waits (bounded by that
+  budget) for a slot.
+
+Shedding raises :class:`~repro.errors.AdmissionRejected` with a
+``reason`` of ``"queue_full"``, ``"tenant_cap"``, or ``"timeout"`` — the
+server maps the first two to 429 and the last to 408.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import AdmissionRejected, ServiceError
+
+
+class AdmissionController:
+    """Counting-semaphore-with-a-ledger; all state under one lock."""
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = 4,
+        max_queue_depth: int = 16,
+        per_tenant_limit: Optional[int] = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ServiceError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_queue_depth < 0:
+            raise ServiceError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if per_tenant_limit is not None and per_tenant_limit < 1:
+            raise ServiceError(
+                f"per_tenant_limit must be >= 1, got {per_tenant_limit}"
+            )
+        self.max_concurrent = max_concurrent
+        self.max_queue_depth = max_queue_depth
+        self.per_tenant_limit = per_tenant_limit
+        self._lock = threading.Lock()
+        self._slot_free = threading.Condition(self._lock)
+        self._active = 0
+        self._waiting = 0
+        self._per_tenant: Dict[str, int] = {}
+        # Lifetime accounting (monotone counters, read via stats()).
+        self._admitted = 0
+        self._shed_queue_full = 0
+        self._shed_tenant_cap = 0
+        self._shed_timeout = 0
+
+    # -- the protocol ------------------------------------------------------------------
+
+    def acquire(self, tenant: str = "default", *, timeout: Optional[float] = None) -> None:
+        """Claim an execution slot or raise :class:`AdmissionRejected`.
+
+        ``timeout`` bounds the wait for a slot (pass the query's
+        remaining deadline budget); ``None`` waits indefinitely.  Every
+        successful acquire must be paired with :meth:`release`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            held = self._per_tenant.get(tenant, 0)
+            if (
+                self.per_tenant_limit is not None
+                and held >= self.per_tenant_limit
+            ):
+                self._shed_tenant_cap += 1
+                raise AdmissionRejected(
+                    f"tenant {tenant!r} already holds {held} slots "
+                    f"(cap {self.per_tenant_limit})",
+                    reason="tenant_cap",
+                )
+            if self._active >= self.max_concurrent:
+                if self._waiting >= self.max_queue_depth:
+                    self._shed_queue_full += 1
+                    raise AdmissionRejected(
+                        f"admission queue full ({self._waiting} waiting, "
+                        f"depth cap {self.max_queue_depth})",
+                        reason="queue_full",
+                    )
+                self._waiting += 1
+                try:
+                    while self._active >= self.max_concurrent:
+                        remaining = (
+                            None
+                            if deadline is None
+                            else deadline - time.monotonic()
+                        )
+                        if remaining is not None and remaining <= 0:
+                            self._shed_timeout += 1
+                            raise AdmissionRejected(
+                                f"no execution slot within {timeout:.3f}s "
+                                f"({self._active} active, "
+                                f"{self._waiting} waiting)",
+                                reason="timeout",
+                            )
+                        self._slot_free.wait(timeout=remaining)
+                finally:
+                    self._waiting -= 1
+            self._active += 1
+            self._per_tenant[tenant] = self._per_tenant.get(tenant, 0) + 1
+            self._admitted += 1
+
+    def release(self, tenant: str = "default") -> None:
+        """Return a slot claimed by :meth:`acquire`."""
+        with self._lock:
+            if self._active <= 0:
+                raise ServiceError("release() without a matching acquire()")
+            self._active -= 1
+            held = self._per_tenant.get(tenant, 0) - 1
+            if held > 0:
+                self._per_tenant[tenant] = held
+            else:
+                self._per_tenant.pop(tenant, None)
+            self._slot_free.notify()
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime admission accounting (for ``stats`` responses)."""
+        with self._lock:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "admitted": self._admitted,
+                "shed_queue_full": self._shed_queue_full,
+                "shed_tenant_cap": self._shed_tenant_cap,
+                "shed_timeout": self._shed_timeout,
+            }

@@ -1,0 +1,166 @@
+"""Circuit breaker per (graph, algorithm): stop hammering what's broken.
+
+The standard three-state machine:
+
+* **CLOSED** — normal; failures are counted, ``failure_threshold``
+  consecutive ones trip the breaker.
+* **OPEN** — executions are rejected outright (the server serves stale
+  cache or 503) until ``cooldown_s`` has elapsed.
+* **HALF_OPEN** — after the cooldown one *probe* execution is let
+  through; success closes the breaker, failure re-opens it (and
+  restarts the cooldown).
+
+Timeouts count as failures — a (graph, algorithm) pair that keeps
+blowing its deadline is exactly the thing the breaker exists to fence
+off.  Partial results count as successes: the pipeline produced a
+usable answer within budget.
+
+All transitions happen under one lock inside :meth:`allow` /
+:meth:`record`; time is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ServiceError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One breaker; see the module docstring for the state machine."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ServiceError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        # Lifetime accounting.
+        self._times_opened = 0
+        self._rejections = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May an execution proceed right now?
+
+        OPEN transitions to HALF_OPEN once the cooldown has elapsed, and
+        HALF_OPEN admits exactly one probe at a time — concurrent
+        callers during the probe are rejected, so a half-open breaker
+        cannot be stampeded.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown_s:
+                    self._rejections += 1
+                    return False
+                self._state = HALF_OPEN
+                self._probe_in_flight = False
+            # HALF_OPEN: one probe slot.
+            if self._probe_in_flight:
+                self._rejections += 1
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record(self, success: bool) -> None:
+        """Report the outcome of an execution :meth:`allow` admitted."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+                if success:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+                else:
+                    self._state = OPEN
+                    self._opened_at = self._clock()
+                    self._times_opened += 1
+                return
+            if success:
+                self._consecutive_failures = 0
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._times_opened += 1
+
+    def stats(self) -> Dict[str, object]:
+        """State, counters, and trip history (for the stats op)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self._times_opened,
+                "rejections": self._rejections,
+            }
+
+
+class BreakerBoard:
+    """Lazy map of (graph, algorithm) -> :class:`CircuitBreaker`.
+
+    Failures in ``pagerank`` on one graph must not fence off ``bfs`` on
+    another — the failure domain is the pair, hence one breaker each.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def of(self, graph: str, algorithm: str) -> CircuitBreaker:
+        """The breaker for one (graph, algorithm) pair, created lazily."""
+        key = (graph, algorithm)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    cooldown_s=self.cooldown_s,
+                    clock=self._clock,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-pair breaker stats keyed ``"graph/algorithm"``."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {f"{g}/{a}": b.stats() for (g, a), b in items}

@@ -1,0 +1,104 @@
+"""Result cache with stale-while-error: degraded answers beat no answers.
+
+Keyed by (graph, algorithm, canonical params), LRU-evicted at
+``capacity``, entries considered *fresh* for ``ttl_s`` seconds.  Two
+read paths:
+
+* :meth:`get_fresh` — the fast path consulted before admission; a hit
+  skips the whole execution pipeline.
+* :meth:`get_stale` — consulted only when the circuit breaker is open
+  or execution failed; any cached entry qualifies regardless of age.
+  The response is marked ``stale: true`` with its age, so the client
+  knows it is looking at the past.
+
+Only *complete* results are cached — a partial (deadline-clipped)
+PageRank must never be served later as if it were the fixed point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+
+
+def cache_key(graph: str, algorithm: str, params: Dict[str, Any]) -> str:
+    """Canonical cache key: params JSON-serialized with sorted keys."""
+    return f"{graph}\x1f{algorithm}\x1f{json.dumps(params, sort_keys=True)}"
+
+
+class ResultCache:
+    """Thread-safe LRU+TTL cache of response ``result`` dicts."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 128,
+        ttl_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        if ttl_s <= 0:
+            raise ServiceError(f"ttl_s must be positive, got {ttl_s}")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[float, Dict[str, Any]]]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._stale_served = 0
+
+    def put(self, key: str, result: Dict[str, Any]) -> None:
+        """Store a complete result (evicting LRU past capacity)."""
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = (self._clock(), result)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def get_fresh(self, key: str) -> Optional[Dict[str, Any]]:
+        """The result if present and within TTL, else None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or self._clock() - entry[0] > self.ttl_s:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[1]
+
+    def get_stale(self, key: str) -> Optional[Tuple[Dict[str, Any], float]]:
+        """Any cached result regardless of age, with its age in seconds.
+
+        The degraded-mode read: correctness of *freshness* is already
+        forfeit (the breaker is open / execution failed), so age just
+        becomes metadata for the client.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._stale_served += 1
+            return entry[1], self._clock() - entry[0]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Entry count and hit/miss/stale counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "stale_served": self._stale_served,
+            }

@@ -1,0 +1,207 @@
+"""The graph catalog: load once at startup, serve many queries.
+
+The service's whole reason to exist is amortization — parsing and
+indexing a graph dominates most single queries, so the daemon pays it
+once per graph and keeps CSR/CSC views warm in memory.  The catalog
+maps names to loaded :class:`~repro.graph.graph.Graph` objects and
+remembers each entry's *spec* (file path or generator recipe), which it
+persists to ``catalog.json`` under the data directory; after a crash
+the next process rebuilds the identical catalog from the manifest
+without being re-told the specs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CatalogError
+from repro.graph.graph import Graph
+
+#: Generator kinds the catalog can synthesize (mirrors ``repro generate``).
+GENERATORS = ("grid", "rmat", "er", "ws", "ba")
+
+
+def _build_from_spec(spec: Dict[str, Any]) -> Graph:
+    """Materialize one catalog entry (file load or seeded generation)."""
+    if "path" in spec:
+        from repro.cli import _load_graph
+
+        path = spec["path"]
+        if not os.path.exists(path):
+            raise CatalogError(f"graph file not found: {path}")
+        return _load_graph(path, directed=spec.get("directed", True))
+    kind = spec.get("generator")
+    if kind not in GENERATORS:
+        raise CatalogError(
+            f"catalog spec needs 'path' or 'generator' in {GENERATORS}, "
+            f"got {spec!r}"
+        )
+    import numpy as np
+
+    from repro.graph import generators as gen
+
+    scale = int(spec.get("scale", 10))
+    edge_factor = int(spec.get("edge_factor", 8))
+    seed = int(spec.get("seed", 0))
+    weighted = bool(spec.get("weighted", True))
+    if kind == "grid":
+        side = int(np.sqrt(1 << scale))
+        return gen.grid_2d(side, side, weighted=weighted, seed=seed)
+    if kind == "rmat":
+        return gen.rmat(scale, edge_factor, weighted=weighted, seed=seed)
+    if kind == "er":
+        n = 1 << scale
+        return gen.erdos_renyi_gnm(
+            n, n * edge_factor, weighted=weighted, seed=seed
+        )
+    if kind == "ws":
+        g = gen.watts_strogatz(1 << scale, edge_factor, 0.05, seed=seed)
+        return gen.with_random_weights(g, seed=seed) if weighted else g
+    # "ba"
+    return gen.barabasi_albert(
+        1 << scale, max(1, edge_factor // 2), seed=seed
+    )
+
+
+def parse_graph_spec(text: str) -> Dict[str, Any]:
+    """Parse one ``--graph``/``--generate`` CLI spec into a spec dict.
+
+    ``name=path/to/file.npz`` loads a file;
+    ``name=grid:12`` / ``name=rmat:10:seed=3`` generate (kind, scale,
+    then optional ``key=value`` extras).
+    """
+    if "=" not in text:
+        raise CatalogError(
+            f"graph spec must look like name=path or name=kind:scale, "
+            f"got {text!r}"
+        )
+    name, _, rest = text.partition("=")
+    name = name.strip()
+    if not name:
+        raise CatalogError(f"graph spec has an empty name: {text!r}")
+    head = rest.split(":", 1)[0]
+    if head not in GENERATORS:
+        return {"name": name, "path": rest}
+    spec: Dict[str, Any] = {"name": name, "generator": head}
+    parts = rest.split(":")[1:]
+    if parts and parts[0] and "=" not in parts[0]:
+        spec["scale"] = int(parts[0])
+        parts = parts[1:]
+    for part in parts:
+        if not part:
+            continue
+        if "=" not in part:
+            raise CatalogError(f"bad generator option {part!r} in {text!r}")
+        key, _, value = part.partition("=")
+        if key not in ("scale", "edge_factor", "seed", "weighted"):
+            raise CatalogError(f"unknown generator option {key!r} in {text!r}")
+        spec[key] = (
+            value.lower() in ("1", "true", "yes")
+            if key == "weighted"
+            else int(value)
+        )
+    return spec
+
+
+class GraphCatalog:
+    """Named, loaded graphs plus the persisted manifest of their specs."""
+
+    MANIFEST = "catalog.json"
+
+    def __init__(self, data_dir: Optional[str] = None) -> None:
+        self.data_dir = data_dir
+        self._lock = threading.Lock()
+        self._graphs: Dict[str, Graph] = {}
+        self._specs: Dict[str, Dict[str, Any]] = {}
+
+    # -- building ----------------------------------------------------------------------
+
+    def add(self, spec: Dict[str, Any]) -> Graph:
+        """Load/generate one entry, register it, persist the manifest."""
+        name = spec.get("name")
+        if not name:
+            raise CatalogError(f"catalog spec has no name: {spec!r}")
+        graph = _build_from_spec(spec)
+        with self._lock:
+            self._graphs[name] = graph
+            self._specs[name] = {k: v for k, v in spec.items() if k != "name"}
+        self._save_manifest()
+        return graph
+
+    def restore(self) -> List[str]:
+        """Rebuild every entry recorded in the manifest (crash recovery).
+
+        Returns the restored names; a manifest entry that no longer
+        loads (its file was deleted) raises :class:`CatalogError` —
+        serving a silently smaller catalog would turn graph queries
+        into 404s with no explanation.
+        """
+        manifest = self._manifest_path()
+        if manifest is None or not os.path.exists(manifest):
+            return []
+        with open(manifest, "r", encoding="utf-8") as fh:
+            specs = json.load(fh)
+        restored = []
+        for name, spec in specs.items():
+            self.add({"name": name, **spec})
+            restored.append(name)
+        return restored
+
+    def _manifest_path(self) -> Optional[str]:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, self.MANIFEST)
+
+    def _save_manifest(self) -> None:
+        manifest = self._manifest_path()
+        if manifest is None:
+            return
+        os.makedirs(self.data_dir, exist_ok=True)
+        with self._lock:
+            payload = json.dumps(self._specs, indent=2, sort_keys=True)
+        tmp = manifest + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        os.replace(tmp, manifest)  # atomic: readers never see a torn file
+
+    # -- serving -----------------------------------------------------------------------
+
+    def get(self, name: str) -> Graph:
+        """The loaded graph, or :class:`CatalogError` naming what exists."""
+        with self._lock:
+            graph = self._graphs.get(name)
+        if graph is None:
+            raise CatalogError(
+                f"unknown graph {name!r}; catalog has {sorted(self.names())}"
+            )
+        return graph
+
+    def names(self) -> List[str]:
+        """Catalog entry names, insertion-ordered."""
+        with self._lock:
+            return list(self._graphs)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._graphs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._graphs)
+
+    def describe(self) -> Dict[str, Dict[str, Any]]:
+        """Per-graph summary for the ``catalog`` op."""
+        with self._lock:
+            items = list(self._graphs.items())
+            specs = dict(self._specs)
+        return {
+            name: {
+                "n_vertices": g.n_vertices,
+                "n_edges": g.n_edges,
+                "spec": specs.get(name, {}),
+            }
+            for name, g in items
+        }

@@ -1,0 +1,101 @@
+"""Blocking JSONL client for the query service.
+
+One socket, one request/response in flight at a time (guarded by a
+lock); concurrency comes from using one client per thread, which is how
+both the soak harness and ``repro query`` use it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import protocol
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.GraphQueryServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7464,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object; block for its response."""
+        with self._lock:
+            self._next_id += 1
+            obj = {"id": self._next_id, **obj}
+            self._sock.sendall(protocol.encode(obj))
+            line = self._rfile.readline(protocol.MAX_FRAME_BYTES + 1)
+        if not line:
+            raise ServiceError("server closed the connection")
+        try:
+            return protocol.decode(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"unreadable server response: {exc}") from exc
+
+    def close(self) -> None:
+        """Close the socket (the context manager calls this)."""
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the ops -----------------------------------------------------------------------
+
+    def query(
+        self,
+        graph: str,
+        algorithm: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        timeout_s: Optional[float] = None,
+        tenant: str = "default",
+    ) -> Dict[str, Any]:
+        """One graph query; returns the full response dict (the caller
+        inspects ``code``/``status`` — service-level rejections are data
+        here, not exceptions)."""
+        req: Dict[str, Any] = {
+            "op": "query",
+            "graph": graph,
+            "algorithm": algorithm,
+            "params": params or {},
+            "tenant": tenant,
+        }
+        if timeout_s is not None:
+            req["timeout_s"] = timeout_s
+        return self.request(req)
+
+    def ping(self) -> bool:
+        """Liveness check: true when the server answers 200."""
+        return self.request({"op": "ping"}).get("code") == protocol.OK
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's operational stats (admission, breakers, codes)."""
+        return self.request({"op": "stats"}).get("result", {})
+
+    def catalog(self) -> Dict[str, Any]:
+        """The served graphs and their sizes."""
+        return self.request({"op": "catalog"}).get("result", {})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to shut down (it answers before exiting)."""
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,123 @@
+"""Query journal: crash-recoverable record of what was in flight.
+
+An append-only JSONL file under the service's data directory.  Every
+query writes a ``begin`` event before executing and an ``end`` event
+(with the final status code) after; on startup :meth:`recover` scans
+the journal, finds queries that began but never ended — the in-flight
+set at the moment of a crash — and appends an ``aborted`` event for
+each, so history never shows a query as silently unresolved.
+
+The same corrupt-line discipline as the run ledger: a torn final line
+from a crashed writer is skipped and counted, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class QueryJournal:
+    """Append-only begin/end/aborted event log for one service."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        #: Corrupt lines skipped by the most recent read pass.
+        self.skipped_lines = 0
+
+    # -- writing -----------------------------------------------------------------------
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        event = dict(event)
+        event.setdefault("ts", time.time())
+        line = json.dumps(event, sort_keys=True) + "\n"
+        with self._lock:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def begin(
+        self,
+        qid: str,
+        *,
+        graph: str,
+        algorithm: str,
+        tenant: str = "default",
+        params: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record that ``qid`` is about to execute."""
+        self._append(
+            {
+                "event": "begin",
+                "qid": qid,
+                "graph": graph,
+                "algorithm": algorithm,
+                "tenant": tenant,
+                "params": params or {},
+            }
+        )
+
+    def end(self, qid: str, *, code: int, seconds: float) -> None:
+        """Record that ``qid`` finished with the given status code."""
+        self._append(
+            {"event": "end", "qid": qid, "code": code, "seconds": seconds}
+        )
+
+    # -- reading / recovery ------------------------------------------------------------
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """All parseable events, oldest first (corrupt lines counted in
+        :attr:`skipped_lines`, as in the run ledger)."""
+        self.skipped_lines = 0
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped_lines += 1
+                    continue
+                if isinstance(event, dict) and event.get("event"):
+                    yield event
+                else:
+                    self.skipped_lines += 1
+
+    def in_flight(self) -> List[Dict[str, Any]]:
+        """Begin events with no matching end/aborted event."""
+        open_by_qid: Dict[str, Dict[str, Any]] = {}
+        for event in self.events():
+            qid = str(event.get("qid"))
+            if event["event"] == "begin":
+                open_by_qid[qid] = event
+            elif event["event"] in ("end", "aborted"):
+                open_by_qid.pop(qid, None)
+        return list(open_by_qid.values())
+
+    def recover(self) -> List[Dict[str, Any]]:
+        """Mark every in-flight query as aborted; returns those begins.
+
+        Called once at service startup: queries that were executing when
+        the previous process died are resolved as ``aborted`` (their
+        results were never sent, so nothing is lost but the work), and
+        the journal is again an exact account of every query's fate.
+        """
+        orphans = self.in_flight()
+        for begin in orphans:
+            self._append(
+                {
+                    "event": "aborted",
+                    "qid": begin.get("qid"),
+                    "reason": "server restart with query in flight",
+                }
+            )
+        return orphans

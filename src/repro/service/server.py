@@ -1,0 +1,454 @@
+"""The query service: admission → breaker → execute → degrade, in order.
+
+:class:`QueryService` is the heart — a ``handle(request) -> response``
+function over plain dicts, so every policy decision is unit-testable
+without a socket.  :class:`GraphQueryServer` wraps it in a thread-per-
+connection JSONL TCP server.
+
+The pipeline for one query, in order:
+
+1. **Validate** (:func:`~repro.service.protocol.validate_request`) —
+   malformed requests cost nothing downstream (400).
+2. **Catalog lookup** — unknown graph is 404, before any slot is held.
+3. **Fresh cache** — a hit answers immediately; no admission, no
+   journal, no breaker traffic.
+4. **Circuit breaker** — open means the (graph, algorithm) pair has
+   been failing; serve the stale cache entry if one exists (200 with
+   ``stale: true``), else 503.
+5. **Admission** — queue-depth and tenant caps shed with 429, an
+   admission wait that outlives the deadline sheds with 408.  The wait
+   is bounded by the query's *remaining* budget: time queued is time
+   burned.
+6. **Execute** under an ambient :class:`CancelToken` — cooperative
+   cancellation at superstep boundaries turns budget exhaustion into
+   504 (or a 206 partial for anytime algorithms), with pools and
+   workspaces left reusable.
+7. **Settle** — journal the outcome, feed the breaker (client errors
+   don't count), cache complete successes, append a ``kind="query"``
+   run-ledger record.
+
+Crash recovery: on construction the service replays the query journal
+and marks begun-but-unfinished queries ``aborted``, and the catalog
+reloads from its persisted manifest — a restarted server is honest
+about the past and immediately serves the same graphs.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import (
+    AdmissionRejected,
+    CancellationError,
+    CatalogError,
+    ProtocolError,
+)
+from repro.resilience.deadline import CancelToken
+from repro.service import protocol
+from repro.service.admission import AdmissionController
+from repro.service.breaker import BreakerBoard
+from repro.service.cache import ResultCache, cache_key
+from repro.service.catalog import GraphCatalog
+from repro.service.journal import QueryJournal
+from repro.service.queries import execute_query, make_resilience
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs, all with serve-out-of-the-box defaults."""
+
+    max_concurrent: int = 4
+    max_queue_depth: int = 16
+    per_tenant_limit: Optional[int] = None
+    default_timeout_s: float = 30.0
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 2.0
+    cache_capacity: int = 128
+    cache_ttl_s: float = 60.0
+    retry_attempts: int = 2
+    record_ledger: bool = True
+
+
+class QueryService:
+    """Deadline-driven graph query service over a loaded catalog."""
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        *,
+        data_dir: Optional[str] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or ServiceConfig()
+        self.data_dir = data_dir
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent,
+            max_queue_depth=self.config.max_queue_depth,
+            per_tenant_limit=self.config.per_tenant_limit,
+        )
+        self.breakers = BreakerBoard(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            ttl_s=self.config.cache_ttl_s,
+        )
+        self.journal: Optional[QueryJournal] = None
+        self.recovered: List[Dict[str, Any]] = []
+        if data_dir is not None:
+            self.journal = QueryJournal(os.path.join(data_dir, "journal.jsonl"))
+            self.recovered = self.journal.recover()
+        self._resilience = make_resilience(self.config.retry_attempts)
+        self._lock = threading.Lock()
+        self._qid = 0
+        self._codes: Dict[int, int] = {}
+        self._inflight: Dict[str, CancelToken] = {}
+        self.shutdown_requested = threading.Event()
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def _next_qid(self) -> str:
+        with self._lock:
+            self._qid += 1
+            return f"q{os.getpid()}-{self._qid:06d}"
+
+    def _count(self, code: int) -> None:
+        with self._lock:
+            self._codes[code] = self._codes.get(code, 0) + 1
+
+    def _ledger_record(
+        self, algorithm: str, graph: str, tenant: str, code: int, seconds: float
+    ) -> None:
+        """Best-effort ``kind="query"`` run-ledger record (never fatal)."""
+        if not self.config.record_ledger:
+            return
+        from repro.observability import ledger as ledger_mod
+
+        if not ledger_mod.ledger_enabled():
+            return
+        root = (
+            os.path.join(self.data_dir, "runs")
+            if self.data_dir is not None
+            else None
+        )
+        try:
+            ledger_mod.RunLedger(root).append(
+                ledger_mod.make_record(
+                    kind="query",
+                    algorithm=algorithm,
+                    config={"graph": graph, "tenant": tenant},
+                    metrics={"code": code, "seconds": seconds},
+                )
+            )
+        except OSError:
+            pass  # telemetry must not break serving
+
+    def cancel_all(self, reason: str) -> int:
+        """Fire every in-flight query's token (shutdown path)."""
+        with self._lock:
+            tokens = list(self._inflight.values())
+        for token in tokens:
+            token.cancel(reason)
+        return len(tokens)
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot: catalog, admission, breakers, cache,
+        response-code counts, and journal recovery."""
+        with self._lock:
+            codes = {str(k): v for k, v in sorted(self._codes.items())}
+        return {
+            "catalog": sorted(self.catalog.names()),
+            "admission": self.admission.stats(),
+            "breakers": self.breakers.stats(),
+            "cache": self.cache.stats(),
+            "codes": codes,
+            "recovered_aborted": len(self.recovered),
+        }
+
+    # -- the handler -------------------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request dict in, one response dict out; never raises."""
+        try:
+            req = protocol.validate_request(request)
+        except ProtocolError as exc:
+            self._count(protocol.BAD_REQUEST)
+            return protocol.response(
+                request, protocol.BAD_REQUEST, error=str(exc)
+            )
+        op = req["op"]
+        if op == "ping":
+            return protocol.response(req, protocol.OK, result={"pong": True})
+        if op == "stats":
+            return protocol.response(req, protocol.OK, result=self.stats())
+        if op == "catalog":
+            return protocol.response(
+                req, protocol.OK, result=self.catalog.describe()
+            )
+        if op == "shutdown":
+            self.shutdown_requested.set()
+            cancelled = self.cancel_all("server shutdown")
+            return protocol.response(
+                req, protocol.OK, result={"cancelled_in_flight": cancelled}
+            )
+        return self._handle_query(req)
+
+    def _handle_query(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        t0 = time.monotonic()
+        graph_name = req["graph"]
+        algorithm = req["algorithm"]
+        params = req["params"]
+        tenant = req["tenant"]
+
+        def done(code: int, **kwargs: Any) -> Dict[str, Any]:
+            self._count(code)
+            kwargs.setdefault("elapsed_ms", (time.monotonic() - t0) * 1e3)
+            return protocol.response(req, code, **kwargs)
+
+        try:
+            graph = self.catalog.get(graph_name)
+        except CatalogError as exc:
+            return done(protocol.UNKNOWN_GRAPH, error=str(exc))
+
+        key = cache_key(graph_name, algorithm, params)
+        fresh = self.cache.get_fresh(key)
+        if fresh is not None:
+            return done(protocol.OK, result=fresh, cached=True)
+
+        breaker = self.breakers.of(graph_name, algorithm)
+        if not breaker.allow():
+            stale = self.cache.get_stale(key)
+            if stale is not None:
+                result, age = stale
+                return done(
+                    protocol.OK,
+                    result=result,
+                    stale=True,
+                    stale_age_s=round(age, 3),
+                    breaker="open",
+                )
+            return done(
+                protocol.UNAVAILABLE,
+                error=(
+                    f"circuit breaker open for {graph_name}/{algorithm} "
+                    f"and no cached result to degrade to"
+                ),
+                breaker="open",
+            )
+
+        timeout_s = req["timeout_s"] or self.config.default_timeout_s
+        token = CancelToken.after(timeout_s, label=f"{graph_name}/{algorithm}")
+        try:
+            self.admission.acquire(tenant, timeout=max(0.0, token.remaining()))
+        except AdmissionRejected as exc:
+            code = (
+                protocol.ADMISSION_TIMEOUT
+                if exc.reason == "timeout"
+                else protocol.SHED
+            )
+            return done(code, error=str(exc), shed=exc.reason)
+
+        qid = self._next_qid()
+        if self.journal is not None:
+            self.journal.begin(
+                qid,
+                graph=graph_name,
+                algorithm=algorithm,
+                tenant=tenant,
+                params=params,
+            )
+        with self._lock:
+            self._inflight[qid] = token
+        code = protocol.INTERNAL
+        result: Optional[Dict[str, Any]] = None
+        error: Optional[str] = None
+        try:
+            try:
+                with token:
+                    result = execute_query(
+                        graph,
+                        algorithm,
+                        params,
+                        resilience=self._resilience,
+                    )
+                code = (
+                    protocol.PARTIAL
+                    if result.get("partial")
+                    else protocol.OK
+                )
+            except CancellationError as exc:
+                code = protocol.DEADLINE
+                error = str(exc)
+            except ProtocolError as exc:
+                code = protocol.BAD_REQUEST
+                error = str(exc)
+            except Exception as exc:  # noqa: BLE001 - the 500 boundary
+                code = protocol.INTERNAL
+                error = f"{type(exc).__name__}: {exc}"
+        finally:
+            with self._lock:
+                self._inflight.pop(qid, None)
+            self.admission.release(tenant)
+            seconds = time.monotonic() - t0
+            if self.journal is not None:
+                self.journal.end(qid, code=code, seconds=seconds)
+
+        # Client errors are not the algorithm's fault; everything else
+        # teaches the breaker.
+        if code != protocol.BAD_REQUEST:
+            breaker.record(code in (protocol.OK, protocol.PARTIAL))
+        if code == protocol.OK and result is not None:
+            self.cache.put(key, result)
+        self._ledger_record(algorithm, graph_name, tenant, code, seconds)
+        if code == protocol.INTERNAL:
+            # Stale-while-error: a failed execution with history still
+            # answers, marked as the past.
+            stale = self.cache.get_stale(key)
+            if stale is not None:
+                stale_result, age = stale
+                return done(
+                    protocol.OK,
+                    result=stale_result,
+                    stale=True,
+                    stale_age_s=round(age, 3),
+                    error=error,
+                )
+        if code in (protocol.OK, protocol.PARTIAL):
+            return done(code, result=result, qid=qid)
+        return done(code, error=error, qid=qid)
+
+
+# -- the socket layer ------------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read JSONL requests, write JSONL responses."""
+
+    #: Socket timeout per read; lets the handler notice server shutdown
+    #: even while a client holds the connection open idle.
+    timeout = 0.5
+
+    def handle(self) -> None:  # noqa: A003 - socketserver API
+        # Reads go through the raw socket with a manual line buffer, NOT
+        # self.rfile: a BufferedReader that hits a socket timeout is
+        # poisoned ("cannot read from timed out object" forever after),
+        # so an idle-timeout-then-retry loop over rfile never reads
+        # again.  recv has no such state.
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        buffer = bytearray()
+        while not server.service.shutdown_requested.is_set():
+            newline = buffer.find(b"\n")
+            if newline < 0:
+                if len(buffer) > protocol.MAX_FRAME_BYTES:
+                    # No newline within the frame cap: the stream cannot
+                    # be resynchronized, so answer once and hang up.
+                    self._reply(
+                        protocol.response(
+                            None,
+                            protocol.BAD_REQUEST,
+                            error=(
+                                f"frame exceeds the "
+                                f"{protocol.MAX_FRAME_BYTES} byte cap"
+                            ),
+                        )
+                    )
+                    return
+                try:
+                    chunk = self.connection.recv(1 << 16)
+                except TimeoutError:
+                    continue  # idle read window elapsed; re-check shutdown
+                except OSError:
+                    return  # connection torn down
+                if not chunk:
+                    return  # client disconnected
+                buffer += chunk
+                continue
+            line = bytes(buffer[: newline + 1])
+            del buffer[: newline + 1]
+            try:
+                request = protocol.decode(line)
+            except ProtocolError as exc:
+                self._reply(
+                    protocol.response(
+                        None, protocol.BAD_REQUEST, error=str(exc)
+                    )
+                )
+                continue
+            self._reply(server.service.handle(request))
+
+    def _reply(self, response: Dict[str, Any]) -> None:
+        try:
+            self.wfile.write(protocol.encode(response))
+            self.wfile.flush()
+        except OSError:
+            pass  # client went away mid-reply; nothing to salvage
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    # Non-daemon handler threads + block_on_close: server_close() joins
+    # every connection thread, so "stopped" means zero leaked threads.
+    daemon_threads = False
+    block_on_close = True
+
+    service: QueryService
+
+
+class GraphQueryServer:
+    """TCP front end for a :class:`QueryService` (JSONL protocol).
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  :meth:`start` serves on a background thread (tests,
+    soak harness); :meth:`serve_forever` serves on the calling thread
+    (the CLI).  :meth:`stop` cancels in-flight queries, closes the
+    listener, and joins every connection thread.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.service = service
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple:
+        """(host, port) actually bound."""
+        return self._tcp.server_address
+
+    def start(self) -> None:
+        """Serve on a background thread; returns once listening."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (or a signal
+        handler calling it) shuts the loop down."""
+        self._tcp.serve_forever(poll_interval=0.05)
+
+    def stop(self) -> None:
+        """Cancel in-flight queries, close the listener, join every
+        connection thread (zero threads left behind)."""
+        self.service.shutdown_requested.set()
+        self.service.cancel_all("server stopping")
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

@@ -173,3 +173,154 @@ class TestRunExtendedAlgorithms:
     def test_scc(self, graph_file, capsys):
         assert main(["run", "scc", graph_file]) == 0
         assert "strongly connected" in capsys.readouterr().out
+
+
+class TestInterrupt:
+    """SIGINT/SIGTERM on recording commands flush telemetry, exit 130."""
+
+    def _boom(self, monkeypatch, exc_factory):
+        import repro.algorithms
+
+        def interrupted_pagerank(*args, **kwargs):
+            raise exc_factory()
+
+        monkeypatch.setattr(
+            repro.algorithms, "pagerank", interrupted_pagerank
+        )
+
+    def test_keyboard_interrupt_exits_130_with_ledger_record(
+        self, graph_file, tmp_path, monkeypatch, capsys
+    ):
+        from repro.observability.ledger import RunLedger
+
+        self._boom(monkeypatch, KeyboardInterrupt)
+        ledger_dir = str(tmp_path / "runs")
+        rc = main(
+            ["run", "pagerank", graph_file, "--ledger-dir", ledger_dir]
+        )
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+        (record,) = RunLedger(ledger_dir).tail(1)
+        assert record["metrics"]["interrupted"] is True
+        assert record["algorithm"] == "pagerank"
+
+    def test_interrupt_still_flushes_trace(
+        self, graph_file, tmp_path, monkeypatch, capsys
+    ):
+        self._boom(monkeypatch, KeyboardInterrupt)
+        trace = str(tmp_path / "trace.json")
+        rc = main(
+            ["run", "pagerank", graph_file, "--trace", trace,
+             "--no-ledger"]
+        )
+        assert rc == 130
+        assert "traceEvents" in json.load(open(trace))  # flushed, parseable
+
+    def test_sigterm_takes_the_interrupt_path(
+        self, graph_file, tmp_path, monkeypatch, capsys
+    ):
+        """A supervisor's TERM must behave exactly like Ctrl-C."""
+        import signal
+        import time
+
+        def term_factory():
+            signal.raise_signal(signal.SIGTERM)
+            # The converted KeyboardInterrupt fires on a bytecode
+            # boundary; if conversion failed, fail loudly instead.
+            time.sleep(0.5)
+            return AssertionError("SIGTERM was not converted")
+
+        self._boom(monkeypatch, term_factory)
+        rc = main(
+            ["run", "pagerank", graph_file, "--ledger-dir",
+             str(tmp_path / "runs")]
+        )
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_profile_interrupt_exits_130(
+        self, graph_file, tmp_path, monkeypatch, capsys
+    ):
+        self._boom(monkeypatch, KeyboardInterrupt)
+        rc = main(
+            ["profile", "pagerank", graph_file, "--ledger-dir",
+             str(tmp_path / "runs")]
+        )
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestLedgerCorruptWarning:
+    def test_ledger_cli_warns_on_corrupt_lines(
+        self, graph_file, tmp_path, capsys
+    ):
+        from repro.observability.ledger import RunLedger
+
+        ledger_dir = str(tmp_path / "runs")
+        assert main(
+            ["run", "bfs", graph_file, "--ledger-dir", ledger_dir]
+        ) == 0
+        with open(RunLedger(ledger_dir).path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn": "no closing brace\n')
+        capsys.readouterr()
+        assert main(["ledger", "--ledger-dir", ledger_dir]) == 0
+        captured = capsys.readouterr()
+        assert "bfs" in captured.out  # the intact record still lists
+        assert "skipped 1 corrupt ledger line" in captured.err
+
+    def test_no_warning_when_clean(self, graph_file, tmp_path, capsys):
+        ledger_dir = str(tmp_path / "runs")
+        main(["run", "bfs", graph_file, "--ledger-dir", ledger_dir])
+        capsys.readouterr()
+        main(["ledger", "--ledger-dir", ledger_dir])
+        assert "corrupt" not in capsys.readouterr().err
+
+
+class TestServeAndQuery:
+    """End-to-end over a real process: serve, query, SIGTERM."""
+
+    def test_serve_query_shutdown_cycle(self, tmp_path):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys as sys_mod
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        data_dir = str(tmp_path / "svc")
+        proc = subprocess.Popen(
+            [sys_mod.executable, "-m", "repro.cli", "serve",
+             "--graph", "g=grid:6", "--port", "0",
+             "--data-dir", data_dir, "--no-ledger"],
+            cwd="/root/repo",
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"on ([\d.]+):(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            host, port = match.group(1), match.group(2)
+
+            rc = main(
+                ["query", "g", "bfs", "--host", host, "--port", port,
+                 "--param", "source=0"]
+            )
+            assert rc == 0
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 130
+            stderr = proc.stderr.read()
+            assert "interrupted" in stderr
+            assert "served:" in stderr
+            # The catalog manifest and journal survived the TERM.
+            assert os.path.exists(os.path.join(data_dir, "catalog.json"))
+            assert os.path.exists(os.path.join(data_dir, "journal.jsonl"))
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

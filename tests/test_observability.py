@@ -722,3 +722,49 @@ def test_concurrent_enactors_share_one_probe(tmp_path, grid):
     assert validate_events_jsonl(lines) == []
     parsed = [json.loads(line) for line in lines]
     assert sum(1 for r in parsed if r.get("type") == "span") == len(spans)
+
+
+class TestLedgerCorruptLines:
+    """A crashed writer's torn lines are skipped, *counted*, and
+    surfaced as the ``ledger.corrupt_lines`` probe counter."""
+
+    def _ledger_with_garbage(self, tmp_path):
+        from repro.observability.ledger import RunLedger, make_record
+
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(make_record(kind="run", algorithm="bfs"))
+        with open(ledger.path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn": "no closing brace"\n')
+            fh.write("not json at all\n")
+            fh.write('{"valid_json": "but no run_id"}\n')
+        ledger.append(make_record(kind="run", algorithm="sssp"))
+        return ledger
+
+    def test_skipped_lines_counted(self, tmp_path):
+        ledger = self._ledger_with_garbage(tmp_path)
+        records = list(ledger.records())
+        assert [r["algorithm"] for r in records] == ["bfs", "sssp"]
+        assert ledger.skipped_lines == 3
+
+    def test_counter_resets_per_pass(self, tmp_path):
+        ledger = self._ledger_with_garbage(tmp_path)
+        list(ledger.records())
+        list(ledger.records())
+        assert ledger.skipped_lines == 3  # not 6: reset each pass
+
+    def test_probe_counter_mirrored(self, tmp_path):
+        from repro.observability.probe import Probe
+
+        ledger = self._ledger_with_garbage(tmp_path)
+        probe = Probe(trace=False)
+        with probe:
+            list(ledger.records())
+        assert probe.metrics.counter("ledger.corrupt_lines").value == 3
+
+    def test_clean_ledger_reports_zero(self, tmp_path):
+        from repro.observability.ledger import RunLedger, make_record
+
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(make_record(kind="run", algorithm="bfs"))
+        list(ledger.records())
+        assert ledger.skipped_lines == 0

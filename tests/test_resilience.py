@@ -674,3 +674,97 @@ class TestSupervision:
         )
         assert counters["parallel_failures"] == 2
         assert counters["degraded_runs"] == 1
+
+
+class TestRetryAbsoluteDeadline:
+    """Regression coverage for ``deadline_at`` (absolute monotonic) and
+    its interaction with ambient cancel tokens — the service-path
+    guarantee that nested retry scopes cannot overshoot a shared
+    deadline the way stacked *relative* deadlines can."""
+
+    def _policy(self, **kwargs):
+        return RetryPolicy(
+            max_attempts=50, base_delay=0.01, max_delay=0.01, jitter=0.0,
+            **kwargs,
+        )
+
+    def test_deadline_at_stops_attempts(self):
+        calls = [0]
+
+        def fail():
+            calls[0] += 1
+            raise FaultInjected("transient")
+
+        policy = self._policy().with_deadline_at(time.monotonic() + 0.05)
+        t0 = time.monotonic()
+        with pytest.raises(RetryExhausted):
+            policy.execute(fail, site="unit")
+        # Stopped by the budget, far short of the 50-attempt ceiling,
+        # and promptly (sleeps are clamped to the budget's edge).
+        assert calls[0] < 50
+        assert time.monotonic() - t0 < 1.0
+
+    def test_with_deadline_at_only_tightens(self):
+        soon = time.monotonic() + 1.0
+        later = time.monotonic() + 100.0
+        policy = self._policy().with_deadline_at(soon)
+        assert policy.with_deadline_at(later).deadline_at == soon
+        assert policy.with_deadline_at(soon - 0.5).deadline_at == soon - 0.5
+
+    def test_nested_scopes_share_the_instant(self):
+        """Two sequential execute() calls under one ``deadline_at``
+        consume ONE budget — the second starts already exhausted.  The
+        same pattern with relative deadlines would grant a fresh budget
+        to each call (the overshoot bug this field exists to fix)."""
+        at = time.monotonic() + 0.05
+        policy = self._policy().with_deadline_at(at)
+
+        def fail():
+            raise FaultInjected("transient")
+
+        with pytest.raises(RetryExhausted):
+            policy.execute(fail, site="first")
+        time.sleep(max(0.0, at - time.monotonic()) + 0.01)
+        t0 = time.monotonic()
+        with pytest.raises(RetryExhausted) as info:
+            policy.execute(fail, site="second")
+        # Second scope: one attempt, no sleeping — budget already spent.
+        assert info.value.attempts == 1
+        assert time.monotonic() - t0 < 0.05
+
+        # Relative-deadline contrast: the same second call under
+        # deadline=0.05 happily retries on its own fresh budget.
+        relative = self._policy(deadline=0.05)
+        with pytest.raises(RetryExhausted) as info2:
+            relative.execute(fail, site="relative")
+        assert info2.value.attempts > 1
+
+    def test_ambient_token_bounds_retries(self):
+        from repro.resilience import CancelToken
+
+        calls = [0]
+
+        def fail():
+            calls[0] += 1
+            raise FaultInjected("transient")
+
+        with CancelToken.after(0.05):
+            with pytest.raises(RetryExhausted):
+                self._policy().execute(fail, site="unit")
+        assert calls[0] < 50
+
+    def test_explicit_cancel_stops_next_attempt(self):
+        from repro.resilience import CancelToken
+
+        token = CancelToken()
+        calls = [0]
+
+        def fail():
+            calls[0] += 1
+            token.cancel("caller gave up")
+            raise FaultInjected("transient")
+
+        with token:
+            with pytest.raises(RetryExhausted):
+                self._policy().execute(fail, site="unit")
+        assert calls[0] == 1
