@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Incremental repair vs. full recompute on a mutating R-MAT graph.
+
+The dynamic-graph value proposition in one number: after a small batch
+of edge mutations, repairing yesterday's answer should beat recomputing
+it from scratch.  This harness measures that ratio per algorithm at
+three mutation rates (1%, 5%, 20% of the edge count, half deletions and
+half insertions) on a scale-14 weighted R-MAT graph.
+
+Timing is deliberately fair to *both* sides:
+
+* The merged snapshot is materialized **before** either timer starts —
+  overlay merge cost is a property of mutation ingestion, not of the
+  recompute strategy, and both paths query the same snapshot.
+* The incremental side is timed end-to-end over
+  :func:`repro.dynamic.incremental_*` including invalidation, seed
+  discovery, and the repair fixpoint.
+* The full side runs the same algorithm, policy, and parameters on the
+  same snapshot.
+* Every repaired result is verified equal to the full recompute before
+  its time is accepted — a fast wrong answer scores zero.
+
+Emits a ``repro-bench-trajectory/v1`` entry (``--json BENCH_PR7.json``)
+with one ``*_inc`` / ``*_full`` workload pair per (algorithm, rate),
+plus the speedup stored on the ``_inc`` entry, comparable across PRs by
+``benchmarks/report.py --compare`` and ``repro diff``.
+
+The acceptance gate (skipped under ``--smoke``): BFS, SSSP, and CC each
+repair >= 3x faster than full recompute at the 1% mutation rate.
+PageRank's warm restart is reported but not gated — its win is bounded
+by iterations saved, not by locality.
+
+Usage::
+
+    python benchmarks/bench_dynamic.py --smoke          # CI, scale 10
+    python benchmarks/bench_dynamic.py                  # scale 14 gate
+    python benchmarks/bench_dynamic.py --json BENCH_PR7.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.cc import connected_components
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.dynamic import (
+    DynamicGraph,
+    incremental_bfs,
+    incremental_cc,
+    incremental_pagerank,
+    incremental_sssp,
+)
+from repro.execution.policy import par_vector
+from repro.graph import generators as gen
+
+BENCH_SCHEMA = "repro-bench-trajectory/v1"
+
+#: (algorithm, mutation-rate) pairs measured; rates are fractions of
+#: the base edge count, split evenly between deletions and insertions.
+RATES = (0.01, 0.05, 0.20)
+ALGORITHMS = ("bfs", "sssp", "cc", "pagerank")
+
+#: The acceptance bar: locality-repairing algorithms at the 1% rate.
+GATED = ("bfs", "sssp", "cc")
+GATE_SPEEDUP = 3.0
+
+
+def mutation_plan(graph, rate: float, rng: np.random.Generator):
+    """(remove_pairs, insert_triples) touching ``rate * n_edges`` arcs."""
+    coo = graph.coo()
+    n_mut = max(2, int(graph.n_edges * rate))
+    n_remove = n_mut // 2
+    n_insert = n_mut - n_remove
+    # Deletions: distinct live (src, dst) pairs sampled from the edge list.
+    live = {(int(s), int(d)) for s, d in zip(coo.rows, coo.cols)}
+    order = rng.permutation(len(coo.rows))
+    removes, seen = [], set()
+    for e in order:
+        pair = (int(coo.rows[e]), int(coo.cols[e]))
+        if pair in seen:
+            continue
+        seen.add(pair)
+        removes.append(pair)
+        if len(removes) == n_remove:
+            break
+    # Insertions: fresh pairs, avoiding live edges and our own picks.
+    inserts, taken = [], set()
+    n = graph.n_vertices
+    while len(inserts) < n_insert:
+        s = int(rng.integers(0, n))
+        d = int(rng.integers(0, n))
+        if s == d or (s, d) in live or (s, d) in taken:
+            continue
+        taken.add((s, d))
+        inserts.append((s, d, float(rng.uniform(1.0, 10.0))))
+    return removes, inserts
+
+
+def best_of(fn, trials: int) -> tuple:
+    """(best_seconds, last_result) over ``trials`` runs of ``fn``."""
+    best, result = float("inf"), None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def check_equal(algorithm: str, repaired, full) -> None:
+    if algorithm == "bfs":
+        assert np.array_equal(repaired.levels, full.levels), "bfs diverged"
+    elif algorithm == "sssp":
+        assert np.array_equal(
+            repaired.distances, full.distances
+        ), "sssp diverged"
+    elif algorithm == "cc":
+        assert np.array_equal(repaired.labels, full.labels), "cc diverged"
+    else:  # pagerank: same fixed point within solver tolerance
+        assert np.allclose(
+            repaired.ranks, full.ranks, atol=1e-5
+        ), "pagerank diverged"
+
+
+def measure(scale: int, edge_factor: int, seed: int, trials: int, log):
+    """All (algorithm, rate) measurements on one base graph."""
+    base = gen.rmat(scale, edge_factor, weighted=True, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    source = 0
+    log(
+        f"base: scale-{scale} R-MAT, {base.n_vertices} vertices, "
+        f"{base.n_edges} edges"
+    )
+    meta = {"n_vertices": int(base.n_vertices), "n_edges": int(base.n_edges)}
+    policy = par_vector
+
+    cold = {
+        "bfs": bfs(base, source, policy=policy),
+        "sssp": sssp(base, source, policy=policy),
+        "cc": connected_components(base, policy=policy),
+        "pagerank": pagerank(base, policy=policy),
+    }
+
+    workloads = []
+    speedups = {}
+    for rate in RATES:
+        removes, inserts = mutation_plan(base, rate, rng)
+        dyn = DynamicGraph(base)
+        batch = dyn.apply(insert=inserts, remove=removes)
+        merged = dyn.graph()  # materialize: neither timer pays the merge
+        tag = f"{int(rate * 100)}pct"
+        log(
+            f"rate {tag}: -{batch.n_removed} +{batch.n_inserted} edges, "
+            f"merged {merged.n_edges} edges"
+        )
+
+        runners = {
+            "bfs": (
+                lambda: incremental_bfs(
+                    dyn, cold["bfs"], batch=batch, policy=policy
+                ),
+                lambda: bfs(merged, source, policy=policy),
+            ),
+            "sssp": (
+                lambda: incremental_sssp(
+                    dyn, cold["sssp"], batch=batch, policy=policy
+                ),
+                lambda: sssp(merged, source, policy=policy),
+            ),
+            "cc": (
+                lambda: incremental_cc(
+                    dyn, cold["cc"], batch=batch, policy=policy
+                ),
+                lambda: connected_components(merged, policy=policy),
+            ),
+            "pagerank": (
+                lambda: incremental_pagerank(
+                    dyn, cold["pagerank"], policy=policy
+                ),
+                lambda: pagerank(merged, policy=policy),
+            ),
+        }
+        for algorithm in ALGORITHMS:
+            inc_fn, full_fn = runners[algorithm]
+            full_s, full_result = best_of(full_fn, trials)
+            inc_s, inc_result = best_of(inc_fn, trials)
+            check_equal(algorithm, inc_result, full_result)
+            speedup = full_s / inc_s if inc_s > 0 else float("inf")
+            speedups[(algorithm, rate)] = speedup
+            log(
+                f"  {algorithm:9s} inc {inc_s * 1e3:8.2f} ms   "
+                f"full {full_s * 1e3:8.2f} ms   {speedup:6.2f}x"
+            )
+            workloads.append(
+                {
+                    "name": f"dynamic_{algorithm}_inc_{tag}",
+                    "algorithm": algorithm,
+                    "seconds": inc_s,
+                    "speedup": round(speedup, 3),
+                    **meta,
+                }
+            )
+            workloads.append(
+                {
+                    "name": f"dynamic_{algorithm}_full_{tag}",
+                    "algorithm": algorithm,
+                    "seconds": full_s,
+                    **meta,
+                }
+            )
+    return workloads, speedups
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=14)
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small graph, one trial, no speedup gate (CI)",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write trajectory JSON")
+    parser.add_argument("--label", default="BENCH_PR7")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale = min(args.scale, 10)
+        args.trials = 1
+
+    def log(msg: str) -> None:
+        print(f"[dynamic] {msg}")
+        sys.stdout.flush()
+
+    workloads, speedups = measure(
+        args.scale, args.edge_factor, args.seed, args.trials, log
+    )
+
+    entry = {
+        "schema": BENCH_SCHEMA,
+        "label": args.label,
+        "generated_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "workloads": workloads,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log(f"wrote {args.json}")
+
+    if not args.smoke:
+        failures = [
+            f"{algorithm}: {speedups[(algorithm, 0.01)]:.2f}x < "
+            f"{GATE_SPEEDUP}x"
+            for algorithm in GATED
+            if speedups[(algorithm, 0.01)] < GATE_SPEEDUP
+        ]
+        if failures:
+            log("FAIL: 1% mutation-rate gate: " + "; ".join(failures))
+            return 1
+        log(
+            "PASS: "
+            + ", ".join(
+                f"{a} {speedups[(a, 0.01)]:.1f}x" for a in GATED
+            )
+            + f" at 1% (gate {GATE_SPEEDUP}x)"
+        )
+    else:
+        log("smoke: measurements complete (gate skipped at this scale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ policies via per-edge accumulation through the operator layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -54,12 +54,16 @@ def pagerank(
     tolerance: float = 1e-6,
     max_iterations: int = 100,
     policy: Union[str, ExecutionPolicy] = par_vector,
+    initial_ranks: Optional[np.ndarray] = None,
 ) -> PageRankResult:
     """Damped PageRank to an L1 fixed point.
 
     ``tolerance`` is the L1 movement between successive rank vectors at
     which iteration stops; ``max_iterations`` caps it (both conditions
     are composed with :class:`~repro.loop.convergence.AnyOf`).
+    ``initial_ranks`` warm-starts the iteration (e.g. from a
+    pre-mutation result); the fixed point is unique, so the start only
+    affects how many iterations convergence takes.
     """
     policy = resolve_policy(policy)
     if not (0.0 <= damping <= 1.0):
@@ -76,7 +80,18 @@ def pagerank(
     # compare directly on weighted graphs.
     out_weight = segmented_sum(coo.rows, coo.vals.astype(np.float64), n)
     dangling = out_weight == 0
-    ranks = np.full(n, 1.0 / n, dtype=np.float64)
+    if initial_ranks is not None:
+        if initial_ranks.shape != (n,):
+            raise ValueError(
+                f"initial_ranks must have shape ({n},), "
+                f"got {initial_ranks.shape}"
+            )
+        ranks = initial_ranks.astype(np.float64, copy=True)
+        total = float(ranks.sum())
+        if total > 0:  # renormalize: a stale vector still sums to ~1
+            ranks /= total
+    else:
+        ranks = np.full(n, 1.0 / n, dtype=np.float64)
 
     state_box = {"ranks": ranks, "delta": np.inf, "iterations": 0}
 

@@ -14,7 +14,7 @@ Two implementations with complementary regimes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -45,8 +45,13 @@ def personalized_pagerank(
     tolerance: float = 1e-8,
     max_iterations: int = 200,
     policy: Union[str, ExecutionPolicy] = par_vector,
+    initial_ranks: Optional[np.ndarray] = None,
 ) -> PPRResult:
-    """PPR by power iteration: teleport returns to ``seeds`` uniformly."""
+    """PPR by power iteration: teleport returns to ``seeds`` uniformly.
+
+    ``initial_ranks`` warm-starts the iteration from a previous rank
+    vector (the unique fixed point is unchanged; only the iteration
+    count to reach it shrinks)."""
     resolve_policy(policy)
     damping = float(damping)
     if not (0.0 <= damping <= 1.0):
@@ -63,7 +68,18 @@ def personalized_pagerank(
 
     teleport = np.zeros(n, dtype=np.float64)
     teleport[seeds] = 1.0 / seeds.size
-    ranks = teleport.copy()
+    if initial_ranks is not None:
+        if initial_ranks.shape != (n,):
+            raise ValueError(
+                f"initial_ranks must have shape ({n},), "
+                f"got {initial_ranks.shape}"
+            )
+        ranks = initial_ranks.astype(np.float64, copy=True)
+        total = float(ranks.sum())
+        if total > 0:
+            ranks /= total
+    else:
+        ranks = teleport.copy()
     converged = False
     iterations = 0
     token = active_token()

@@ -17,11 +17,15 @@ GPU graph frameworks ship:
 * ``repro ledger``   — list or show run-ledger records (every ``run``/
   ``profile`` appends one under ``.repro/runs/``);
 * ``repro partition``— partition and report quality metrics;
+* ``repro stream``   — replay a windowed edge stream against a dynamic
+  graph, alternating mutation batches with incremental queries, and
+  report freshness vs full-recompute cost;
 * ``repro table1``   — print the regenerated capability matrix;
 * ``repro verify``   — the conformance harness: differential matrix
   (algorithm × policy × direction × representation × fused over the
-  adversarial graph pool), metamorphic oracles, and the par_nosync
-  race checker; every mismatch prints a one-line repro command.
+  adversarial graph pool), metamorphic oracles, the dynamic
+  (incremental==full) oracle, and the par_nosync race checker; every
+  mismatch prints a one-line repro command.
 
 Every command is a thin shell over the public API, so scripted use and
 programmatic use stay equivalent.
@@ -597,15 +601,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
     """``repro verify``: run the conformance harness; exit 1 on any
     divergence.
 
-    Three suites — differential matrix, metamorphic relations, race
-    checker — all run by default; ``--metamorphic`` / ``--races``
-    narrow to those suites, and any matrix-axis filter (``--policy``,
-    ``--direction``, ``--representation``, ``--fused``) narrows to the
-    matrix alone, which is how the printed repro commands replay a
-    single cell.
+    Four suites — differential matrix, metamorphic relations, dynamic
+    (incremental==full) oracle, race checker — all run by default;
+    ``--metamorphic`` / ``--dynamic`` / ``--races`` narrow to those
+    suites, and any matrix-axis filter (``--policy``, ``--direction``,
+    ``--representation``, ``--fused``) narrows to the matrix alone,
+    which is how the printed repro commands replay a single cell.
     """
     from repro.verify import (
         check_races,
+        run_dynamic,
         run_matrix,
         run_metamorphic,
         spec_names,
@@ -632,9 +637,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
         x is not None
         for x in (args.policy, args.direction, args.representation)
     ) or args.fused != "both"
-    explicit = bool(args.metamorphic or args.races)
+    explicit = bool(args.metamorphic or args.races or args.dynamic)
     run_m = (not explicit and not args.no_matrix) or axis_filtered
     run_meta = (args.metamorphic or not explicit) and not axis_filtered
+    run_dyn = (args.dynamic or not explicit) and not axis_filtered
     run_r = (args.races or not explicit) and not axis_filtered
 
     fused_filter = None
@@ -701,6 +707,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print(f"    replay: {f.repro}")
         records["metamorphic"] = meta.to_record()
         failed = failed or not meta.ok
+    if run_dyn:
+        dyn = run_dynamic(seed=args.seed, quick=quick, graphs=args.graph)
+        print(
+            f"dynamic: {dyn.checks_run} checks, "
+            f"{len(dyn.failures)} failures ({dyn.seconds:.1f}s)"
+        )
+        for f in dyn.failures[:20]:
+            print(
+                f"  FAILED {f.check} [{f.algo} on {f.graph}, "
+                f"{f.policy}]: {f.detail}"
+            )
+            print(f"    replay: {f.repro}")
+        records["dynamic"] = dyn.to_record()
+        failed = failed or not dyn.ok
     if run_r:
         try:
             races = check_races(
@@ -1050,6 +1070,22 @@ def cmd_query(args: argparse.Namespace) -> int:
             params[key] = value  # bare strings need no quoting
     if args.op == "query" and not (args.graph and args.algorithm):
         raise SystemExit("query op needs GRAPH and ALGORITHM arguments")
+    if args.op == "mutate" and not args.graph:
+        raise SystemExit("mutate op needs a GRAPH argument")
+
+    def parse_edge(text: str, *, flag: str) -> list:
+        parts = text.split(",")
+        try:
+            if flag == "--insert" and len(parts) == 3:
+                return [int(parts[0]), int(parts[1]), float(parts[2])]
+            if len(parts) == 2:
+                return [int(parts[0]), int(parts[1])]
+        except ValueError:
+            pass
+        raise SystemExit(f"{flag} must look like SRC,DST"
+                         + ("[,W]" if flag == "--insert" else "")
+                         + f", got {text!r}")
+
     try:
         with ServiceClient(
             args.host, args.port, timeout=args.connect_timeout
@@ -1062,6 +1098,15 @@ def cmd_query(args: argparse.Namespace) -> int:
                     timeout_s=args.timeout,
                     tenant=args.tenant,
                 )
+            elif args.op == "mutate":
+                resp = client.mutate(
+                    args.graph,
+                    insert=[parse_edge(e, flag="--insert")
+                            for e in args.insert or []],
+                    remove=[parse_edge(e, flag="--remove")
+                            for e in args.remove or []],
+                    tenant=args.tenant,
+                )
             else:
                 resp = client.request({"op": args.op})
     except (OSError, ServiceError) as exc:
@@ -1069,6 +1114,86 @@ def cmd_query(args: argparse.Namespace) -> int:
         return 1
     print(json.dumps(resp, indent=2, sort_keys=True))
     return 0 if resp.get("code") in (200, 206) else 1
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """``repro stream``: windowed edge-stream replay with incremental
+    queries.
+
+    Generates a seeded R-MAT stream (base prefix + insert/delete mix),
+    replays it window by window against a
+    :class:`~repro.dynamic.dynamic_graph.DynamicGraph`, runs the
+    configured queries incrementally each window, and prints freshness
+    (mutate + snapshot + repair) against full-recompute cost.
+    ``--check`` additionally verifies every repaired result against the
+    from-scratch answer and exits 1 on any divergence.
+    """
+    from repro.dynamic import EdgeStream, StreamDriver
+    from repro.dynamic.stream import STREAM_ALGORITHMS
+
+    algorithms = args.algorithm or list(STREAM_ALGORITHMS)
+    stream = EdgeStream.rmat(
+        args.scale,
+        args.edge_factor,
+        base_fraction=args.base_fraction,
+        delete_fraction=args.delete_fraction,
+        seed=args.seed,
+    )
+    print(
+        f"stream: scale {args.scale} R-MAT, base "
+        f"{stream.base.n_vertices} vertices / {stream.base.n_edges} edges, "
+        f"{stream.n_events} events, window {args.window}"
+    )
+    driver = StreamDriver(
+        stream,
+        algorithms=algorithms,
+        source=args.source,
+        policy=args.policy,
+        window_events=args.window,
+        compare_full=not args.no_compare,
+        verify=args.check,
+    )
+    report = driver.run(max_windows=args.windows)
+    for w in report.windows:
+        parts = []
+        for name in report.algorithms:
+            q = w["queries"][name]
+            cell = f"{name} {q['incremental_seconds'] * 1e3:.1f}ms"
+            if "full_seconds" in q:
+                cell += f"/{q['full_seconds'] * 1e3:.1f}ms"
+            if q.get("matches_full") is False:
+                cell += " MISMATCH"
+            parts.append(cell)
+        print(
+            f"  window {w['window']:>3}: +{w['n_inserted']} -{w['n_removed']} "
+            f"(epoch {w['epoch']}, mutate {w['mutate_seconds'] * 1e3:.1f}ms, "
+            f"snapshot {w['snapshot_seconds'] * 1e3:.1f}ms)  "
+            + "  ".join(parts)
+        )
+    summary = report.summary()
+    print(
+        f"totals: {summary['n_windows']} windows, {summary['n_events']} "
+        f"events, mutate {summary['mutate_seconds'] * 1e3:.1f}ms, "
+        f"snapshot {summary['snapshot_seconds'] * 1e3:.1f}ms"
+    )
+    mismatched = 0
+    for name, entry in summary["algorithms"].items():
+        line = f"  {name}: incremental {entry['incremental_seconds'] * 1e3:.1f}ms"
+        if "full_seconds" in entry:
+            line += (
+                f", full {entry['full_seconds'] * 1e3:.1f}ms "
+                f"({entry['speedup']:.2f}x)"
+            )
+        if entry.get("mismatched_windows"):
+            line += f", {entry['mismatched_windows']} MISMATCHED windows"
+            mismatched += entry["mismatched_windows"]
+        print(line)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=float))
+    if mismatched:
+        print("stream: FAILED (incremental != full)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -1356,9 +1481,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant", default="default")
     p.add_argument(
         "--op",
-        choices=["query", "ping", "stats", "catalog", "shutdown"],
+        choices=["query", "mutate", "ping", "stats", "catalog", "shutdown"],
         default="query",
         help="non-query ops need no graph/algorithm",
+    )
+    p.add_argument(
+        "--insert",
+        action="append",
+        metavar="SRC,DST[,W]",
+        help="mutate op: edge to insert (repeatable)",
+    )
+    p.add_argument(
+        "--remove",
+        action="append",
+        metavar="SRC,DST",
+        help="mutate op: edge to remove (repeatable)",
     )
     p.add_argument(
         "--connect-timeout",
@@ -1367,6 +1504,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket timeout for connecting and reading, seconds",
     )
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "stream",
+        help="replay a windowed edge stream with incremental queries",
+    )
+    p.add_argument("--scale", type=int, default=10, help="R-MAT scale (2^scale vertices)")
+    p.add_argument("--edge-factor", type=int, default=8)
+    p.add_argument(
+        "--base-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of edges in the initial snapshot",
+    )
+    p.add_argument(
+        "--delete-fraction",
+        type=float,
+        default=0.2,
+        help="deletions interleaved per insert",
+    )
+    p.add_argument("--window", type=int, default=1024, help="events per window")
+    p.add_argument(
+        "--windows", type=int, default=None, help="stop after this many windows"
+    )
+    p.add_argument(
+        "--algorithm",
+        action="append",
+        choices=["bfs", "sssp", "cc", "pagerank"],
+        help="queries to run each window (repeatable; default all)",
+    )
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument(
+        "--policy",
+        choices=["seq", "par", "par_vector"],
+        default="par_vector",
+    )
+    p.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the full-recompute baseline each window",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="verify incremental == full every window; exit 1 on mismatch",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(fn=cmd_stream)
 
     p = sub.add_parser("table1", help="print the capability matrix")
     p.set_defaults(fn=cmd_table1)
@@ -1425,6 +1610,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metamorphic",
         action="store_true",
         help="run only the metamorphic suite",
+    )
+    p.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="run only the dynamic (incremental==full) oracle",
     )
     p.add_argument(
         "--races",

@@ -1,0 +1,41 @@
+"""Dynamic graphs: delta-overlay mutation, incremental recompute, streams.
+
+The subsystem layers mutability on the repo's immutable CSR world in
+three pieces: :class:`DeltaOverlay` stages batched edge edits over a
+frozen base, :class:`DynamicGraph` turns that into an epoch-versioned
+graph whose merged snapshots run every static algorithm unmodified, and
+the ``incremental_*`` functions repair previous results from the set of
+affected vertices instead of recomputing from scratch.
+:mod:`repro.dynamic.stream` drives the whole stack over a timestamped
+edge stream in windows.
+"""
+
+from repro.dynamic.dynamic_graph import (
+    DynamicGraph,
+    MutationBatch,
+    dynamic_from_edges,
+)
+from repro.dynamic.incremental import (
+    incremental_bfs,
+    incremental_cc,
+    incremental_pagerank,
+    incremental_ppr,
+    incremental_sssp,
+)
+from repro.dynamic.overlay import DeltaOverlay
+from repro.dynamic.stream import EdgeStream, StreamDriver, StreamReport
+
+__all__ = [
+    "DeltaOverlay",
+    "DynamicGraph",
+    "MutationBatch",
+    "dynamic_from_edges",
+    "incremental_bfs",
+    "incremental_cc",
+    "incremental_pagerank",
+    "incremental_ppr",
+    "incremental_sssp",
+    "EdgeStream",
+    "StreamDriver",
+    "StreamReport",
+]

@@ -1,0 +1,526 @@
+"""A mutable graph: immutable CSR snapshot + delta overlay + epochs.
+
+:class:`DynamicGraph` is the dynamic-graph facade.  It quacks like
+:class:`~repro.graph.graph.Graph` — ``csr()``, ``csc()``, ``coo()``,
+``n_vertices``, the scalar adjacency API — so every algorithm in the
+repo runs unmodified on a mutated graph.  Internally it is three parts:
+
+* an immutable **base** :class:`Graph` snapshot (never touched);
+* a :class:`~repro.dynamic.overlay.DeltaOverlay` of staged mutations;
+* a per-epoch **merged snapshot cache**: the first structural read after
+  a mutation batch merges base+delta into a fresh ordinary ``Graph``
+  (one O(V + E) counting sort), and every subsequent read — push CSR,
+  pull CSC, COO, transpose — reuses it until the next mutation.
+
+Scalar adjacency queries (``get_neighbors``, ``has_edge``, degree,
+``iter_edges``) answer straight from base+delta without forcing the
+merge, so a mutate-heavy phase that only pokes at neighborhoods never
+pays snapshot cost.
+
+**Epochs**: every mutation batch bumps a monotonic ``epoch`` counter —
+the coherence token the service's result cache and the incremental
+algorithms key off.  **Compaction**: when the overlay grows past
+``compact_threshold`` × base edges, the merged snapshot is promoted to
+be the new base and the overlay reset (amortized O(1) per mutation).
+
+The mutation *log* records each batch (epoch, inserts, deletes with the
+weights they carried) so incremental recompute can ask "what changed
+since epoch e" (:meth:`mutations_since`) and repair from exactly the
+affected set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edge_array
+from repro.graph.coo import COOMatrix
+from repro.graph.csr import CSRMatrix
+from repro.graph.graph import Graph
+from repro.dynamic.overlay import DeltaOverlay
+from repro.observability.probe import active_probe
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+EdgeLike = Union[Tuple[int, int], Tuple[int, int, float], Sequence]
+
+
+@dataclass
+class MutationBatch:
+    """What changed between two epochs, as flat arrays.
+
+    ``removed_*`` carries the weight each arc had when it was removed —
+    incremental SSSP needs it to decide whether a deleted edge could
+    have supported a shortest path.
+    """
+
+    inserted_src: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE)
+    )
+    inserted_dst: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE)
+    )
+    inserted_w: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=WEIGHT_DTYPE)
+    )
+    removed_src: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE)
+    )
+    removed_dst: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE)
+    )
+    removed_w: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=WEIGHT_DTYPE)
+    )
+
+    @property
+    def n_inserted(self) -> int:
+        return int(self.inserted_src.shape[0])
+
+    @property
+    def n_removed(self) -> int:
+        return int(self.removed_src.shape[0])
+
+    @property
+    def size(self) -> int:
+        return self.n_inserted + self.n_removed
+
+    @staticmethod
+    def concat(batches: Sequence["MutationBatch"]) -> "MutationBatch":
+        """Fold several batches into one (in order)."""
+        if not batches:
+            return MutationBatch()
+        return MutationBatch(
+            inserted_src=np.concatenate([b.inserted_src for b in batches]),
+            inserted_dst=np.concatenate([b.inserted_dst for b in batches]),
+            inserted_w=np.concatenate([b.inserted_w for b in batches]),
+            removed_src=np.concatenate([b.removed_src for b in batches]),
+            removed_dst=np.concatenate([b.removed_dst for b in batches]),
+            removed_w=np.concatenate([b.removed_w for b in batches]),
+        )
+
+
+def _as_edge_triples(
+    edges: Sequence[EdgeLike], *, default_weight: float = 1.0
+) -> List[Tuple[int, int, float]]:
+    out = []
+    for edge in edges:
+        if len(edge) == 2:
+            s, d = edge
+            w = default_weight
+        elif len(edge) == 3:
+            s, d, w = edge
+        else:
+            raise GraphFormatError(
+                f"edges must be (src, dst) or (src, dst, weight); got "
+                f"length-{len(edge)} entry"
+            )
+        out.append((int(s), int(d), float(w)))
+    return out
+
+
+class DynamicGraph:
+    """A graph that accepts edge mutations and still serves every view.
+
+    Parameters
+    ----------
+    graph:
+        The initial snapshot.  Its CSR view is adopted as the immutable
+        base; the original object is never mutated.
+    compact_threshold:
+        Overlay size (staged inserts + tombstones) as a fraction of base
+        edges beyond which the next mutation triggers :meth:`compact`.
+        ``None`` disables auto-compaction.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        compact_threshold: Optional[float] = 0.25,
+    ) -> None:
+        if compact_threshold is not None and compact_threshold <= 0:
+            raise GraphFormatError(
+                f"compact_threshold must be positive or None, "
+                f"got {compact_threshold}"
+            )
+        self._base = graph
+        self._overlay = DeltaOverlay(graph.csr())
+        self.compact_threshold = compact_threshold
+        self.properties = graph.properties
+        self._epoch = 0
+        self._compactions = 0
+        self._log: List[Tuple[int, MutationBatch]] = []
+        #: (epoch, Graph) of the last merged snapshot, or None.
+        self._snapshot: Optional[Tuple[int, Graph]] = None
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; bumped once per mutation batch."""
+        return self._epoch
+
+    @property
+    def overlay(self) -> DeltaOverlay:
+        """The current delta overlay (read-only use, please)."""
+        return self._overlay
+
+    @property
+    def base_graph(self) -> Graph:
+        """The immutable base snapshot under the overlay."""
+        return self._base
+
+    @property
+    def compactions(self) -> int:
+        """How many times the overlay has been folded into the base."""
+        return self._compactions
+
+    @property
+    def n_vertices(self) -> int:
+        return self._base.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        """Live directed edge count (base − tombstones + inserts)."""
+        return self._overlay.live_edge_count()
+
+    def get_num_vertices(self) -> int:
+        """Graph-API alias for :attr:`n_vertices`."""
+        return self.n_vertices
+
+    def get_num_edges(self) -> int:
+        """Graph-API alias for :attr:`n_edges`."""
+        return self.n_edges
+
+    # -- mutation ----------------------------------------------------------------
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self.n_vertices):
+            raise GraphFormatError(
+                f"vertex {v} out of range for n_vertices={self.n_vertices}"
+            )
+
+    def _both_arcs(self, triples):
+        """Undirected graphs mutate both stored arc directions."""
+        if self.properties.directed:
+            return triples
+        out = list(triples)
+        for s, d, w in triples:
+            if s != d:
+                out.append((d, s, w))
+        return out
+
+    def insert_edges(self, edges: Sequence[EdgeLike]) -> MutationBatch:
+        """Stage a batch of edge insertions; one epoch bump for the batch.
+
+        Inserting an arc that is already live *updates its weight* (the
+        logical edge set has no parallel duplicates across base+delta);
+        on undirected graphs both arc directions are staged.  Returns
+        the :class:`MutationBatch` recorded in the log.
+        """
+        return self._apply(inserts=_as_edge_triples(edges), deletes=[])
+
+    def insert_edge(self, src: int, dst: int, weight: float = 1.0) -> MutationBatch:
+        """Stage one insertion (its own epoch)."""
+        return self.insert_edges([(src, dst, weight)])
+
+    def remove_edges(self, edges: Sequence[EdgeLike]) -> MutationBatch:
+        """Stage a batch of deletions; one epoch bump for the batch.
+
+        Removing an arc that does not exist (or was already removed)
+        raises :class:`GraphFormatError` and leaves the whole batch
+        unapplied — mutation batches are all-or-nothing.
+        """
+        return self._apply(
+            inserts=[], deletes=[(s, d) for s, d, _ in _as_edge_triples(edges)]
+        )
+
+    def remove_edge(self, src: int, dst: int) -> MutationBatch:
+        """Stage one deletion (its own epoch)."""
+        return self.remove_edges([(src, dst)])
+
+    def update_weight(self, src: int, dst: int, weight: float) -> MutationBatch:
+        """Replace the weight of a live edge (error if absent)."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        if not self.has_edge(src, dst):
+            raise GraphFormatError(
+                f"cannot update weight of edge ({src}, {dst}): "
+                f"no live edge exists"
+            )
+        return self.insert_edges([(src, dst, weight)])
+
+    def apply(
+        self,
+        *,
+        insert: Sequence[EdgeLike] = (),
+        remove: Sequence[EdgeLike] = (),
+    ) -> MutationBatch:
+        """Stage one mixed batch (removals first, then insertions)."""
+        return self._apply(
+            inserts=_as_edge_triples(insert),
+            deletes=[(s, d) for s, d, _ in _as_edge_triples(remove)],
+        )
+
+    def _apply(self, *, inserts, deletes) -> MutationBatch:
+        for s, d, _ in inserts:
+            self._check_vertex(s)
+            self._check_vertex(d)
+        for s, d in deletes:
+            self._check_vertex(s)
+            self._check_vertex(d)
+        inserts = self._both_arcs(inserts)
+        deletes = [
+            (s, d, 0.0) for s, d in deletes
+        ]
+        deletes = [(s, d) for s, d, _ in self._both_arcs(deletes)]
+        # Validate the whole batch against the current state before
+        # staging anything: deletes of missing edges must not leave a
+        # half-applied batch behind.
+        for s, d in deletes:
+            if not self.has_edge(s, d):
+                raise GraphFormatError(
+                    f"cannot remove edge ({s}, {d}): no live edge exists"
+                )
+        probe = active_probe()
+        with probe.span(
+            "dynamic:mutate",
+            n_insert=len(inserts),
+            n_remove=len(deletes),
+            epoch=self._epoch + 1,
+        ):
+            rs, rd, rw = [], [], []
+            seen = set()
+            for s, d in deletes:
+                if (s, d) in seen:
+                    raise GraphFormatError(
+                        f"edge ({s}, {d}) removed twice in one batch"
+                    )
+                seen.add((s, d))
+                rw.append(self._overlay.stage_delete(s, d))
+                rs.append(s)
+                rd.append(d)
+            is_, id_, iw = [], [], []
+            for s, d, w in inserts:
+                for old in self._overlay.stage_insert(s, d, w):
+                    # Weight update = logical remove + insert, and the
+                    # log must say so: incremental SSSP treats a weight
+                    # increase exactly like an edge deletion.
+                    rs.append(s)
+                    rd.append(d)
+                    rw.append(old)
+                is_.append(s)
+                id_.append(d)
+                iw.append(w)
+            batch = MutationBatch(
+                inserted_src=np.asarray(is_, dtype=VERTEX_DTYPE),
+                inserted_dst=np.asarray(id_, dtype=VERTEX_DTYPE),
+                inserted_w=np.asarray(iw, dtype=WEIGHT_DTYPE),
+                removed_src=np.asarray(rs, dtype=VERTEX_DTYPE),
+                removed_dst=np.asarray(rd, dtype=VERTEX_DTYPE),
+                removed_w=np.asarray(rw, dtype=WEIGHT_DTYPE),
+            )
+            self._epoch += 1
+            self._log.append((self._epoch, batch))
+            self._snapshot = None
+            probe.counter("dynamic.mutations", batch.size)
+            probe.gauge("dynamic.epoch", self._epoch)
+        self._maybe_compact()
+        return batch
+
+    # -- the mutation log --------------------------------------------------------
+
+    def mutations_since(self, epoch: int) -> MutationBatch:
+        """Every mutation applied after ``epoch``, folded into one batch."""
+        return MutationBatch.concat(
+            [b for e, b in self._log if e > epoch]
+        )
+
+    def log_length(self) -> int:
+        """Number of batches retained in the mutation log."""
+        return len(self._log)
+
+    def trim_log(self, *, keep_epochs_after: int) -> int:
+        """Drop log entries at or before the given epoch; returns dropped
+        count.  Long-running streams call this once consumers catch up —
+        the log otherwise grows without bound."""
+        before = len(self._log)
+        self._log = [(e, b) for e, b in self._log if e > keep_epochs_after]
+        return before - len(self._log)
+
+    # -- snapshots and compaction --------------------------------------------------
+
+    def graph(self) -> Graph:
+        """The merged base+delta snapshot as an ordinary :class:`Graph`.
+
+        Cached per epoch: the first call after a mutation pays one
+        O(V + E) merge; later calls (and every view derived from the
+        returned graph — CSC transpose included) are free.  With an
+        empty overlay the base graph itself is returned.
+        """
+        if self._overlay.size == 0:
+            return self._base
+        if self._snapshot is not None and self._snapshot[0] == self._epoch:
+            return self._snapshot[1]
+        probe = active_probe()
+        with probe.span(
+            "dynamic:snapshot",
+            epoch=self._epoch,
+            overlay=self._overlay.size,
+            n_edges=self.n_edges,
+        ):
+            rows, cols, vals = self._overlay.merged_coo_arrays()
+            n = self.n_vertices
+            coo = COOMatrix(n, n, rows, cols, vals)
+            ro, ci, merged_vals = coo.to_csr_arrays()
+            csr = CSRMatrix(n, n, ro, ci, merged_vals)
+            merged = Graph({"csr": csr}, self.properties)
+        self._snapshot = (self._epoch, merged)
+        return merged
+
+    # ``snapshot`` reads better at call sites that emphasize immutability.
+    snapshot = graph
+
+    def compact(self) -> Graph:
+        """Fold the overlay into a fresh immutable base; returns it.
+
+        The merged snapshot (built if absent) is *promoted*: it becomes
+        the new base, the overlay resets to empty, and the epoch is
+        unchanged — compaction is a representation change, not a
+        mutation.  The mutation log survives so incremental consumers
+        reading ``mutations_since`` are unaffected.
+        """
+        if self._overlay.size == 0:
+            return self._base
+        probe = active_probe()
+        with probe.span(
+            "dynamic:compact",
+            epoch=self._epoch,
+            overlay=self._overlay.size,
+            n_edges=self.n_edges,
+        ):
+            merged = self.graph()
+            self._base = merged
+            self._overlay = DeltaOverlay(merged.csr())
+            self._snapshot = None
+            self._compactions += 1
+            probe.counter("dynamic.compactions")
+        return merged
+
+    def _maybe_compact(self) -> None:
+        if self.compact_threshold is None:
+            return
+        base_edges = max(1, self._base.n_edges)
+        if self._overlay.size > self.compact_threshold * base_edges:
+            self.compact()
+
+    # -- Graph-facade delegation ---------------------------------------------------
+
+    def view(self, name: str):
+        """Named view of the merged snapshot (see :meth:`Graph.view`)."""
+        return self.graph().view(name)
+
+    def has_view(self, name: str) -> bool:
+        """Whether the merged snapshot can produce view ``name``."""
+        return self.graph().has_view(name)
+
+    def csr(self):
+        """Push-traversal CSR of the *merged* graph."""
+        return self.graph().csr()
+
+    def csc(self):
+        """Pull-traversal CSC (transpose) of the merged graph."""
+        return self.graph().csc()
+
+    def coo(self):
+        """Edge-list COO of the merged graph."""
+        return self.graph().coo()
+
+    def reverse(self) -> Graph:
+        """The merged graph with every arc flipped."""
+        return self.graph().reverse()
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-vertex out-degrees of the merged graph."""
+        return self.graph().out_degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        """Per-vertex in-degrees of the merged graph."""
+        return self.graph().in_degrees()
+
+    def memory_footprint(self):
+        """Byte accounting of the merged snapshot's views."""
+        return self.graph().memory_footprint()
+
+    # -- overlay-direct scalar adjacency (no merge forced) -------------------------
+
+    def get_num_neighbors(self, v: int) -> int:
+        """Live out-degree of ``v`` straight off the overlay (no merge)."""
+        self._check_vertex(v)
+        return int(self._overlay.neighbors_of(v)[0].shape[0])
+
+    def get_neighbors(self, v: int) -> np.ndarray:
+        """Live out-neighbors of ``v`` straight off the overlay."""
+        self._check_vertex(v)
+        return self._overlay.neighbors_of(v)[0]
+
+    def get_neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with :meth:`get_neighbors`."""
+        self._check_vertex(v)
+        return self._overlay.neighbors_of(v)[1]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether arc ``(u, v)`` is live in base+delta."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if self._overlay.staged_weight(u, v) is not None:
+            return True
+        return self._overlay.find_live_base_edge(u, v) >= 0
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the live edge ``(u, v)`` (error if absent)."""
+        staged = self._overlay.staged_weight(u, v)
+        if staged is not None:
+            return float(staged)
+        e = self._overlay.find_live_base_edge(u, v)
+        if e < 0:
+            raise GraphFormatError(f"no live edge ({u}, {v})")
+        return float(self._overlay.base.values[e])
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(src, dst, weight)`` over live edges, overlay-merged."""
+        return self._overlay.iter_live_edges()
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}, epoch={self._epoch}, "
+            f"overlay={self._overlay.size}, "
+            f"compactions={self._compactions})"
+        )
+
+
+def dynamic_from_edges(
+    sources,
+    destinations,
+    weights=None,
+    *,
+    n_vertices: Optional[int] = None,
+    directed: bool = True,
+    compact_threshold: Optional[float] = 0.25,
+) -> DynamicGraph:
+    """Convenience: build a :class:`DynamicGraph` straight from edge arrays."""
+    return DynamicGraph(
+        from_edge_array(
+            sources,
+            destinations,
+            weights,
+            n_vertices=n_vertices,
+            directed=directed,
+        ),
+        compact_threshold=compact_threshold,
+    )

@@ -1,0 +1,276 @@
+"""The delta overlay: batched mutations staged on top of an immutable CSR.
+
+The GraphX lesson (Xin et al.) is that analytics stay cheap under change
+when the *base* structure never mutates: edits accumulate in a small
+side structure (here: an insert log plus a tombstone set over base edge
+ids), reads see base+delta merged, and a periodic *compaction* folds the
+delta back into a fresh immutable snapshot.  The overlay is deliberately
+dumb — no per-vertex trees, just flat arrays — because every consumer
+that needs speed (the operators) reads the merged CSR snapshot, and the
+overlay only has to make mutation O(batch) and scalar adjacency queries
+O(degree).
+
+Invariants (audited by :func:`repro.graph.validate.validate_overlay`):
+
+* tombstones reference *base* edge ids only, each at most once —
+  deleting a delta-inserted edge removes it from the insert log instead;
+* an inserted edge never duplicates a live edge: inserting an existing
+  ``(src, dst)`` arc is a *weight update* (the base arc is tombstoned or
+  the staged insert rewritten);
+* every staged endpoint is a valid vertex id and every weight finite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRMatrix
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+
+class DeltaOverlay:
+    """Staged edge mutations against one base :class:`CSRMatrix`.
+
+    The overlay holds directed *arcs*; undirected-graph symmetry is the
+    caller's concern (:class:`~repro.dynamic.dynamic_graph.DynamicGraph`
+    stages both arc directions).
+    """
+
+    __slots__ = (
+        "base",
+        "_add_src",
+        "_add_dst",
+        "_add_w",
+        "_add_index",
+        "_dead",
+        "_dead_count",
+    )
+
+    def __init__(self, base: CSRMatrix) -> None:
+        self.base = base
+        self._add_src: List[int] = []
+        self._add_dst: List[int] = []
+        self._add_w: List[float] = []
+        #: (src, dst) -> position in the insert log, for O(1) weight
+        #: updates and duplicate-insert detection.
+        self._add_index: Dict[Tuple[int, int], int] = {}
+        #: Tombstone flags over base edge ids (lazy; None until the
+        #: first delete so a pure-insert overlay costs no O(E) array).
+        self._dead = None
+        self._dead_count = 0
+
+    # -- size accounting ---------------------------------------------------------
+
+    @property
+    def n_inserted(self) -> int:
+        """Number of staged (live) inserted arcs."""
+        return len(self._add_src)
+
+    @property
+    def n_deleted(self) -> int:
+        """Number of tombstoned base arcs."""
+        return self._dead_count
+
+    @property
+    def size(self) -> int:
+        """Total staged mutations — the compaction-trigger measure."""
+        return self.n_inserted + self.n_deleted
+
+    def live_edge_count(self) -> int:
+        """Edges visible through the overlay (base − dead + inserted)."""
+        return self.base.get_num_edges() - self._dead_count + self.n_inserted
+
+    # -- membership --------------------------------------------------------------
+
+    def _dead_flags(self) -> np.ndarray:
+        if self._dead is None:
+            self._dead = np.zeros(self.base.get_num_edges(), dtype=bool)
+        return self._dead
+
+    def is_dead(self, edge_id: int) -> bool:
+        """Whether base edge ``edge_id`` is tombstoned."""
+        return self._dead is not None and bool(self._dead[edge_id])
+
+    def find_live_base_edge(self, src: int, dst: int) -> int:
+        """The id of a live (un-tombstoned) base arc ``(src, dst)``, or -1.
+
+        When the base stores parallel arcs, the first live one wins —
+        mutation semantics treat ``(src, dst)`` as a single logical edge.
+        """
+        base = self.base
+        start, stop = int(base.row_offsets[src]), int(base.row_offsets[src + 1])
+        cols = base.column_indices[start:stop]
+        for k in np.nonzero(cols == dst)[0]:
+            e = start + int(k)
+            if not self.is_dead(e):
+                return e
+        return -1
+
+    def _live_base_edges(self, src: int, dst: int) -> List[int]:
+        """Every live base arc id for ``(src, dst)`` (multigraph bases)."""
+        base = self.base
+        start, stop = int(base.row_offsets[src]), int(base.row_offsets[src + 1])
+        cols = base.column_indices[start:stop]
+        return [
+            start + int(k)
+            for k in np.nonzero(cols == dst)[0]
+            if not self.is_dead(start + int(k))
+        ]
+
+    def staged_weight(self, src: int, dst: int):
+        """Weight of a staged insert for ``(src, dst)``, or None."""
+        pos = self._add_index.get((src, dst))
+        return None if pos is None else self._add_w[pos]
+
+    # -- mutation primitives -----------------------------------------------------
+
+    def stage_insert(self, src: int, dst: int, weight: float) -> List[float]:
+        """Stage arc ``(src, dst)`` with ``weight``.
+
+        Returns the weights the arc carried before when this turned out
+        to be a *weight update* (the arc was already live — staged or
+        base; base via tombstone + re-insert), else an empty list for a
+        brand-new insert.  Multigraph bases may report several replaced
+        weights: every live parallel arc is tombstoned so the merged
+        edge set never holds a duplicate of a staged insert.
+        """
+        if not np.isfinite(weight):
+            raise GraphFormatError(
+                f"edge ({src}, {dst}) weight must be finite, got {weight!r}"
+            )
+        pos = self._add_index.get((src, dst))
+        if pos is not None:
+            old = self._add_w[pos]
+            self._add_w[pos] = float(weight)
+            return [float(old)]
+        replaced = []
+        for e in self._live_base_edges(src, dst):
+            replaced.append(float(self.base.values[e]))
+            self._dead_flags()[e] = True
+            self._dead_count += 1
+        self._add_index[(src, dst)] = len(self._add_src)
+        self._add_src.append(int(src))
+        self._add_dst.append(int(dst))
+        self._add_w.append(float(weight))
+        return replaced
+
+    def stage_delete(self, src: int, dst: int) -> float:
+        """Tombstone the live arc ``(src, dst)``; returns its weight.
+
+        Raises :class:`GraphFormatError` when no live arc exists — a
+        delete of nothing is a caller bug, not a no-op.
+        """
+        pos = self._add_index.get((src, dst))
+        if pos is not None:
+            # Deleting a staged insert un-stages it (swap-remove keeps
+            # the log dense; the index of the moved tail entry is fixed).
+            weight = self._add_w[pos]
+            last = len(self._add_src) - 1
+            if pos != last:
+                self._add_src[pos] = self._add_src[last]
+                self._add_dst[pos] = self._add_dst[last]
+                self._add_w[pos] = self._add_w[last]
+                self._add_index[
+                    (self._add_src[pos], self._add_dst[pos])
+                ] = pos
+            self._add_src.pop()
+            self._add_dst.pop()
+            self._add_w.pop()
+            del self._add_index[(src, dst)]
+            return float(weight)
+        base_edge = self.find_live_base_edge(src, dst)
+        if base_edge < 0:
+            raise GraphFormatError(
+                f"cannot remove edge ({src}, {dst}): no live edge exists"
+            )
+        self._dead_flags()[base_edge] = True
+        self._dead_count += 1
+        return float(self.base.values[base_edge])
+
+    # -- merged reads ------------------------------------------------------------
+
+    def inserted_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The staged inserts as ``(src, dst, weight)`` arrays."""
+        return (
+            np.asarray(self._add_src, dtype=VERTEX_DTYPE),
+            np.asarray(self._add_dst, dtype=VERTEX_DTYPE),
+            np.asarray(self._add_w, dtype=WEIGHT_DTYPE),
+        )
+
+    def live_mask(self) -> np.ndarray:
+        """Boolean mask over base edge ids: True where not tombstoned."""
+        if self._dead is None:
+            return np.ones(self.base.get_num_edges(), dtype=bool)
+        return ~self._dead
+
+    def dead_edge_ids(self) -> np.ndarray:
+        """Tombstoned base edge ids (sorted)."""
+        if self._dead is None:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(self._dead)[0]
+
+    def neighbors_of(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Live out-neighbors and weights of ``v`` through the overlay.
+
+        Base-order survivors first, then staged inserts in log order —
+        O(degree + inserts(v)) with no global merge.
+        """
+        base = self.base
+        start, stop = int(base.row_offsets[v]), int(base.row_offsets[v + 1])
+        nbrs = base.column_indices[start:stop]
+        wts = base.values[start:stop]
+        if self._dead is not None:
+            alive = ~self._dead[start:stop]
+            if not alive.all():
+                nbrs = nbrs[alive]
+                wts = wts[alive]
+        if self._add_src:
+            add_src, add_dst, add_w = self.inserted_arrays()
+            mine = add_src == v
+            if mine.any():
+                nbrs = np.concatenate([nbrs, add_dst[mine]])
+                wts = np.concatenate([wts, add_w[mine]])
+        return nbrs.astype(VERTEX_DTYPE, copy=False), wts.astype(
+            WEIGHT_DTYPE, copy=False
+        )
+
+    def iter_live_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(src, dst, weight)`` for every live edge (base order
+        per vertex, then that vertex's staged inserts)."""
+        for v in range(self.base.get_num_vertices()):
+            nbrs, wts = self.neighbors_of(v)
+            for dst, w in zip(nbrs, wts):
+                yield v, int(dst), float(w)
+
+    def merged_coo_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The full live edge set as parallel COO arrays.
+
+        Base survivors keep CSR order (sources non-decreasing); inserts
+        append in log order.  The counting sort in
+        :meth:`COOMatrix.to_csr_arrays` is stable, so a CSR built from
+        these arrays lists each vertex's surviving base edges before its
+        inserted ones — the property the round-trip tests pin down.
+        """
+        base = self.base
+        keep = self.live_mask()
+        degrees = np.diff(base.row_offsets)
+        all_src = np.repeat(
+            np.arange(base.get_num_vertices(), dtype=VERTEX_DTYPE), degrees
+        )
+        add_src, add_dst, add_w = self.inserted_arrays()
+        return (
+            np.concatenate([all_src[keep], add_src]),
+            np.concatenate([base.column_indices[keep], add_dst]),
+            np.concatenate([base.values[keep], add_w]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaOverlay(base_edges={self.base.get_num_edges()}, "
+            f"inserted={self.n_inserted}, deleted={self.n_deleted})"
+        )

@@ -25,9 +25,10 @@ from repro.graph.builder import (
     from_csr_arrays,
     from_scipy_sparse,
     from_networkx,
+    without_edges,
 )
 from repro.graph.transpose import transpose_csr
-from repro.graph.validate import validate_csr, validate_graph
+from repro.graph.validate import validate_csr, validate_graph, validate_overlay
 
 __all__ = [
     "GraphProperties",
@@ -45,4 +46,6 @@ __all__ = [
     "transpose_csr",
     "validate_csr",
     "validate_graph",
+    "validate_overlay",
+    "without_edges",
 ]

@@ -54,6 +54,59 @@ class AdjacencyList:
         if u != v:
             self.add_edge(v, u, weight)
 
+    def remove_edge(self, src: int, dst: int) -> float:
+        """Remove one directed edge ``(src, dst)``; returns its weight.
+
+        With parallel edges the first (earliest-inserted) one goes.
+        Removing an edge that does not exist raises
+        :class:`GraphFormatError` — silently ignoring it would let
+        builder bugs pass as empty mutations.
+        """
+        if not (0 <= src < self.n_vertices and 0 <= dst < self.n_vertices):
+            raise GraphFormatError(
+                f"edge ({src}, {dst}) out of range for n_vertices={self.n_vertices}"
+            )
+        try:
+            pos = self._neighbors[src].index(int(dst))
+        except ValueError:
+            raise GraphFormatError(
+                f"cannot remove edge ({src}, {dst}): no such edge"
+            ) from None
+        del self._neighbors[src][pos]
+        return float(self._weights[src].pop(pos))
+
+    def remove_edges(self, edges: Iterable[Tuple[int, int]]) -> List[float]:
+        """Remove many ``(src, dst)`` pairs, in order; returns weights.
+
+        Validates the whole batch up front (against the pre-removal
+        state plus multiplicity within the batch) so a missing edge
+        fails the call before anything is mutated.
+        """
+        pairs = [(int(s), int(d)) for s, d in edges]
+        need: dict = {}
+        for s, d in pairs:
+            need[(s, d)] = need.get((s, d), 0) + 1
+        for (s, d), count in need.items():
+            if not (0 <= s < self.n_vertices and 0 <= d < self.n_vertices):
+                raise GraphFormatError(
+                    f"edge ({s}, {d}) out of range for "
+                    f"n_vertices={self.n_vertices}"
+                )
+            present = self._neighbors[s].count(d)
+            if present < count:
+                raise GraphFormatError(
+                    f"cannot remove edge ({s}, {d}) x{count}: "
+                    f"only {present} present"
+                )
+        return [self.remove_edge(s, d) for s, d in pairs]
+
+    def remove_undirected_edge(self, u: int, v: int) -> float:
+        """Remove both arc directions of an undirected edge."""
+        weight = self.remove_edge(u, v)
+        if u != v:
+            self.remove_edge(v, u)
+        return weight
+
     # -- native-graph API ---------------------------------------------------------
 
     def get_num_vertices(self) -> int:

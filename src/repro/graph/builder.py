@@ -106,6 +106,41 @@ def from_edge_array(
     )
 
 
+def without_edges(
+    graph: Graph, edges: Iterable[Sequence]
+) -> Graph:
+    """A new graph with the listed ``(src, dst)`` edges removed.
+
+    The immutable-world counterpart of
+    :meth:`~repro.dynamic.dynamic_graph.DynamicGraph.remove_edges`: a
+    full rebuild, O(V + E), for callers that want a one-shot derived
+    graph rather than a mutation stream.  All arcs matching a listed
+    pair are dropped (both directions on undirected graphs); removing a
+    pair with no matching edge raises :class:`GraphFormatError`.
+    """
+    coo = graph.coo()
+    props = graph.properties
+    keep = np.ones(coo.rows.shape[0], dtype=bool)
+    for edge in edges:
+        s, d = int(edge[0]), int(edge[1])
+        hit = (coo.rows == s) & (coo.cols == d)
+        if not props.directed:
+            hit |= (coo.rows == d) & (coo.cols == s)
+        hit &= keep
+        if not hit.any():
+            raise GraphFormatError(
+                f"cannot remove edge ({s}, {d}): no such edge"
+            )
+        keep &= ~hit
+    return from_edge_array(
+        coo.rows[keep],
+        coo.cols[keep],
+        coo.vals[keep] if props.weighted else None,
+        n_vertices=graph.n_vertices,
+        directed=props.directed,
+    )
+
+
 def as_undirected_simple(graph: Graph) -> Graph:
     """The simple undirected view of a graph: symmetrized, self-loop-free,
     deduplicated (parallel edges combined by min weight).

@@ -104,3 +104,71 @@ def validate_graph(graph) -> None:
             and np.allclose(csr.values[order_r], csc.values[order_c])
         ):
             raise GraphFormatError("CSC view is not the transpose of the CSR view")
+
+
+def validate_overlay(overlay) -> None:
+    """Audit a :class:`~repro.dynamic.overlay.DeltaOverlay`'s invariants.
+
+    Checks, in O(base + delta):
+
+    * tombstone flags cover exactly the base edge-id range, none counted
+      twice (``_dead_count`` agrees with the mask);
+    * every staged insert endpoint is a valid vertex id, every staged
+      weight finite;
+    * the staged-insert index is coherent (one log slot per arc, every
+      slot indexed);
+    * **no duplicate live arc across base+delta**: a staged insert whose
+      ``(src, dst)`` also exists as a live (un-tombstoned) base arc
+      would make the merged CSR a multigraph the mutation API promised
+      not to create.
+    """
+    base = overlay.base
+    n = base.get_num_vertices()
+    m = base.get_num_edges()
+    dead = overlay.dead_edge_ids()
+    if dead.size:
+        if int(dead.min()) < 0 or int(dead.max()) >= m:
+            raise GraphFormatError(
+                f"tombstones must reference base edge ids in [0, {m}); "
+                f"found range [{int(dead.min())}, {int(dead.max())}]"
+            )
+    if int(dead.size) != overlay.n_deleted:
+        raise GraphFormatError(
+            f"tombstone count disagrees: mask has {int(dead.size)}, "
+            f"counter says {overlay.n_deleted}"
+        )
+    add_src, add_dst, add_w = overlay.inserted_arrays()
+    if not (len(add_src) == len(add_dst) == len(add_w)):
+        raise GraphFormatError("staged-insert arrays disagree on length")
+    if add_src.size:
+        lo = min(int(add_src.min()), int(add_dst.min()))
+        hi = max(int(add_src.max()), int(add_dst.max()))
+        if lo < 0 or hi >= n:
+            raise GraphFormatError(
+                f"staged inserts must reference vertices in [0, {n}); "
+                f"found range [{lo}, {hi}]"
+            )
+        if not np.all(np.isfinite(add_w)):
+            raise GraphFormatError("staged insert weights must be finite")
+    index = overlay._add_index
+    if len(index) != add_src.shape[0]:
+        raise GraphFormatError(
+            f"staged-insert index has {len(index)} entries for "
+            f"{add_src.shape[0]} log slots (duplicate staged arc?)"
+        )
+    for (s, d), pos in index.items():
+        if not (0 <= pos < add_src.shape[0]) or (
+            int(add_src[pos]) != s or int(add_dst[pos]) != d
+        ):
+            raise GraphFormatError(
+                f"staged-insert index entry ({s}, {d}) -> {pos} does not "
+                f"match the log"
+            )
+    # No staged insert may duplicate a live base arc.
+    for i in range(add_src.shape[0]):
+        s, d = int(add_src[i]), int(add_dst[i])
+        if overlay.find_live_base_edge(s, d) >= 0:
+            raise GraphFormatError(
+                f"staged insert ({s}, {d}) duplicates a live base edge — "
+                f"inserting an existing arc must tombstone or rewrite it"
+            )

@@ -13,6 +13,14 @@ read paths:
 
 Only *complete* results are cached — a partial (deadline-clipped)
 PageRank must never be served later as if it were the fixed point.
+
+Entries also carry the **graph epoch** they were computed at.  When the
+graph has since been mutated (``mutate`` op bumped the catalog epoch),
+a fresh-path hit at the old epoch is a *miss* — time-based freshness
+cannot vouch for a result computed on a graph that no longer exists.
+The degraded path (:meth:`get_stale`) still serves old-epoch entries:
+it is only consulted when correctness-of-freshness is already forfeit,
+and the response says so.
 """
 
 from __future__ import annotations
@@ -49,31 +57,47 @@ class ResultCache:
         self.ttl_s = ttl_s
         self._clock = clock
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[str, Tuple[float, Dict[str, Any]]]" = (
+        self._entries: "OrderedDict[str, Tuple[float, int, Dict[str, Any]]]" = (
             OrderedDict()
         )
         self._hits = 0
         self._misses = 0
         self._stale_served = 0
+        self._epoch_misses = 0
+        self._invalidated = 0
 
-    def put(self, key: str, result: Dict[str, Any]) -> None:
-        """Store a complete result (evicting LRU past capacity)."""
+    def put(self, key: str, result: Dict[str, Any], *, epoch: int = 0) -> None:
+        """Store a complete result computed at graph ``epoch`` (evicting
+        LRU past capacity)."""
         with self._lock:
             self._entries.pop(key, None)
-            self._entries[key] = (self._clock(), result)
+            self._entries[key] = (self._clock(), int(epoch), result)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
-    def get_fresh(self, key: str) -> Optional[Dict[str, Any]]:
-        """The result if present and within TTL, else None."""
+    def get_fresh(
+        self, key: str, *, epoch: int = 0
+    ) -> Optional[Dict[str, Any]]:
+        """The result if present, within TTL, *and* computed at the
+        current graph ``epoch``; else None.
+
+        An entry from an older epoch is dropped on sight — it describes
+        a graph that no longer exists, so even the degraded path should
+        not resurrect it for this key once the mutation is known.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None or self._clock() - entry[0] > self.ttl_s:
                 self._misses += 1
                 return None
+            if entry[1] != int(epoch):
+                del self._entries[key]
+                self._misses += 1
+                self._epoch_misses += 1
+                return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return entry[1]
+            return entry[2]
 
     def get_stale(self, key: str) -> Optional[Tuple[Dict[str, Any], float]]:
         """Any cached result regardless of age, with its age in seconds.
@@ -87,7 +111,23 @@ class ResultCache:
             if entry is None:
                 return None
             self._stale_served += 1
-            return entry[1], self._clock() - entry[0]
+            return entry[2], self._clock() - entry[0]
+
+    def invalidate_graph(self, graph: str) -> int:
+        """Drop every entry for ``graph``; returns how many went.
+
+        The ``mutate`` op calls this so no key ever serves a result
+        from before the mutation — epoch tags already make such hits
+        misses, but eager eviction keeps the stale-degraded path from
+        time-traveling too far and frees capacity.
+        """
+        prefix = f"{graph}\x1f"
+        with self._lock:
+            doomed = [k for k in self._entries if k.startswith(prefix)]
+            for k in doomed:
+                del self._entries[k]
+            self._invalidated += len(doomed)
+            return len(doomed)
 
     def __len__(self) -> int:
         with self._lock:
@@ -101,4 +141,6 @@ class ResultCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "stale_served": self._stale_served,
+                "epoch_misses": self._epoch_misses,
+                "invalidated": self._invalidated,
             }

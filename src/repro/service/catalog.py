@@ -116,6 +116,9 @@ class GraphCatalog:
         self._lock = threading.Lock()
         self._graphs: Dict[str, Graph] = {}
         self._specs: Dict[str, Dict[str, Any]] = {}
+        #: Lazily-created DynamicGraph wrappers for entries that have
+        #: been mutated; absent = still the pristine loaded snapshot.
+        self._dynamic: Dict[str, "DynamicGraph"] = {}
 
     # -- building ----------------------------------------------------------------------
 
@@ -128,6 +131,7 @@ class GraphCatalog:
         with self._lock:
             self._graphs[name] = graph
             self._specs[name] = {k: v for k, v in spec.items() if k != "name"}
+            self._dynamic.pop(name, None)  # re-adding resets mutations
         self._save_manifest()
         return graph
 
@@ -170,14 +174,61 @@ class GraphCatalog:
     # -- serving -----------------------------------------------------------------------
 
     def get(self, name: str) -> Graph:
-        """The loaded graph, or :class:`CatalogError` naming what exists."""
+        """The loaded graph (mutated entries serve their current merged
+        snapshot), or :class:`CatalogError` naming what exists."""
         with self._lock:
+            dynamic = self._dynamic.get(name)
             graph = self._graphs.get(name)
+        if dynamic is not None:
+            return dynamic.graph()
         if graph is None:
             raise CatalogError(
                 f"unknown graph {name!r}; catalog has {sorted(self.names())}"
             )
         return graph
+
+    def epoch_of(self, name: str) -> int:
+        """The entry's mutation epoch (0 while never mutated).
+
+        The coherence token the result cache stores alongside each
+        entry: a cached result computed at epoch e is stale the moment
+        the graph reaches epoch e+1.
+        """
+        with self._lock:
+            dynamic = self._dynamic.get(name)
+        return 0 if dynamic is None else dynamic.epoch
+
+    def mutate(self, name: str, *, insert=(), remove=()):
+        """Apply one mutation batch to a catalog entry.
+
+        The entry is wrapped in a
+        :class:`~repro.dynamic.dynamic_graph.DynamicGraph` on first
+        mutation (the pristine snapshot becomes its immutable base) and
+        stays wrapped — subsequent :meth:`get` calls serve the merged
+        snapshot, and :meth:`epoch_of` reports its epoch.  Mutations
+        live in memory only: a restart restores the manifest's original
+        spec, not the mutation history.
+
+        Returns ``(epoch, batch)``.  Raises :class:`CatalogError` for
+        unknown names; invalid batches (removing a non-existent edge)
+        raise :class:`~repro.errors.GraphFormatError` with the entry
+        unchanged.
+        """
+        from repro.dynamic import DynamicGraph
+
+        with self._lock:
+            graph = self._graphs.get(name)
+            if graph is None:
+                raise CatalogError(
+                    f"unknown graph {name!r}; catalog has "
+                    f"{sorted(self._graphs)}"
+                )
+            dynamic = self._dynamic.get(name)
+            if dynamic is None:
+                dynamic = DynamicGraph(graph)
+                self._dynamic[name] = dynamic
+        batch = dynamic.apply(insert=insert, remove=remove)
+        return dynamic.epoch, batch
 
     def names(self) -> List[str]:
         """Catalog entry names, insertion-ordered."""
@@ -197,11 +248,15 @@ class GraphCatalog:
         with self._lock:
             items = list(self._graphs.items())
             specs = dict(self._specs)
-        return {
-            name: {
-                "n_vertices": g.n_vertices,
-                "n_edges": g.n_edges,
+            dynamic = dict(self._dynamic)
+        out = {}
+        for name, g in items:
+            dg = dynamic.get(name)
+            entry = {
+                "n_vertices": g.n_vertices if dg is None else dg.n_vertices,
+                "n_edges": g.n_edges if dg is None else dg.n_edges,
+                "epoch": 0 if dg is None else dg.epoch,
                 "spec": specs.get(name, {}),
             }
-            for name, g in items
-        }
+            out[name] = entry
+        return out

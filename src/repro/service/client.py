@@ -84,6 +84,28 @@ class ServiceClient:
             req["timeout_s"] = timeout_s
         return self.request(req)
 
+    def mutate(
+        self,
+        graph: str,
+        *,
+        insert: Optional[list] = None,
+        remove: Optional[list] = None,
+        tenant: str = "default",
+    ) -> Dict[str, Any]:
+        """Apply one mutation batch to a served graph.
+
+        ``insert`` takes ``[src, dst]`` or ``[src, dst, weight]``
+        triples, ``remove`` takes ``[src, dst]`` pairs.  Returns the
+        full response dict; a 200 carries the graph's new epoch and how
+        many cache entries were invalidated.
+        """
+        req: Dict[str, Any] = {"op": "mutate", "graph": graph, "tenant": tenant}
+        if insert:
+            req["insert"] = [list(edge) for edge in insert]
+        if remove:
+            req["remove"] = [list(edge) for edge in remove]
+        return self.request(req)
+
     def ping(self) -> bool:
         """Liveness check: true when the server answers 200."""
         return self.request({"op": "ping"}).get("code") == protocol.OK

@@ -30,7 +30,7 @@ PROTOCOL = "repro-query/v1"
 MAX_FRAME_BYTES = 1 << 20
 
 #: Operations a request may carry.
-OPS = ("query", "ping", "stats", "catalog", "shutdown")
+OPS = ("query", "mutate", "ping", "stats", "catalog", "shutdown")
 
 #: Algorithms the query op accepts.
 ALGORITHMS = ("pagerank", "ppr", "bfs", "sssp", "cc")
@@ -70,6 +70,33 @@ def decode(line: bytes) -> Dict[str, Any]:
     return obj
 
 
+def _validate_edges(edges: Any, field: str, *, weighted: bool) -> list:
+    """Normalize a mutate edge list: ``[src, dst]`` or ``[src, dst, w]``."""
+    if edges is None:
+        return []
+    if not isinstance(edges, list):
+        raise ProtocolError(f"'{field}' must be a list of edges")
+    out = []
+    max_arity = 3 if weighted else 2
+    for i, edge in enumerate(edges):
+        if not isinstance(edge, (list, tuple)) or not (
+            2 <= len(edge) <= max_arity
+        ):
+            raise ProtocolError(
+                f"'{field}'[{i}] must be [src, dst"
+                + (", weight?]" if weighted else "]")
+            )
+        try:
+            src, dst = int(edge[0]), int(edge[1])
+            weight = float(edge[2]) if len(edge) == 3 else 1.0
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"'{field}'[{i}] has non-numeric entries: {edge!r}"
+            ) from None
+        out.append((src, dst, weight) if weighted else (src, dst))
+    return out
+
+
 def validate_request(req: Dict[str, Any]) -> Dict[str, Any]:
     """Normalize and validate one request; raises :class:`ProtocolError`.
 
@@ -84,6 +111,17 @@ def validate_request(req: Dict[str, Any]) -> Dict[str, Any]:
     out["op"] = op
     out.setdefault("id", None)
     out["tenant"] = str(req.get("tenant") or "default")
+    if op == "mutate":
+        graph = req.get("graph")
+        if not isinstance(graph, str) or not graph:
+            raise ProtocolError("mutate needs a 'graph' name (string)")
+        out["insert"] = _validate_edges(req.get("insert"), "insert", weighted=True)
+        out["remove"] = _validate_edges(req.get("remove"), "remove", weighted=False)
+        if not out["insert"] and not out["remove"]:
+            raise ProtocolError(
+                "mutate needs a non-empty 'insert' or 'remove' list"
+            )
+        return out
     if op != "query":
         return out
     graph = req.get("graph")

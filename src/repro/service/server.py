@@ -11,7 +11,8 @@ The pipeline for one query, in order:
    malformed requests cost nothing downstream (400).
 2. **Catalog lookup** — unknown graph is 404, before any slot is held.
 3. **Fresh cache** — a hit answers immediately; no admission, no
-   journal, no breaker traffic.
+   journal, no breaker traffic.  Hits are epoch-checked: a ``mutate``
+   op bumps the graph's epoch, so pre-mutation entries are misses.
 4. **Circuit breaker** — open means the (graph, algorithm) pair has
    been failing; serve the stale cache entry if one exists (200 with
    ``stale: true``), else 503.
@@ -46,6 +47,7 @@ from repro.errors import (
     AdmissionRejected,
     CancellationError,
     CatalogError,
+    GraphFormatError,
     ProtocolError,
 )
 from repro.resilience.deadline import CancelToken
@@ -198,7 +200,46 @@ class QueryService:
             return protocol.response(
                 req, protocol.OK, result={"cancelled_in_flight": cancelled}
             )
+        if op == "mutate":
+            return self._handle_mutate(req)
         return self._handle_query(req)
+
+    def _handle_mutate(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one mutation batch: bump the epoch, evict its cache.
+
+        The order matters — the catalog mutation (and its epoch bump)
+        lands before the cache sweep, so a concurrent query either sees
+        the old epoch (its cached answer survives until the sweep, then
+        epoch-misses forever) or the new one (its key is already gone).
+        Either way no response ever pairs the new epoch with an old
+        result.
+        """
+        graph_name = req["graph"]
+        try:
+            epoch, batch = self.catalog.mutate(
+                graph_name, insert=req["insert"], remove=req["remove"]
+            )
+        except CatalogError as exc:
+            self._count(protocol.UNKNOWN_GRAPH)
+            return protocol.response(
+                req, protocol.UNKNOWN_GRAPH, error=str(exc)
+            )
+        except GraphFormatError as exc:
+            self._count(protocol.BAD_REQUEST)
+            return protocol.response(req, protocol.BAD_REQUEST, error=str(exc))
+        invalidated = self.cache.invalidate_graph(graph_name)
+        self._count(protocol.OK)
+        return protocol.response(
+            req,
+            protocol.OK,
+            result={
+                "graph": graph_name,
+                "epoch": epoch,
+                "inserted": batch.n_inserted,
+                "removed": batch.n_removed,
+                "cache_invalidated": invalidated,
+            },
+        )
 
     def _handle_query(self, req: Dict[str, Any]) -> Dict[str, Any]:
         t0 = time.monotonic()
@@ -217,8 +258,9 @@ class QueryService:
         except CatalogError as exc:
             return done(protocol.UNKNOWN_GRAPH, error=str(exc))
 
+        epoch = self.catalog.epoch_of(graph_name)
         key = cache_key(graph_name, algorithm, params)
-        fresh = self.cache.get_fresh(key)
+        fresh = self.cache.get_fresh(key, epoch=epoch)
         if fresh is not None:
             return done(protocol.OK, result=fresh, cached=True)
 
@@ -305,7 +347,7 @@ class QueryService:
         if code != protocol.BAD_REQUEST:
             breaker.record(code in (protocol.OK, protocol.PARTIAL))
         if code == protocol.OK and result is not None:
-            self.cache.put(key, result)
+            self.cache.put(key, result, epoch=epoch)
         self._ledger_record(algorithm, graph_name, tenant, code, seconds)
         if code == protocol.INTERNAL:
             # Stale-while-error: a failed execution with history still

@@ -28,6 +28,12 @@ from repro.verify.comparators import (
     partition_isomorphic,
     sssp_path_tree_valid,
 )
+from repro.verify.dynamic_oracle import (
+    DYNAMIC_POLICIES,
+    DynamicFailure,
+    DynamicReport,
+    run_dynamic,
+)
 from repro.verify.graph_pool import GraphCase, GraphPool
 from repro.verify.matrix import (
     Cell,
@@ -69,11 +75,14 @@ from repro.verify.races import (
 
 __all__ = [
     "COMPARATOR_KINDS",
+    "DYNAMIC_POLICIES",
     "REGISTRY",
     "RELATIONS",
     "Axes",
     "Cell",
     "CompareOutcome",
+    "DynamicFailure",
+    "DynamicReport",
     "GraphCase",
     "GraphPool",
     "LostUpdate",
@@ -101,6 +110,7 @@ __all__ = [
     "partition_isomorphic",
     "permute_vertices",
     "repro_command",
+    "run_dynamic",
     "run_matrix",
     "run_metamorphic",
     "scale_weights",

@@ -1,0 +1,323 @@
+"""Dynamic-graph tests: overlay/epoch mechanics, property-based
+build→mutate→compact round-trips, incremental == full metamorphic
+checks, the stream driver, and the service mutate/cache interaction.
+
+The hypothesis section is the adversarial counterpart of the fixed
+``repro verify --dynamic`` oracle: arbitrary small graphs (self-loops,
+parallel edges, isolated vertices) with arbitrary mutation batches,
+shrunk to minimal counterexamples on failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from strategies import graphs
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.cc import connected_components
+from repro.algorithms.sssp import sssp
+from repro.dynamic import (
+    DynamicGraph,
+    EdgeStream,
+    StreamDriver,
+    incremental_bfs,
+    incremental_cc,
+    incremental_sssp,
+)
+from repro.errors import GraphFormatError
+from repro.graph import from_edge_list
+from repro.graph.adjacency import AdjacencyList
+from repro.graph.validate import validate_graph, validate_overlay
+from repro.service import GraphCatalog, QueryService, ServiceConfig
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+def edge_triples(graph):
+    """Sorted (src, dst, weight) triples — an order-free edge multiset."""
+    coo = graph.coo()
+    return sorted(
+        zip(coo.rows.tolist(), coo.cols.tolist(), coo.vals.tolist())
+    )
+
+
+@st.composite
+def mutated_dynamic_graphs(draw):
+    """A (DynamicGraph, MutationBatch) pair: an arbitrary base graph
+    plus one arbitrary-but-valid mutation batch already applied.
+
+    Removals are drawn from the live edge set (distinct pairs — the
+    batch API rejects double-removal by design); insertions are
+    arbitrary pairs, so re-inserts of removed edges and weight updates
+    of surviving ones are generated too.
+    """
+    base = draw(graphs(n_vertices=12, max_edges=40))
+    dyn = DynamicGraph(base)
+    coo = base.coo()
+    live = sorted({(int(s), int(d)) for s, d in zip(coo.rows, coo.cols)})
+    removes = []
+    if live:
+        n_rm = draw(st.integers(0, len(live)))
+        picks = draw(st.permutations(range(len(live))))
+        removes = [live[i] for i in picks[:n_rm]]
+    n_ins = draw(st.integers(0, 10))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, base.n_vertices - 1),
+                st.integers(0, base.n_vertices - 1),
+            ),
+            min_size=n_ins,
+            max_size=n_ins,
+            unique=True,
+        )
+    )
+    inserts = [
+        (s, d, float(draw(st.integers(1, 9)))) for s, d in pairs
+    ]
+    batch = dyn.apply(insert=inserts, remove=removes)
+    return dyn, batch
+
+
+# -- DynamicGraph mechanics ------------------------------------------------------------
+
+
+class TestDynamicGraphMechanics:
+    def base(self):
+        return from_edge_list(
+            [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 5.0)],
+            n_vertices=5,
+            directed=True,
+        )
+
+    def test_epoch_bumps_per_batch(self):
+        dyn = DynamicGraph(self.base())
+        assert dyn.epoch == 0
+        dyn.insert_edge(3, 4, 1.5)
+        dyn.remove_edge(0, 3)
+        assert dyn.epoch == 2
+        assert dyn.log_length() == 2
+
+    def test_mutations_since_folds_batches(self):
+        dyn = DynamicGraph(self.base())
+        dyn.insert_edge(3, 4, 1.5)
+        mark = dyn.epoch
+        dyn.remove_edge(0, 3)
+        dyn.insert_edge(4, 0, 2.0)
+        folded = dyn.mutations_since(mark)
+        assert folded.n_inserted == 1
+        assert folded.n_removed == 1
+
+    def test_remove_missing_edge_rejected_atomically(self):
+        dyn = DynamicGraph(self.base())
+        with pytest.raises(GraphFormatError):
+            dyn.apply(insert=[(3, 4, 1.0)], remove=[(4, 0)])
+        # Nothing from the failed batch leaked in.
+        assert dyn.epoch == 0
+        assert dyn.n_edges == 4
+
+    def test_double_removal_in_one_batch_rejected(self):
+        dyn = DynamicGraph(self.base())
+        with pytest.raises(GraphFormatError):
+            dyn.apply(remove=[(0, 3), (0, 3)])
+
+    def test_weight_update_logged_as_remove_plus_insert(self):
+        dyn = DynamicGraph(self.base())
+        batch = dyn.update_weight(0, 3, 9.0)
+        assert batch.n_removed == 1
+        assert batch.n_inserted == 1
+        assert float(batch.removed_w[0]) == 5.0
+        assert float(batch.inserted_w[0]) == 9.0
+
+    def test_merged_snapshot_reflects_mutations(self):
+        dyn = DynamicGraph(self.base())
+        dyn.apply(insert=[(3, 4, 1.5)], remove=[(0, 3)])
+        trip = edge_triples(dyn.graph())
+        assert (3, 4, 1.5) in trip
+        assert all((s, d) != (0, 3) for s, d, _ in trip)
+
+    def test_adjacency_remove_edge_returns_weight(self):
+        adj = AdjacencyList(3)
+        adj.add_edge(0, 1, 4.0)
+        adj.add_edge(1, 2, 2.0)
+        assert adj.remove_edge(0, 1) == 4.0
+        with pytest.raises(GraphFormatError):
+            adj.remove_edge(0, 1)
+
+
+# -- property-based round-trips --------------------------------------------------------
+
+
+class TestDynamicProperties:
+    @settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+    @given(mutated_dynamic_graphs())
+    def test_compact_preserves_edges_and_epoch(self, pair):
+        dyn, _ = pair
+        epoch = dyn.epoch
+        before = edge_triples(dyn.graph())
+        compacted = dyn.compact()
+        assert edge_triples(compacted) == before
+        assert dyn.epoch == epoch  # representation change, not a mutation
+        assert dyn.overlay.size == 0
+        assert edge_triples(dyn.graph()) == before
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+    @given(mutated_dynamic_graphs())
+    def test_overlay_and_merged_graph_invariants_hold(self, pair):
+        dyn, _ = pair
+        validate_overlay(dyn.overlay)
+        validate_graph(dyn.graph())
+        validate_graph(dyn.compact())
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    @given(mutated_dynamic_graphs())
+    def test_incremental_repair_equals_full_recompute(self, pair):
+        dyn, batch = pair
+        base = dyn.base_graph
+        merged = dyn.graph()
+        cold_bfs = bfs(base, 0, policy="par_vector")
+        cold_sssp = sssp(base, 0, policy="par_vector")
+        cold_cc = connected_components(base, policy="par_vector")
+
+        rb = incremental_bfs(dyn, cold_bfs, batch=batch)
+        fb = bfs(merged, 0, policy="par_vector")
+        assert np.array_equal(rb.levels, fb.levels)
+
+        rs = incremental_sssp(dyn, cold_sssp, batch=batch)
+        fs = sssp(merged, 0, policy="par_vector")
+        assert np.array_equal(rs.distances, fs.distances)
+
+        rc = incremental_cc(dyn, cold_cc, batch=batch)
+        fc = connected_components(merged, policy="par_vector")
+        assert np.array_equal(rc.labels, fc.labels)
+        assert rc.n_components == fc.n_components
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    @given(mutated_dynamic_graphs())
+    def test_repair_after_compact_uses_the_log(self, pair):
+        # compact() must not strand incremental consumers: the log
+        # survives, so a repair against mutations_since still works.
+        dyn, batch = pair
+        cold = bfs(dyn.base_graph, 0, policy="par_vector")
+        dyn.compact()
+        rb = incremental_bfs(dyn, cold, batch=batch)
+        fb = bfs(dyn.graph(), 0, policy="par_vector")
+        assert np.array_equal(rb.levels, fb.levels)
+
+
+# -- targeted repair cases -------------------------------------------------------------
+
+
+class TestIncrementalRepairEdgeCases:
+    def test_bridge_deletion_disconnects_suffix(self, policy):
+        path = from_edge_list(
+            [(i, i + 1, 1.0) for i in range(7)], directed=True
+        )
+        dyn = DynamicGraph(path)
+        batch = dyn.apply(remove=[(3, 4)])
+        cold = bfs(path, 0, policy=policy)
+        repaired = incremental_bfs(dyn, cold, batch=batch, policy=policy)
+        full = bfs(dyn.graph(), 0, policy=policy)
+        assert np.array_equal(repaired.levels, full.levels)
+        assert repaired.levels[4] == -1
+
+    def test_split_then_rescue_via_insert(self, policy):
+        path = from_edge_list(
+            [(i, i + 1, 1.0) for i in range(7)], directed=True
+        )
+        dyn = DynamicGraph(path)
+        batch = dyn.apply(remove=[(3, 4)], insert=[(1, 4, 1.0)])
+        cold_cc = connected_components(path, policy=policy)
+        repaired = incremental_cc(dyn, cold_cc, batch=batch, policy=policy)
+        full = connected_components(dyn.graph(), policy=policy)
+        assert np.array_equal(repaired.labels, full.labels)
+        assert repaired.n_components == full.n_components == 1
+
+    def test_sssp_shortcut_insert_then_widen(self, policy):
+        g = from_edge_list(
+            [(0, 1, 5.0), (1, 2, 5.0), (0, 2, 20.0)],
+            n_vertices=3,
+            directed=True,
+        )
+        dyn = DynamicGraph(g)
+        cold = sssp(g, 0, policy=policy)
+        batch = dyn.insert_edge(0, 2, 1.0)  # weight update 20 -> 1
+        repaired = incremental_sssp(dyn, cold, batch=batch, policy=policy)
+        assert repaired.distances[2] == 1.0
+        batch2 = dyn.update_weight(0, 2, 50.0)  # widen: must re-raise
+        repaired2 = incremental_sssp(dyn, repaired, batch=batch2, policy=policy)
+        assert repaired2.distances[2] == 10.0
+
+
+# -- stream driver ---------------------------------------------------------------------
+
+
+class TestStreamDriver:
+    def test_windowed_run_matches_full_recompute(self):
+        stream = EdgeStream.rmat(
+            scale=7, edge_factor=4, delete_fraction=0.2, seed=3
+        )
+        driver = StreamDriver(
+            stream,
+            algorithms=("bfs", "cc"),
+            window_events=100,
+            verify=True,
+        )
+        report = driver.run()
+        summary = report.summary()
+        assert summary["n_windows"] == -(-stream.n_events // 100)
+        assert summary["n_events"] == stream.n_events
+        for name in ("bfs", "cc"):
+            entry = summary["algorithms"][name]
+            # verify=True compares every window against a recompute.
+            assert entry["mismatched_windows"] == 0
+            assert entry["incremental_seconds"] > 0
+
+
+# -- service: mutate invalidates the cache ---------------------------------------------
+
+
+class TestServiceMutateCache:
+    @pytest.fixture
+    def service(self, tmp_path):
+        cat = GraphCatalog()
+        cat.add({"name": "g", "generator": "grid", "scale": 8, "seed": 0})
+        return QueryService(
+            cat,
+            data_dir=str(tmp_path / "svc"),
+            config=ServiceConfig(cache_ttl_s=60.0, record_ledger=False),
+        )
+
+    def test_mutate_then_query_misses_stale_epoch(self, service):
+        req = {
+            "op": "query",
+            "graph": "g",
+            "algorithm": "cc",
+            "params": {},
+        }
+        first = service.handle(req)
+        assert first["code"] == 200
+        hit = service.handle(req)
+        assert hit["server"]["cached"] is True
+
+        mutated = service.handle(
+            {"op": "mutate", "graph": "g", "insert": [[0, 17, 1.0]]}
+        )
+        assert mutated["code"] == 200
+        assert mutated["result"]["epoch"] == 1
+
+        # A fresh-path hit at the old epoch would serve yesterday's
+        # components; the epoch tag must force a recompute.
+        after = service.handle(req)
+        assert after["code"] == 200
+        assert not after["server"].get("cached")
+        assert after["result"] != first["result"]
+
+    def test_mutate_unknown_graph_404(self, service):
+        resp = service.handle(
+            {"op": "mutate", "graph": "nope", "insert": [[0, 1, 1.0]]}
+        )
+        assert resp["code"] == 404
