@@ -90,16 +90,68 @@ class MutationBatch:
 
     @staticmethod
     def concat(batches: Sequence["MutationBatch"]) -> "MutationBatch":
-        """Fold several batches into one (in order)."""
+        """Fold several batches into one *net* batch (in order).
+
+        Opposing mutations cancel: an arc inserted in one batch and
+        deleted in a later one contributes nothing, and only the last
+        insertion of an arc survives.  The folded batch therefore means
+        exactly "apply all removals, then all insertions" relative to
+        the state *before the first batch* — the contract every
+        ``incremental_*`` repair assumes.  Removal records keep the
+        weights arcs carried at the fold's start (all of them, for
+        multigraph bases with parallel arcs), since incremental SSSP
+        uses them to detect lost tight support.
+        """
+        batches = [b for b in batches if b.size]
         if not batches:
             return MutationBatch()
+        if len(batches) == 1:
+            # A single _apply batch is already in net form: removals
+            # precede insertions and each arc appears at most once per
+            # side.
+            return batches[0]
+        # One chronological event table: per batch, removals happen
+        # before insertions, and batches are already in epoch order.
+        srcs, dsts, wts, kinds = [], [], [], []
+        for b in batches:
+            srcs += [b.removed_src, b.inserted_src]
+            dsts += [b.removed_dst, b.inserted_dst]
+            wts += [b.removed_w, b.inserted_w]
+            kinds += [
+                np.zeros(b.n_removed, dtype=bool),
+                np.ones(b.n_inserted, dtype=bool),
+            ]
+        src = np.concatenate(srcs).astype(np.int64)
+        dst = np.concatenate(dsts).astype(np.int64)
+        w = np.concatenate(wts)
+        is_ins = np.concatenate(kinds)
+        # Stable sort groups events by arc while preserving the
+        # chronological order within each group.
+        key = (src << 32) | dst
+        order = np.argsort(key, kind="stable")
+        k = key[order]
+        ins = is_ins[order]
+        group_start = np.r_[True, k[1:] != k[:-1]]
+        gid = np.cumsum(group_start) - 1
+        n_groups = int(gid[-1]) + 1
+        pos = np.arange(k.size, dtype=np.int64)
+        # Removals before an arc's first insertion tombstone arcs that
+        # were live at the fold's start — those survive the fold.  A
+        # removal after an insertion only cancels that insertion.
+        first_ins = np.full(n_groups, k.size, dtype=np.int64)
+        np.minimum.at(first_ins, gid[ins], pos[ins])
+        rem_idx = order[~ins & (pos < first_ins[gid])]
+        # An arc is live at the fold's end iff its last event is an
+        # insertion; that event carries the final weight.
+        last_pos = np.r_[np.nonzero(group_start)[0][1:], k.size] - 1
+        ins_idx = order[last_pos[ins[last_pos]]]
         return MutationBatch(
-            inserted_src=np.concatenate([b.inserted_src for b in batches]),
-            inserted_dst=np.concatenate([b.inserted_dst for b in batches]),
-            inserted_w=np.concatenate([b.inserted_w for b in batches]),
-            removed_src=np.concatenate([b.removed_src for b in batches]),
-            removed_dst=np.concatenate([b.removed_dst for b in batches]),
-            removed_w=np.concatenate([b.removed_w for b in batches]),
+            inserted_src=src[ins_idx].astype(VERTEX_DTYPE),
+            inserted_dst=dst[ins_idx].astype(VERTEX_DTYPE),
+            inserted_w=w[ins_idx].astype(WEIGHT_DTYPE),
+            removed_src=src[rem_idx].astype(VERTEX_DTYPE),
+            removed_dst=dst[rem_idx].astype(VERTEX_DTYPE),
+            removed_w=w[rem_idx].astype(WEIGHT_DTYPE),
         )
 
 
@@ -279,12 +331,25 @@ class DynamicGraph:
         ]
         deletes = [(s, d) for s, d, _ in self._both_arcs(deletes)]
         # Validate the whole batch against the current state before
-        # staging anything: deletes of missing edges must not leave a
-        # half-applied batch behind.
+        # staging anything — batches are all-or-nothing, so every way a
+        # mutation can fail (missing delete target, duplicate delete,
+        # non-finite insert weight) must be ruled out while the overlay
+        # is still untouched.
+        seen = set()
         for s, d in deletes:
+            if (s, d) in seen:
+                raise GraphFormatError(
+                    f"edge ({s}, {d}) removed twice in one batch"
+                )
+            seen.add((s, d))
             if not self.has_edge(s, d):
                 raise GraphFormatError(
                     f"cannot remove edge ({s}, {d}): no live edge exists"
+                )
+        for s, d, w in inserts:
+            if not np.isfinite(w):
+                raise GraphFormatError(
+                    f"edge ({s}, {d}) weight must be finite, got {w!r}"
                 )
         probe = active_probe()
         with probe.span(
@@ -294,13 +359,7 @@ class DynamicGraph:
             epoch=self._epoch + 1,
         ):
             rs, rd, rw = [], [], []
-            seen = set()
             for s, d in deletes:
-                if (s, d) in seen:
-                    raise GraphFormatError(
-                        f"edge ({s}, {d}) removed twice in one batch"
-                    )
-                seen.add((s, d))
                 rw.append(self._overlay.stage_delete(s, d))
                 rs.append(s)
                 rd.append(d)

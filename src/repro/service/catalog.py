@@ -119,6 +119,14 @@ class GraphCatalog:
         #: Lazily-created DynamicGraph wrappers for entries that have
         #: been mutated; absent = still the pristine loaded snapshot.
         self._dynamic: Dict[str, "DynamicGraph"] = {}
+        #: Per-entry locks serializing every overlay touch — mutation
+        #: staging and snapshot merges alike.  DynamicGraph has no
+        #: internal synchronization (plain lists, a dict index, the
+        #: snapshot cache), so two concurrent mutates, or a mutate
+        #: racing a query's merge, would otherwise corrupt the overlay.
+        #: The coarse catalog lock is *not* used for this: a snapshot
+        #: merge is O(V + E) and must not block unrelated entries.
+        self._entry_locks: Dict[str, threading.Lock] = {}
 
     # -- building ----------------------------------------------------------------------
 
@@ -173,14 +181,27 @@ class GraphCatalog:
 
     # -- serving -----------------------------------------------------------------------
 
+    def _entry_lock(self, name: str) -> threading.Lock:
+        """The per-entry lock for ``name`` (caller holds ``_lock``)."""
+        lock = self._entry_locks.get(name)
+        if lock is None:
+            lock = threading.Lock()
+            self._entry_locks[name] = lock
+        return lock
+
     def get(self, name: str) -> Graph:
         """The loaded graph (mutated entries serve their current merged
         snapshot), or :class:`CatalogError` naming what exists."""
         with self._lock:
             dynamic = self._dynamic.get(name)
             graph = self._graphs.get(name)
+            entry_lock = self._entry_lock(name) if dynamic is not None else None
         if dynamic is not None:
-            return dynamic.graph()
+            # The merge mutates the snapshot cache and reads the
+            # overlay's insert log; serialize against mutations so a
+            # concurrent apply() can't be observed at half-length.
+            with entry_lock:
+                return dynamic.graph()
         if graph is None:
             raise CatalogError(
                 f"unknown graph {name!r}; catalog has {sorted(self.names())}"
@@ -227,8 +248,14 @@ class GraphCatalog:
             if dynamic is None:
                 dynamic = DynamicGraph(graph)
                 self._dynamic[name] = dynamic
-        batch = dynamic.apply(insert=insert, remove=remove)
-        return dynamic.epoch, batch
+            entry_lock = self._entry_lock(name)
+        # The entry lock (not the catalog lock) covers the apply: two
+        # concurrent mutates of one entry serialize, the epoch read
+        # stays paired with its own batch, and other entries' queries
+        # are untouched.
+        with entry_lock:
+            batch = dynamic.apply(insert=insert, remove=remove)
+            return dynamic.epoch, batch
 
     def names(self) -> List[str]:
         """Catalog entry names, insertion-ordered."""
@@ -252,11 +279,24 @@ class GraphCatalog:
         out = {}
         for name, g in items:
             dg = dynamic.get(name)
-            entry = {
-                "n_vertices": g.n_vertices if dg is None else dg.n_vertices,
-                "n_edges": g.n_edges if dg is None else dg.n_edges,
-                "epoch": 0 if dg is None else dg.epoch,
-                "spec": specs.get(name, {}),
-            }
+            if dg is None:
+                entry = {
+                    "n_vertices": g.n_vertices,
+                    "n_edges": g.n_edges,
+                    "epoch": 0,
+                    "spec": specs.get(name, {}),
+                }
+            else:
+                with self._lock:
+                    entry_lock = self._entry_lock(name)
+                # Under the entry lock so a mid-apply overlay can't
+                # yield a torn (n_edges, epoch) pair.
+                with entry_lock:
+                    entry = {
+                        "n_vertices": dg.n_vertices,
+                        "n_edges": dg.n_edges,
+                        "epoch": dg.epoch,
+                        "spec": specs.get(name, {}),
+                    }
             out[name] = entry
         return out

@@ -253,12 +253,17 @@ class QueryService:
             kwargs.setdefault("elapsed_ms", (time.monotonic() - t0) * 1e3)
             return protocol.response(req, code, **kwargs)
 
+        # Epoch strictly before the snapshot: a mutate landing between
+        # the two reads then tags this query's result with the *old*
+        # epoch — conservative, it can only cause an epoch-miss later.
+        # The opposite order could cache a pre-mutation result under
+        # the new epoch after the mutate's sweep, serving it as fresh.
+        epoch = self.catalog.epoch_of(graph_name)
         try:
             graph = self.catalog.get(graph_name)
         except CatalogError as exc:
             return done(protocol.UNKNOWN_GRAPH, error=str(exc))
 
-        epoch = self.catalog.epoch_of(graph_name)
         key = cache_key(graph_name, algorithm, params)
         fresh = self.cache.get_fresh(key, epoch=epoch)
         if fresh is not None:

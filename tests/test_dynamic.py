@@ -32,6 +32,7 @@ from repro.graph import from_edge_list
 from repro.graph.adjacency import AdjacencyList
 from repro.graph.validate import validate_graph, validate_overlay
 from repro.service import GraphCatalog, QueryService, ServiceConfig
+from repro.types import INF
 
 SUPPRESS = [HealthCheck.too_slow]
 
@@ -82,6 +83,41 @@ def mutated_dynamic_graphs(draw):
     return dyn, batch
 
 
+@st.composite
+def multi_batch_dynamic_graphs(draw):
+    """A DynamicGraph with several sequential mutation batches applied.
+
+    Exercises the cross-epoch fold: arcs inserted in one batch and
+    removed in a later one, chained weight updates, and re-inserts of
+    deleted edges all show up here, so ``mutations_since(0)`` must net
+    opposing events for the repairs to stay exact.
+    """
+    base = draw(graphs(n_vertices=10, max_edges=25))
+    dyn = DynamicGraph(base, compact_threshold=None)
+    for _ in range(draw(st.integers(2, 4))):
+        live = sorted({(s, d) for s, d, _ in dyn.iter_edges()})
+        removes = []
+        if live:
+            n_rm = draw(st.integers(0, min(5, len(live))))
+            picks = draw(st.permutations(range(len(live))))
+            removes = [live[i] for i in picks[:n_rm]]
+        pairs = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, base.n_vertices - 1),
+                    st.integers(0, base.n_vertices - 1),
+                ),
+                max_size=5,
+                unique=True,
+            )
+        )
+        inserts = [
+            (s, d, float(draw(st.integers(1, 9)))) for s, d in pairs
+        ]
+        dyn.apply(insert=inserts, remove=removes)
+    return dyn
+
+
 # -- DynamicGraph mechanics ------------------------------------------------------------
 
 
@@ -123,6 +159,68 @@ class TestDynamicGraphMechanics:
         dyn = DynamicGraph(self.base())
         with pytest.raises(GraphFormatError):
             dyn.apply(remove=[(0, 3), (0, 3)])
+
+    def test_double_removal_leaves_batch_unapplied(self):
+        # The duplicate is detected mid-list; the earlier (0, 1) delete
+        # must not have been staged — batches are all-or-nothing.
+        dyn = DynamicGraph(self.base())
+        with pytest.raises(GraphFormatError):
+            dyn.remove_edges([(0, 1), (0, 3), (0, 3)])
+        assert dyn.has_edge(0, 1)
+        assert dyn.has_edge(0, 3)
+        assert dyn.epoch == 0
+        assert dyn.log_length() == 0
+        assert dyn.n_edges == 4
+
+    def test_nonfinite_weight_leaves_batch_unapplied(self):
+        dyn = DynamicGraph(self.base())
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(GraphFormatError):
+                dyn.insert_edges([(3, 4, 1.0), (0, 4, bad)])
+            assert not dyn.has_edge(3, 4)
+        # Mixed batches roll back too: the staged delete must not
+        # survive an insert that fails validation.
+        with pytest.raises(GraphFormatError):
+            dyn.apply(insert=[(0, 4, float("nan"))], remove=[(0, 3)])
+        assert dyn.has_edge(0, 3)
+        assert dyn.epoch == 0
+        assert dyn.n_edges == 4
+
+    def test_fold_cancels_insert_then_delete(self):
+        # An arc inserted at one epoch and deleted at a later one must
+        # vanish from the fold: repairs would otherwise relax/merge an
+        # edge that is not live in the merged graph.
+        dyn = DynamicGraph(self.base())
+        dyn.insert_edge(3, 4, 1.5)
+        dyn.remove_edge(3, 4)
+        folded = dyn.mutations_since(0)
+        assert folded.size == 0
+
+    def test_fold_keeps_reinsert_after_remove(self):
+        dyn = DynamicGraph(self.base())
+        dyn.remove_edge(0, 3)
+        dyn.insert_edge(0, 3, 7.0)
+        folded = dyn.mutations_since(0)
+        assert folded.n_removed == 1
+        assert float(folded.removed_w[0]) == 5.0  # the pre-fold weight
+        assert folded.n_inserted == 1
+        assert float(folded.inserted_w[0]) == 7.0
+
+    def test_fold_chained_weight_updates_net_to_endpoints(self):
+        # 5.0 -> 9.0 -> 2.0 across two epochs nets to one removal of
+        # the original weight plus one insertion of the final one.
+        dyn = DynamicGraph(self.base())
+        dyn.update_weight(0, 3, 9.0)
+        dyn.update_weight(0, 3, 2.0)
+        folded = dyn.mutations_since(0)
+        assert folded.n_removed == 1
+        assert float(folded.removed_w[0]) == 5.0
+        assert folded.n_inserted == 1
+        assert float(folded.inserted_w[0]) == 2.0
+        # Folding from the middle epoch sees only the second update.
+        mid = dyn.mutations_since(1)
+        assert float(mid.removed_w[0]) == 9.0
+        assert float(mid.inserted_w[0]) == 2.0
 
     def test_weight_update_logged_as_remove_plus_insert(self):
         dyn = DynamicGraph(self.base())
@@ -196,6 +294,23 @@ class TestDynamicProperties:
         assert rc.n_components == fc.n_components
 
     @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    @given(multi_batch_dynamic_graphs())
+    def test_incremental_over_folded_epochs_equals_full(self, dyn):
+        # Same metamorphic check as above, but the batch comes from
+        # folding the whole mutation log — the path the service and
+        # stream driver use.
+        base = dyn.base_graph
+        merged = dyn.graph()
+        rb = incremental_bfs(dyn, bfs(base, 0), since_epoch=0)
+        assert np.array_equal(rb.levels, bfs(merged, 0).levels)
+        rs = incremental_sssp(dyn, sssp(base, 0), since_epoch=0)
+        assert np.array_equal(rs.distances, sssp(merged, 0).distances)
+        rc = incremental_cc(dyn, connected_components(base), since_epoch=0)
+        fc = connected_components(merged)
+        assert np.array_equal(rc.labels, fc.labels)
+        assert rc.n_components == fc.n_components
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
     @given(mutated_dynamic_graphs())
     def test_repair_after_compact_uses_the_log(self, pair):
         # compact() must not strand incremental consumers: the log
@@ -235,6 +350,36 @@ class TestIncrementalRepairEdgeCases:
         full = connected_components(dyn.graph(), policy=policy)
         assert np.array_equal(repaired.labels, full.labels)
         assert repaired.n_components == full.n_components == 1
+
+    def test_sssp_insert_then_delete_across_epochs_stays_unreachable(
+        self, policy
+    ):
+        # The transient edge (0, 1) existed only between epochs 1 and
+        # 2; folding the log must not present it as live, or vertex 1
+        # gets distance 1.0 despite being unreachable in the merged
+        # graph.
+        g = from_edge_list([(1, 2, 1.0)], n_vertices=3, directed=True)
+        dyn = DynamicGraph(g)
+        cold = sssp(g, 0, policy=policy)
+        dyn.insert_edge(0, 1, 1.0)
+        dyn.remove_edge(0, 1)
+        repaired = incremental_sssp(dyn, cold, since_epoch=0, policy=policy)
+        full = sssp(dyn.graph(), 0, policy=policy)
+        assert np.array_equal(repaired.distances, full.distances)
+        assert repaired.distances[1] == INF
+
+    def test_cc_transient_bridge_does_not_merge_components(self, policy):
+        g = from_edge_list(
+            [(0, 1, 1.0), (2, 3, 1.0)], n_vertices=4, directed=False
+        )
+        dyn = DynamicGraph(g)
+        cold = connected_components(g, policy=policy)
+        dyn.insert_edge(1, 2, 1.0)  # bridges the two components...
+        dyn.remove_edge(1, 2)  # ...but only until the next epoch
+        repaired = incremental_cc(dyn, cold, since_epoch=0, policy=policy)
+        full = connected_components(dyn.graph(), policy=policy)
+        assert np.array_equal(repaired.labels, full.labels)
+        assert repaired.n_components == full.n_components == 2
 
     def test_sssp_shortcut_insert_then_widen(self, policy):
         g = from_edge_list(
@@ -321,3 +466,96 @@ class TestServiceMutateCache:
             {"op": "mutate", "graph": "nope", "insert": [[0, 1, 1.0]]}
         )
         assert resp["code"] == 404
+
+    def test_mutate_nan_weight_rejected_without_side_effects(self, service):
+        # JSON happily decodes NaN, so the weight check must happen
+        # before any staging: the valid first insert must not leak in.
+        resp = service.handle(
+            {
+                "op": "mutate",
+                "graph": "g",
+                "insert": [[0, 18, 1.0], [0, 17, float("nan")]],
+            }
+        )
+        assert resp["code"] == 400
+        assert service.catalog.epoch_of("g") == 0
+
+    def test_mutate_racing_query_tags_result_conservatively(self, service):
+        # Simulate the worst interleaving: a mutate lands between the
+        # query's epoch read and its catalog snapshot.  The query then
+        # computes on the pre-mutation graph, so its cache entry must
+        # carry the *old* epoch — the follow-up query at the new epoch
+        # has to be a miss, never a fresh hit on the old result.
+        req = {"op": "query", "graph": "g", "algorithm": "cc", "params": {}}
+        orig_get = service.catalog.get
+        fired = []
+
+        def racing_get(name):
+            graph = orig_get(name)
+            if not fired:
+                fired.append(True)
+                mutated = service.handle(
+                    {"op": "mutate", "graph": name, "insert": [[0, 17, 1.0]]}
+                )
+                assert mutated["code"] == 200
+            return graph
+
+        service.catalog.get = racing_get
+        try:
+            first = service.handle(req)
+        finally:
+            service.catalog.get = orig_get
+        assert first["code"] == 200
+        after = service.handle(req)
+        assert after["code"] == 200
+        assert not after["server"].get("cached")
+
+
+class TestCatalogConcurrency:
+    def test_concurrent_mutates_and_snapshots_stay_consistent(self):
+        import threading
+
+        cat = GraphCatalog()
+        cat.add({"name": "g", "generator": "grid", "scale": 6, "seed": 0})
+        n_vertices = cat.get("g").n_vertices
+        n_threads, per_thread = 4, 10
+        errors = []
+
+        def mutator(k):
+            try:
+                for i in range(per_thread):
+                    target = (k * per_thread + i + 1) % n_vertices
+                    cat.mutate("g", insert=[(0, target, 2.0)])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    validate_graph(cat.get("g"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [
+            threading.Thread(target=mutator, args=(k,))
+            for k in range(n_threads)
+        ]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        assert cat.epoch_of("g") == n_threads * per_thread
+        merged = cat.get("g")
+        validate_graph(merged)
+        coo = merged.coo()
+        arcs = set(zip(coo.rows.tolist(), coo.cols.tolist()))
+        for k in range(n_threads):
+            for i in range(per_thread):
+                assert (0, (k * per_thread + i + 1) % n_vertices) in arcs
