@@ -12,7 +12,7 @@ essential components:
 3. **Operators** (:mod:`repro.operators`): advance / filter / for-each /
    reduce / uniquify / intersection, each overloaded on execution
    policies (:mod:`repro.execution`): ``seq``, ``par``, ``par_nosync``,
-   ``par_vector``.
+   ``par_vector``, ``par_proc``.
 4. **Iterative loops with convergence conditions** (:mod:`repro.loop`):
    BSP and asynchronous enactors.
 
@@ -49,7 +49,7 @@ from repro.frontier import (
     AsyncQueueFrontier,
     EdgeFrontier,
 )
-from repro.execution import seq, par, par_nosync, par_vector
+from repro.execution import seq, par, par_nosync, par_proc, par_vector
 from repro.operators import (
     neighbors_expand,
     filter_frontier,
@@ -95,6 +95,7 @@ __all__ = [
     "seq",
     "par",
     "par_nosync",
+    "par_proc",
     "par_vector",
     "neighbors_expand",
     "filter_frontier",

@@ -26,6 +26,7 @@ from repro.loop.convergence import AnyOf, MaxIterations, ValuesConverged
 from repro.loop.enactor import Enactor
 from repro.execution.policy import (
     ExecutionPolicy,
+    ProcPolicy,
     SequencedPolicy,
     VectorPolicy,
     par_vector,
@@ -106,6 +107,25 @@ def pagerank(
         state_box["delta"] = float(np.abs(new_ranks - r).sum())
         state_box["ranks"] = new_ranks
 
+    def superstep_proc() -> bool:
+        """Sharded superstep: worker processes each scatter-add a
+        contiguous CSC column range into a shared ``incoming`` vector.
+        Per-vertex sums match the vectorized superstep up to float64
+        summation order (the conformance tolerance for ranks).  Returns
+        False when sharding is unavailable here (inside a worker) so the
+        caller falls back to the vectorized form."""
+        from repro.execution.proc_engine import get_engine, proc_available
+
+        if not proc_available():
+            return False
+        r = state_box["ranks"]
+        incoming = get_engine().pagerank_incoming(policy, graph, r, out_weight)
+        dangling_mass = float(r[dangling].sum()) / n
+        new_ranks = (1.0 - damping) / n + damping * (incoming + dangling_mass)
+        state_box["delta"] = float(np.abs(new_ranks - r).sum())
+        state_box["ranks"] = new_ranks
+        return True
+
     def superstep_scalar(parallel: bool) -> None:
         r = state_box["ranks"]
         incoming = np.zeros(n, dtype=np.float64)
@@ -141,7 +161,9 @@ def pagerank(
         state_box["ranks"] = new_ranks
 
     def step(frontier, state):
-        if isinstance(policy, VectorPolicy):
+        if isinstance(policy, ProcPolicy) and superstep_proc():
+            pass
+        elif isinstance(policy, VectorPolicy):
             superstep_vector()
         elif isinstance(policy, SequencedPolicy):
             superstep_scalar(parallel=False)

@@ -1261,7 +1261,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", type=int, default=0)
     p.add_argument(
         "--policy",
-        choices=["seq", "par", "par_nosync", "par_vector"],
+        choices=["seq", "par", "par_nosync", "par_vector", "par_proc"],
         default="par_vector",
     )
     p.add_argument(
@@ -1331,7 +1331,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", type=int, default=0)
     p.add_argument(
         "--policy",
-        choices=["seq", "par", "par_nosync", "par_vector"],
+        choices=["seq", "par", "par_nosync", "par_vector", "par_proc"],
         default="par_vector",
     )
     p.add_argument("--workers", type=int, default=4)
@@ -1536,7 +1536,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", type=int, default=0)
     p.add_argument(
         "--policy",
-        choices=["seq", "par", "par_vector"],
+        choices=["seq", "par", "par_vector", "par_proc"],
         default="par_vector",
     )
     p.add_argument(
@@ -1585,7 +1585,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--policy",
         action="append",
-        choices=["seq", "par", "par_nosync", "par_vector", "async"],
+        choices=["seq", "par", "par_nosync", "par_vector", "par_proc", "async"],
         help="matrix only: restrict the policy axis (repeatable)",
     )
     p.add_argument(

@@ -6,7 +6,8 @@ behavior and parallelism.  Much like the C++ standard library's
 execution policies, these policies are unique types to allow for
 overloading of traversal and transformation operators."
 
-Four policies are provided:
+Five synchronous-pillar policies are provided (a sixth mode, ``async``,
+lives in the loop layer):
 
 * :data:`seq` — sequential, in the invoking thread.
 * :data:`par` — parallel synchronous: work is chunked across a thread
@@ -20,6 +21,12 @@ Four policies are provided:
   vectorized operations with a single implicit barrier at the end.  This
   is the honest Python analog of the paper's device-wide GPU kernels and
   the performance path (DESIGN.md substitution table).
+* :data:`par_proc` — multiprocess sharded execution over shared memory:
+  supersteps run as BSP rounds across persistent worker *processes*
+  (escaping the GIL entirely), with the graph and per-round state in
+  ``multiprocessing.shared_memory`` and boundary updates merged through
+  the comm mailbox machinery.  Degrades to :data:`par_vector` wherever a
+  round cannot be sharded.
 """
 
 from repro.execution.policy import (
@@ -28,10 +35,12 @@ from repro.execution.policy import (
     ParallelPolicy,
     ParallelNoSyncPolicy,
     VectorPolicy,
+    ProcPolicy,
     seq,
     par,
     par_nosync,
     par_vector,
+    par_proc,
     resolve_policy,
 )
 from repro.execution.atomics import AtomicArray, bulk_min_relax, bulk_max_relax
@@ -45,10 +54,12 @@ __all__ = [
     "ParallelPolicy",
     "ParallelNoSyncPolicy",
     "VectorPolicy",
+    "ProcPolicy",
     "seq",
     "par",
     "par_nosync",
     "par_vector",
+    "par_proc",
     "resolve_policy",
     "AtomicArray",
     "bulk_min_relax",

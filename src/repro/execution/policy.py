@@ -24,8 +24,9 @@ class ExecutionPolicy:
     Attributes
     ----------
     num_workers:
-        Worker threads for the threaded policies; ``None`` = use the
-        pool default (os.cpu_count capped at 8).
+        Worker threads (or processes, for ``par_proc``); ``None`` = use
+        the pool default (``REPRO_NUM_WORKERS`` when set, else
+        ``os.cpu_count()``).
     chunk_size:
         Work items per task for the threaded policies; ``None`` = divide
         evenly among workers.
@@ -124,17 +125,41 @@ class VectorPolicy(ExecutionPolicy):
     name = "par_vector"
 
 
+class ProcPolicy(VectorPolicy):
+    """Multiprocess sharded execution over shared memory (``par_proc``).
+
+    Supersteps run as bulk-synchronous rounds across a persistent pool
+    of worker *processes* (no shared GIL): the graph and per-round state
+    live in ``multiprocessing.shared_memory``, each worker expands a
+    chunk of the frontier, and boundary updates merge back through the
+    comm mailbox + combiner machinery.  Subclassing the vectorized
+    policy is deliberate — wherever a round cannot be sharded (no fused
+    kernel for the condition, fusion disabled, or already inside a
+    worker process) the policy degrades to the in-process vectorized
+    overload, so every algorithm that accepts ``par_vector`` accepts
+    ``par_proc`` unmodified.
+
+    ``num_workers`` here means worker *processes*; ``None`` uses
+    ``REPRO_NUM_WORKERS`` or every CPU (see
+    :func:`~repro.execution.proc_pool.default_proc_workers`).
+    """
+
+    name = "par_proc"
+
+
 #: Canonical policy instances, mirroring ``std::execution::seq`` etc.
 seq = SequencedPolicy()
 par = ParallelPolicy()
 par_nosync = ParallelNoSyncPolicy()
 par_vector = VectorPolicy()
+par_proc = ProcPolicy()
 
 _BY_NAME = {
     "seq": seq,
     "par": par,
     "par_nosync": par_nosync,
     "par_vector": par_vector,
+    "par_proc": par_proc,
 }
 
 

@@ -1,0 +1,274 @@
+"""Shared-memory array placement for the multiprocess (``par_proc``) policy.
+
+The GIL makes thread pools a one-core ceiling for Python supersteps, so
+``par_proc`` moves work into worker *processes*.  What makes that viable
+is zero-copy data placement: the graph's CSR/CSC arrays and each
+superstep's vertex-property mirrors live in ``multiprocessing.shared_memory``
+segments, and every worker maps the same pages as ordinary NumPy views —
+the workers never receive a pickled graph.
+
+Two placement disciplines, matching how the data behaves:
+
+* :meth:`ShmArena.place` — immutable placement for graph topology.  The
+  array is copied into a fresh segment once and the descriptor stays
+  valid for the arena's lifetime (workers cache their attachment).
+* :meth:`ShmArena.mirror` — a named, reusable *slot* for per-superstep
+  state (distances, frontier indices, active flags).  The slot's segment
+  is reused while the payload fits; growth allocates a **new** segment
+  under a new name and retires the old one, so a worker holding a stale
+  cached attachment can never read a resized buffer — the name is the
+  version.
+
+Cleanup is layered: arenas unlink their segments on :meth:`close`, and a
+module-level ``atexit`` hook unlinks anything still live at interpreter
+exit.  Resource-tracker bookkeeping stays consistent because spawn
+workers share the parent's tracker process: a worker's attach
+re-registers a name the parent already registered (the tracker's cache
+is a set, so the entry stays single) and the parent's unlink clears it
+exactly once — no leak warnings, no double-unregister KeyErrors.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: ``(segment_name, dtype_str, length)`` — everything a worker needs to
+#: rebuild a 1-D NumPy view of a shared segment.  Deliberately tiny and
+#: picklable: descriptors ride the control pipe, arrays never do.
+Descriptor = Tuple[str, str, int]
+
+_SEGMENT_PREFIX = "repro_shm"
+_counter = itertools.count()
+
+#: Every segment this process created and has not yet unlinked, for the
+#: atexit sweep and the leak assertions in tests.
+_live_segments: Dict[str, shared_memory.SharedMemory] = {}
+_live_lock = threading.Lock()
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a uniquely named segment (pid-scoped names; a stale name
+    from a crashed previous process is skipped, not reused)."""
+    nbytes = max(1, int(nbytes))
+    while True:
+        name = f"{_SEGMENT_PREFIX}_{os.getpid()}_{next(_counter)}"
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        except FileExistsError:  # pragma: no cover - leftover from a dead pid
+            continue
+        with _live_lock:
+            _live_segments[name] = seg
+        return seg
+
+
+def _unlink_segment(seg: shared_memory.SharedMemory) -> None:
+    # Unlink before close: closing raises BufferError while NumPy views
+    # of the buffer are still alive (the parent may hold a slot view),
+    # and the name must disappear from /dev/shm regardless — on POSIX an
+    # unlinked mapping stays valid until the last close.
+    with _live_lock:
+        _live_segments.pop(seg.name, None)
+    try:
+        seg.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+    try:
+        seg.close()
+    except BufferError:  # live views; pages are reclaimed when they die
+        pass
+
+
+def live_segment_names() -> List[str]:
+    """Names of segments this process currently owns (tests assert this
+    drains to empty after :func:`unlink_all`)."""
+    with _live_lock:
+        return sorted(_live_segments)
+
+
+def unlink_all() -> None:
+    """Unlink every segment this process still owns (idempotent)."""
+    with _live_lock:
+        segs = list(_live_segments.values())
+        _live_segments.clear()
+    for seg in segs:
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - live views at exit
+            pass
+
+
+atexit.register(unlink_all)
+
+
+def _as_flat(arr: np.ndarray) -> np.ndarray:
+    arr = np.ascontiguousarray(arr)
+    return arr.reshape(-1) if arr.ndim != 1 else arr
+
+
+class _Slot:
+    """One reusable mirror slot: a segment plus its current payload size."""
+
+    __slots__ = ("seg", "capacity", "descriptor")
+
+    def __init__(self, seg: shared_memory.SharedMemory, capacity: int) -> None:
+        self.seg = seg
+        self.capacity = capacity
+        self.descriptor: Optional[Descriptor] = None
+
+
+class ShmArena:
+    """Parent-side registry of shared segments: immutable placements,
+    reusable mirror slots, and the retire queue workers drain.
+
+    Thread-safe: the serving layer may drive concurrent ``par_proc``
+    queries from several threads (the engine serializes rounds, but
+    placement can race with cleanup).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._placed: Dict[str, shared_memory.SharedMemory] = {}
+        self._slots: Dict[str, _Slot] = {}
+        #: Segment names retired since the last :meth:`drain_retired` —
+        #: shipped to workers so they drop stale cached attachments.
+        self._retired: List[str] = []
+        self.bytes_copied = 0
+
+    # -- immutable placement -----------------------------------------------------------
+
+    def place(self, arr: np.ndarray) -> Descriptor:
+        """Copy ``arr`` into a fresh segment; the descriptor never moves."""
+        flat = _as_flat(arr)
+        with self._lock:
+            seg = _new_segment(flat.nbytes)
+            view = np.ndarray(flat.shape, dtype=flat.dtype, buffer=seg.buf)
+            view[:] = flat
+            self._placed[seg.name] = seg
+            self.bytes_copied += flat.nbytes
+            return (seg.name, flat.dtype.str, flat.shape[0])
+
+    def release(self, descriptor: Descriptor) -> None:
+        """Unlink an immutable placement and queue its name for workers."""
+        with self._lock:
+            seg = self._placed.pop(descriptor[0], None)
+            if seg is not None:
+                self._retired.append(seg.name)
+                _unlink_segment(seg)
+
+    # -- reusable mirror slots ---------------------------------------------------------
+
+    def mirror(self, slot: str, arr: np.ndarray) -> Descriptor:
+        """Copy ``arr`` into the named slot, growing under a new segment
+        name when it no longer fits (see module docstring)."""
+        flat = _as_flat(arr)
+        with self._lock:
+            s = self._slots.get(slot)
+            if s is None or s.capacity < flat.nbytes:
+                if s is not None:
+                    self._retired.append(s.seg.name)
+                    _unlink_segment(s.seg)
+                # Grow with headroom so a frontier oscillating around one
+                # size does not reallocate every superstep.
+                seg = _new_segment(max(flat.nbytes, 64) * 2)
+                s = _Slot(seg, seg.size)
+                self._slots[slot] = s
+            view = np.ndarray(flat.shape, dtype=flat.dtype, buffer=s.seg.buf)
+            view[:] = flat
+            self.bytes_copied += flat.nbytes
+            s.descriptor = (s.seg.name, flat.dtype.str, flat.shape[0])
+            return s.descriptor
+
+    def slot_array(self, slot: str, length: int, dtype) -> Tuple[Descriptor, np.ndarray]:
+        """A parent-visible array backed by the named slot (no copy-in):
+        workers write it in place (e.g. PageRank's per-range ``incoming``
+        rows), the parent reads the same pages after the round barrier."""
+        dtype = np.dtype(dtype)
+        nbytes = max(1, length * dtype.itemsize)
+        with self._lock:
+            s = self._slots.get(slot)
+            if s is None or s.capacity < nbytes:
+                if s is not None:
+                    self._retired.append(s.seg.name)
+                    _unlink_segment(s.seg)
+                seg = _new_segment(nbytes)
+                s = _Slot(seg, seg.size)
+                self._slots[slot] = s
+            view = np.ndarray((length,), dtype=dtype, buffer=s.seg.buf)
+            s.descriptor = (s.seg.name, dtype.str, length)
+            return s.descriptor, view
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def drain_retired(self) -> List[str]:
+        """Names retired since the last drain (attach-cache invalidation
+        for workers; each name is reported exactly once)."""
+        with self._lock:
+            retired, self._retired = self._retired, []
+            return retired
+
+    def close(self) -> None:
+        """Unlink every segment this arena owns (idempotent)."""
+        with self._lock:
+            for seg in list(self._placed.values()):
+                _unlink_segment(seg)
+            self._placed.clear()
+            for s in list(self._slots.values()):
+                _unlink_segment(s.seg)
+            self._slots.clear()
+            self._retired = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._placed) + len(self._slots)
+
+
+# -- worker side ----------------------------------------------------------------------
+
+_attached: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def attach(descriptor: Descriptor) -> np.ndarray:
+    """Worker-side zero-copy view of a shared segment, cached by name.
+
+    Attaching re-registers the name with the resource tracker, but spawn
+    workers share the *parent's* tracker process and its bookkeeping is
+    a set — the duplicate collapses, and the single entry is cleared by
+    the parent's eventual ``unlink``.  (Do NOT ``unregister`` here: that
+    would remove the shared entry early and make the parent's unlink a
+    double-unregister, which the tracker logs as a KeyError.)
+    """
+    name, dtype_str, length = descriptor
+    hit = _attached.get(name)
+    if hit is None:
+        seg = shared_memory.SharedMemory(name=name)
+        hit = (seg, np.ndarray((0,), dtype=np.uint8))
+        _attached[name] = hit
+    seg = hit[0]
+    return np.ndarray((length,), dtype=np.dtype(dtype_str), buffer=seg.buf)
+
+
+def detach(names) -> None:
+    """Drop cached attachments for retired segment names."""
+    for name in names:
+        hit = _attached.pop(name, None)
+        if hit is not None:
+            try:
+                hit[0].close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (worker shutdown path)."""
+    detach(list(_attached))

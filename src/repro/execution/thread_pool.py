@@ -18,12 +18,19 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.observability.probe import active_probe
 
-_DEFAULT_CAP = 8
-
-
 def default_worker_count() -> int:
-    """Pool default: available CPUs, capped (GIL makes huge pools useless)."""
-    return max(1, min(os.cpu_count() or 1, _DEFAULT_CAP))
+    """Pool default: ``REPRO_NUM_WORKERS`` when set, else every available
+    CPU.  (An earlier hardcoded cap of 8 is gone: on thread pools the GIL
+    makes extra workers cheap no-ops rather than harmful, and the env
+    knob now pins small pools explicitly — CI runs with
+    ``REPRO_NUM_WORKERS=2`` — while big machines get their cores.)"""
+    env = os.environ.get("REPRO_NUM_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 class ThreadPool:

@@ -19,8 +19,9 @@ Chrome trace file — the engine reconstructs the span tree and derives:
   aggregate names the dominant call chain the way Gunrock's
   per-iteration runtime breakdowns do;
 * **worker load imbalance** — per-worker busy time from
-  ``scheduler:task`` / ``pool:task`` spans, and the classic imbalance
-  factor ``t_max / t_mean`` (1.0 = perfectly balanced);
+  ``scheduler:task`` / ``pool:task`` / ``proc:task`` spans (the last
+  stitched back from ``par_proc`` worker processes), and the classic
+  imbalance factor ``t_max / t_mean`` (1.0 = perfectly balanced);
 * the **frontier timeline** — one row per superstep/bucket with frontier
   size, density, edges expanded, and the direction / fused-kernel /
   representation decisions PR 3's adaptive dispatch recorded on
@@ -51,6 +52,7 @@ LAYER_OF_PREFIX: Dict[str, str] = {
     "pool": "loop",
     "mailbox": "comm",
     "pregel": "comm",
+    "proc": "comm",
     "checkpoint": "resilience",
     "retry": "resilience",
     "fault": "resilience",
@@ -613,7 +615,7 @@ def analyze_spans(
     # Worker load from scheduler/pool task spans.
     busy: Dict[Any, WorkerLoad] = {}
     for n in nodes:
-        if n.name not in ("scheduler:task", "pool:task"):
+        if n.name not in ("scheduler:task", "pool:task", "proc:task"):
             continue
         worker = n.attrs.get("worker")
         if worker is None:

@@ -114,6 +114,14 @@ class Probe:
         if self.trace:
             self.tracer.event(name, **attrs)
 
+    def record_span(self, name: str, *, duration: float, **attrs: Any) -> None:
+        """Record a span for work already timed elsewhere (a worker
+        process's busy interval), ending now and parented to the calling
+        thread's open span."""
+        if self.trace:
+            end = self.tracer.now()
+            self.tracer.record(name, max(0.0, end - duration), end, **attrs)
+
     # -- metrics ----------------------------------------------------------------------
 
     def counter(self, name: str, n: Union[int, float] = 1) -> None:
@@ -157,6 +165,9 @@ class NullProbe(Probe):
         return _NULL_CONTEXT
 
     def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def record_span(self, name: str, *, duration: float, **attrs: Any) -> None:
         pass
 
     def counter(self, name: str, n: Union[int, float] = 1) -> None:

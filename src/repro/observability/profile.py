@@ -76,19 +76,19 @@ def _run_sssp_delta(graph, source, policy, num_workers):
 def _run_bfs(graph, source, policy, num_workers):
     from repro.algorithms import bfs
 
-    return bfs(graph, source)
+    return bfs(graph, source, policy=policy)
 
 
 def _run_cc(graph, source, policy, num_workers):
     from repro.algorithms import connected_components
 
-    return connected_components(graph)
+    return connected_components(graph, policy=policy)
 
 
 def _run_pagerank(graph, source, policy, num_workers):
     from repro.algorithms import pagerank
 
-    return pagerank(graph)
+    return pagerank(graph, policy=policy)
 
 
 def _run_pregel_pagerank(graph, source, policy, num_workers):

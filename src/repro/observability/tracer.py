@@ -147,6 +147,35 @@ class Tracer:
         )
         return _SpanContext(self, span)
 
+    def record(
+        self, name: str, start: float, end: float, **attrs: Any
+    ) -> Optional[Span]:
+        """Record an already-timed span directly into the buffer.
+
+        The stitching path for work that ran outside this interpreter —
+        a ``par_proc`` worker process reports how long its round kernel
+        was busy, and the parent records that interval as a child of its
+        currently open span.  ``start``/``end`` are seconds on this
+        tracer's timeline (see :meth:`now`).
+        """
+        parent = self.current_span()
+        ident, thread_name = self._thread_info()
+        span = Span(
+            next(self._ids),
+            name,
+            start,
+            end,
+            parent.span_id if parent is not None else None,
+            ident,
+            thread_name,
+            attrs,
+        )
+        if len(self._spans) < self.max_spans:
+            self._spans.append(span)
+            return span
+        self.dropped += 1
+        return None
+
     def event(self, name: str, **attrs: Any) -> None:
         """Record a zero-duration event on the calling thread's open span
         (dropped silently when no span is open — events decorate spans,

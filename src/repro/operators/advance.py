@@ -65,6 +65,7 @@ from repro.execution.policy import (
     ExecutionPolicy,
     ParallelNoSyncPolicy,
     ParallelPolicy,
+    ProcPolicy,
     SequencedPolicy,
     VectorPolicy,
     resolve_policy,
@@ -355,6 +356,18 @@ def _expand_dispatch(
     kernel=None, workspace=None,
 ):
     """Overload selection shared by the traced and untraced paths."""
+    if kernel is not None and isinstance(policy, ProcPolicy):
+        # Multiprocess sharded round (lazy import: spawning the worker
+        # pool and shm machinery is par_proc-only).  ``None`` means the
+        # round cannot run here (inside a worker process) — fall through
+        # to the in-process vectorized overloads below.
+        from repro.execution.proc_engine import proc_expand
+
+        result = proc_expand(
+            policy, graph, frontier, kernel, output, direction, candidates
+        )
+        if result is not None:
+            return result
     if direction == "pull":
         if kernel is not None:
             return kernel.pull(graph, frontier, candidates, output, workspace)

@@ -53,9 +53,14 @@ from repro.verify.comparators import (
     partition_isomorphic,
 )
 
-#: The four standard execution policies every policy-parametric
-#: algorithm must agree across.
-STANDARD_POLICIES: Tuple[str, ...] = ("seq", "par", "par_nosync", "par_vector")
+#: The standard execution policies every policy-parametric algorithm
+#: must agree across.  ``par_proc`` rides the same axis: its sharded
+#: rounds must be byte-identical to ``seq`` wherever the exact
+#: comparators apply (rank vectors use the tolerance comparator, same
+#: as the other parallel policies).
+STANDARD_POLICIES: Tuple[str, ...] = (
+    "seq", "par", "par_nosync", "par_vector", "par_proc",
+)
 
 
 @dataclass(frozen=True)
