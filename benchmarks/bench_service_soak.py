@@ -383,6 +383,10 @@ def main(argv=None) -> int:
     parser.add_argument("--json", help="write a trajectory entry here")
     parser.add_argument("--label", default="service_soak",
                         help="trajectory entry label")
+    parser.add_argument("--observe", action="store_true",
+                        help="soak with per-query tracing, latency "
+                        "histograms, and the incident flight recorder on "
+                        "(measures the observability layer under load)")
     parser.add_argument("--skip-subprocess", action="store_true",
                         help="skip the kill-and-restart phase")
     args = parser.parse_args(argv)
@@ -424,6 +428,8 @@ def main(argv=None) -> int:
                 breaker_cooldown_s=1.0,
                 cache_ttl_s=5.0,
                 record_ledger=False,
+                observe=args.observe,
+                incidents_dir=os.path.join(tmp, "incidents"),
             ),
         )
         # Chaos rides the server's own resilience policy: injected task
@@ -455,6 +461,17 @@ def main(argv=None) -> int:
         leaked = threading.active_count() - baseline_threads
         assert leaked <= 0, f"{leaked} threads leaked after server.stop()"
         log("threads: zero leaked after stop")
+
+        if args.observe:
+            flight = service.observability.flight.stats()
+            latency = service.observability.latency_summary()
+            overall = latency.get("_all", {})
+            log(
+                f"observe: {flight['recorded']} ring events, "
+                f"{flight['dumped']} incident files, traced p99 "
+                f"{overall.get('p99', 0.0):.1f} ms over "
+                f"{int(overall.get('count', 0))} queries"
+            )
 
         assert service.journal is not None
         assert service.journal.in_flight() == [], "journal left orphans"

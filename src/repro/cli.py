@@ -837,6 +837,20 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print(json.dumps(record, indent=2, sort_keys=True))
     else:
         print(_render_ledger_analysis(record))
+        trace = record.get("trace")
+        if trace:
+            from repro.observability.analysis import (
+                nodes_from_span_dicts,
+                render_span_tree,
+            )
+
+            qid = record.get("qid") or record["run_id"]
+            lines = [f"  span tree ({len(trace)} spans, trace id {qid}):"]
+            for line in render_span_tree(nodes_from_span_dicts(trace)).splitlines():
+                lines.append(f"    {line}")
+            if record.get("incident"):
+                lines.append(f"  incident file: {record['incident']}")
+            print("\n".join(lines))
     return 0
 
 
@@ -998,6 +1012,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_s=args.cache_ttl,
         retry_attempts=args.retry_attempts,
         record_ledger=not args.no_ledger,
+        observe=args.observe,
+        flight_capacity=args.flight_capacity,
     )
     try:
         service = QueryService(
@@ -1048,6 +1064,115 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return INTERRUPT_EXIT
     return 0
+
+
+def _render_latency_table(latency: dict) -> str:
+    """Human rendering of the per-(graph, algorithm) latency summaries
+    (the ``latency_ms`` section of `stats`/`metrics` responses)."""
+    lines = [
+        f"{'graph/algo':<24} {'count':>7} {'p50':>9} {'p95':>9} "
+        f"{'p99':>9} {'max':>9}"
+    ]
+    keys = sorted(k for k in latency if k != "_all")
+    if "_all" in latency:
+        keys.append("_all")
+    for key in keys:
+        entry = latency[key]
+        cells = " ".join(
+            f"{entry.get(col, 0.0):>9.2f}" for col in ("p50", "p95", "p99", "max")
+        )
+        lines.append(f"{key:<24} {int(entry.get('count', 0)):>7} {cells}")
+    return "\n".join(lines)
+
+
+def _render_top(snapshot: dict) -> str:
+    """One ``repro top`` frame from a metrics snapshot."""
+    queries = snapshot.get("queries", {})
+    responses = queries.get("responses", {})
+    codes = ", ".join(
+        f"{code}={count}" for code, count in sorted(responses.items())
+    )
+    workers = snapshot.get("workers", {})
+    trace = snapshot.get("trace", {})
+    incidents = snapshot.get("incidents", {})
+    admission = snapshot.get("admission", {})
+    cache = snapshot.get("cache", {})
+    lines = [
+        f"repro top — uptime {snapshot.get('uptime_s', 0.0):.1f}s",
+        f"  responses: {codes or '(none yet)'}",
+        f"  admission: active={admission.get('active', 0)} "
+        f"waiting={admission.get('waiting', 0)} "
+        f"admitted={admission.get('admitted', 0)} "
+        f"shed={admission.get('shed_queue_full', 0) + admission.get('shed_tenant_cap', 0) + admission.get('shed_timeout', 0)}",
+        f"  cache: entries={cache.get('entries', 0)} "
+        f"hit_ratio={cache.get('hit_ratio', 0.0):.2f} "
+        f"stale_served={cache.get('stale_served', 0)}",
+        f"  workers: n={workers.get('num_workers', 0)} "
+        f"busy={workers.get('busy_fraction', 0.0):.1%} "
+        f"restarts={workers.get('restarts', 0)}",
+        f"  trace: buffered={trace.get('buffered_spans', 0)} "
+        f"dropped={trace.get('dropped_spans', 0)}   "
+        f"incidents: dumped={incidents.get('dumped', 0)} "
+        f"dir={incidents.get('dir', '-')}",
+    ]
+    breakers = snapshot.get("breakers") or {}
+    tripped = {
+        key: entry for key, entry in breakers.items()
+        if entry.get("state") != "closed"
+    }
+    if tripped:
+        cells = ", ".join(
+            f"{key}={entry.get('state')}" for key, entry in sorted(tripped.items())
+        )
+        lines.append(f"  breakers: {cells}")
+    latency = queries.get("latency_ms") or {}
+    if latency:
+        lines.append("")
+        lines.extend(
+            "  " + row for row in _render_latency_table(latency).splitlines()
+        )
+    epochs = snapshot.get("epochs") or {}
+    lagging = {
+        name: entry for name, entry in epochs.items() if entry.get("lag")
+    }
+    if lagging:
+        cells = ", ".join(
+            f"{name} lag={entry['lag']}" for name, entry in sorted(lagging.items())
+        )
+        lines.append(f"  epochs: {cells}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: poll a running server's metrics op and render a
+    terminal dashboard (latency percentiles, admission, cache, workers,
+    breakers).  Needs the server started with ``--observe`` for the
+    latency/worker sections; the rest works regardless."""
+    import time as _time
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    iterations = 0
+    try:
+        with ServiceClient(
+            args.host, args.port, timeout=args.connect_timeout
+        ) as client:
+            while True:
+                snapshot = client.metrics()
+                if not args.no_clear and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(_render_top(snapshot))
+                sys.stdout.flush()
+                iterations += 1
+                if args.iterations and iterations >= args.iterations:
+                    return 0
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ServiceError) as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -1107,13 +1232,23 @@ def cmd_query(args: argparse.Namespace) -> int:
                             for e in args.remove or []],
                     tenant=args.tenant,
                 )
+            elif args.op == "metrics" and args.format == "prom":
+                resp = client.request({"op": "metrics", "format": "prom"})
             else:
                 resp = client.request({"op": args.op})
     except (OSError, ServiceError) as exc:
         print(f"query: {exc}", file=sys.stderr)
         return 1
+    ok = resp.get("code") in (200, 206)
+    if ok and args.op == "metrics" and args.format == "prom":
+        print(resp.get("result", {}).get("text", ""), end="")
+        return 0
     print(json.dumps(resp, indent=2, sort_keys=True))
-    return 0 if resp.get("code") in (200, 206) else 1
+    if ok and args.op == "stats":
+        latency = resp.get("result", {}).get("latency_ms") or {}
+        if latency:
+            print(_render_latency_table(latency), file=sys.stderr)
+    return 0 if ok else 1
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
@@ -1453,6 +1588,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip per-query run-ledger records",
     )
+    p.add_argument(
+        "--observe",
+        action="store_true",
+        help="per-query tracing, latency percentiles, and the incident "
+        "flight recorder (metrics op + `repro top` need this)",
+    )
+    p.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=256,
+        help="flight-recorder ring size (recent events kept for "
+        "incident dumps)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -1481,9 +1629,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant", default="default")
     p.add_argument(
         "--op",
-        choices=["query", "mutate", "ping", "stats", "catalog", "shutdown"],
+        choices=[
+            "query", "mutate", "ping", "stats", "metrics", "catalog",
+            "shutdown",
+        ],
         default="query",
         help="non-query ops need no graph/algorithm",
+    )
+    p.add_argument(
+        "--format",
+        choices=["json", "prom"],
+        default="json",
+        help="metrics op only: prom prints the Prometheus text "
+        "exposition raw instead of the JSON response",
     )
     p.add_argument(
         "--insert",
@@ -1504,6 +1662,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket timeout for connecting and reading, seconds",
     )
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running `repro serve` "
+        "(latency percentiles and worker stats need --observe)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between metric scrapes",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (for logs/CI)",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=60.0,
+        help="socket timeout for connecting and reading, seconds",
+    )
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "stream",

@@ -229,7 +229,9 @@ class ProcEngine:
         ):
             replies = pool.run_round(fn, per_rank_args, retire)
             probe.counter("proc.rounds")
+            probe.gauge("proc.workers", pool.num_workers)
             returned = 0
+            busy_total = 0.0
             for rank, reply in enumerate(replies):
                 if reply is None:
                     continue
@@ -238,12 +240,18 @@ class ProcEngine:
                         np.asarray(reply["dsts"]).nbytes
                         + np.asarray(reply["vals"]).nbytes
                     )
-                probe.record_span(
-                    "proc:task",
-                    duration=float(reply["busy"]),
-                    worker=rank,
-                    fn=fn,
-                )
+                busy = float(reply["busy"])
+                busy_total += busy
+                task_attrs = {"worker": rank, "fn": fn}
+                if reply.get("trace") is not None:
+                    # The echoed round-frame trace id: stitched worker
+                    # intervals stay attributable to their query.
+                    task_attrs["trace_id"] = reply["trace"]
+                probe.record_span("proc:task", duration=busy, **task_attrs)
+            if busy_total:
+                # Busy seconds accumulate so the service can derive the
+                # pool's busy fraction (busy / (uptime * workers)).
+                probe.counter("proc.busy_seconds", busy_total)
             if returned:
                 probe.counter("comm.bytes", returned)
         return replies

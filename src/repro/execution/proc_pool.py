@@ -50,6 +50,7 @@ from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional
 
 from repro.execution import proc_kernels, shm
+from repro.observability.context import current_trace_id
 from repro.observability.probe import active_probe
 from repro.resilience.deadline import active_token
 
@@ -158,6 +159,10 @@ def _worker_main(rank: int, conn) -> None:  # pragma: no cover - child process
             reply = {"id": msg["id"], "ok": False,
                      "error": f"{type(exc).__name__}: {exc}",
                      "busy": time.perf_counter() - t0}
+        if "trace" in msg:
+            # Echo the distributed-tracing id so the parent's stitched
+            # proc:task span is attributable to the originating query.
+            reply["trace"] = msg["trace"]
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -227,7 +232,14 @@ class ProcPool:
                 old.process.terminate()
             old.process.join(timeout=5)
         self.restarts += 1
-        active_probe().counter("proc.worker_restarts")
+        probe = active_probe()
+        probe.counter("proc.worker_restarts")
+        # Also mark the respawn on the enclosing span (the proc:round in
+        # flight), so a trace of the affected query shows *when* in the
+        # round a worker died — not just that a counter moved.
+        probe.event(
+            "proc:worker_respawn", worker=rank, restarts=self.restarts
+        )
         return self._spawn(rank)
 
     # -- round dispatch ----------------------------------------------------------------
@@ -247,6 +259,7 @@ class ProcPool:
                 raise WorkerDied("pool is closed")
             round_id = next(self._round_ids)
             budget = [0]
+            trace_id = current_trace_id()
             messages: Dict[int, Dict] = {}
             for rank, args in enumerate(per_rank_args):
                 if args is None:
@@ -255,6 +268,10 @@ class ProcPool:
                     "cmd": "round", "id": round_id, "fn": fn,
                     "args": args, "retire": retire,
                 }
+                if trace_id is not None:
+                    # Round frames carry the originating query's trace
+                    # id across the process boundary; workers echo it.
+                    messages[rank]["trace"] = trace_id
             for rank, msg in messages.items():
                 self._send(rank, msg, budget)
             if retire:

@@ -66,6 +66,20 @@ from repro.observability.analysis import (
     analyze_file,
     analyze_probe,
     analyze_spans,
+    nodes_from_span_dicts,
+    render_span_tree,
+)
+from repro.observability.context import current_trace_id, trace_context
+from repro.observability.flight import (
+    INCIDENT_SCHEMA,
+    FlightRecorder,
+    validate_incident_jsonl,
+)
+from repro.observability.prom import (
+    METRICS_SCHEMA,
+    metrics_to_prometheus,
+    validate_metrics_json,
+    validate_prometheus,
 )
 from repro.observability.ledger import (
     LEDGER_SCHEMA,
@@ -85,6 +99,17 @@ __all__ = [
     "analyze_file",
     "analyze_probe",
     "analyze_spans",
+    "nodes_from_span_dicts",
+    "render_span_tree",
+    "current_trace_id",
+    "trace_context",
+    "INCIDENT_SCHEMA",
+    "FlightRecorder",
+    "validate_incident_jsonl",
+    "METRICS_SCHEMA",
+    "metrics_to_prometheus",
+    "validate_metrics_json",
+    "validate_prometheus",
     "LEDGER_SCHEMA",
     "RunLedger",
     "ledger_enabled",

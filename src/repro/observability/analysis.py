@@ -56,11 +56,12 @@ LAYER_OF_PREFIX: Dict[str, str] = {
     "checkpoint": "resilience",
     "retry": "resilience",
     "fault": "resilience",
+    "service": "service",
 }
 
 #: The layers the report always enumerates (stable ordering for output).
 LAYERS = ("graph", "frontier", "operator", "loop", "comm", "resilience",
-          "other")
+          "service", "other")
 
 #: Span names that mark one loop iteration (a frontier-timeline row).
 _SUPERSTEP_NAMES = ("superstep", "bucket")
@@ -144,6 +145,30 @@ def nodes_from_events_jsonl(lines: Iterable[str]) -> List[SpanNode]:
                 thread_name=record.get("thread_name", ""),
                 attrs=dict(record.get("attrs", {})),
                 events=list(record.get("events", [])),
+            )
+        )
+    return out
+
+
+def nodes_from_span_dicts(records: Iterable[Dict[str, Any]]) -> List[SpanNode]:
+    """Normalize ``Span.to_dict``-shaped records (ledger-embedded traces,
+    incident files) — the same field names the JSONL event log uses,
+    minus the requirement that they arrive as serialized lines."""
+    out = []
+    for record in records:
+        if not isinstance(record, dict) or "id" not in record:
+            continue
+        out.append(
+            SpanNode(
+                span_id=int(record["id"]),
+                name=record.get("name", ""),
+                start=float(record.get("ts", 0.0)),
+                duration=float(record.get("dur") or 0.0),
+                parent_id=record.get("parent"),
+                thread_id=int(record.get("thread_id", 0)),
+                thread_name=record.get("thread_name", ""),
+                attrs=dict(record.get("attrs", {})),
+                events=list(record.get("events") or []),
             )
         )
     return out
@@ -712,3 +737,68 @@ def analyze_file(path: str) -> AnalysisReport:
     if isinstance(value, (int, float)) and value > 0:
         n_vertices = int(value)
     return analyze_spans(nodes, n_vertices=n_vertices)
+
+
+# -- span-tree rendering ---------------------------------------------------------------
+
+#: Attributes worth showing inline on a rendered span line.
+_TREE_ATTR_LIMIT = 6
+
+
+def render_span_tree(
+    nodes: Sequence[SpanNode], *, max_lines: int = 200
+) -> str:
+    """One query's span tree as indented text (``repro explain <qid>``).
+
+    Each line shows the span name, duration, and its most useful
+    attributes; span events render as ``@`` marks under their span.
+    Output is bounded: past ``max_lines`` the tree is cut with a visible
+    elision count (an explain of a pathological query must not scroll
+    the incident off the terminal).
+    """
+    roots = build_tree(nodes)
+    lines: List[str] = []
+    elided = 0
+
+    def emit(node: SpanNode, depth: int) -> None:
+        nonlocal elided
+        if len(lines) >= max_lines:
+            elided += 1 + _count(node)
+            return
+        indent = "  " * depth
+        attrs = {
+            k: v
+            for k, v in node.attrs.items()
+            if v is not None and k != "trace_id"
+        }
+        shown = list(attrs.items())[:_TREE_ATTR_LIMIT]
+        attr_text = " ".join(f"{k}={v}" for k, v in shown)
+        if len(attrs) > _TREE_ATTR_LIMIT:
+            attr_text += f" (+{len(attrs) - _TREE_ATTR_LIMIT} more)"
+        lines.append(
+            f"{indent}{node.name:<{max(1, 30 - len(indent))}} "
+            f"{node.duration * 1e3:>9.3f} ms"
+            + (f"  {attr_text}" if attr_text else "")
+        )
+        for ev in node.events:
+            if len(lines) >= max_lines:
+                elided += 1
+                continue
+            ev_attrs = " ".join(
+                f"{k}={v}" for k, v in (ev.get("attrs") or {}).items()
+            )
+            lines.append(
+                f"{indent}  @ {ev.get('name', '?')}"
+                + (f"  {ev_attrs}" if ev_attrs else "")
+            )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    def _count(node: SpanNode) -> int:
+        return sum(1 + _count(c) for c in node.children)
+
+    for root in roots:
+        emit(root, 0)
+    if elided:
+        lines.append(f"... ({elided} more lines elided)")
+    return "\n".join(lines) if lines else "(no spans)"

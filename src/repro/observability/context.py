@@ -1,0 +1,49 @@
+"""Ambient per-thread trace context — the id that ties a query together.
+
+The service assigns every request a *trace id* (its query id) and needs
+that id visible from every layer the query touches: the span the
+connection thread opens, the execution engine's supersteps, and — across
+a process boundary — the ``par_proc`` round frames, whose workers echo
+the id back so stitched ``proc:task`` spans carry it too.
+
+The probe itself is process-global (one ambient probe per session), so
+the trace id cannot live there: concurrent queries on different server
+threads each need their own.  This module is the thread-local half,
+mirroring :class:`~repro.resilience.deadline.CancelToken`'s ambience:
+``with trace_context(qid): ...`` installs the id for the current thread,
+:func:`current_trace_id` reads it (one thread-local ``getattr`` — free
+enough for the round-dispatch path, and never touched by kernel inner
+loops).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+_tls = threading.local()
+
+
+def current_trace_id() -> Optional[str]:
+    """The calling thread's trace id, or ``None`` outside any query."""
+    return getattr(_tls, "trace_id", None)
+
+
+class trace_context:
+    """Install a trace id for the current thread (re-entrant: nesting
+    restores the previous id on exit, like the cancel-token stack)."""
+
+    __slots__ = ("trace_id", "_prev")
+
+    def __init__(self, trace_id: Optional[str]) -> None:
+        self.trace_id = trace_id
+        self._prev: Optional[str] = None
+
+    def __enter__(self) -> "trace_context":
+        self._prev = getattr(_tls, "trace_id", None)
+        _tls.trace_id = self.trace_id
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _tls.trace_id = self._prev
+        self._prev = None

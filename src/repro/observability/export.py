@@ -21,6 +21,7 @@ and back both the CI schema check and the test suite.
 from __future__ import annotations
 
 import json
+import sys
 from collections import defaultdict
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
@@ -117,10 +118,26 @@ def to_chrome_trace(probe: Probe, *, process_name: str = "repro") -> Dict[str, A
     }
 
 
+def warn_dropped_spans(probe: Probe, path: str) -> None:
+    """One stderr line when the span buffer overflowed during the run.
+
+    Both file exporters call this: silent overflow would make
+    ``repro explain`` attribution quietly incomplete, and the counts in
+    the export headers are easy to never look at.
+    """
+    if probe.trace and probe.tracer.dropped:
+        print(
+            f"repro: warning: {probe.tracer.dropped} spans dropped at the "
+            f"tracer buffer cap; attribution in {path} is incomplete",
+            file=sys.stderr,
+        )
+
+
 def write_chrome_trace(probe: Probe, path: str, **kwargs: Any) -> None:
     """Serialize :func:`to_chrome_trace` to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(to_chrome_trace(probe, **kwargs), fh)
+    warn_dropped_spans(probe, path)
 
 
 def validate_chrome_trace(obj: Any) -> List[str]:
@@ -193,6 +210,7 @@ def write_events_jsonl(probe: Probe, path: str, **meta: Any) -> None:
             json.dumps({"type": "metrics", "values": probe.metrics.as_dict()})
             + "\n"
         )
+    warn_dropped_spans(probe, path)
 
 
 def validate_events_jsonl(lines: Iterable[str]) -> List[str]:

@@ -1,0 +1,185 @@
+"""The incident flight recorder — evidence that survives degraded queries.
+
+Always-on full tracing is too expensive for a long-running service, but
+"the query timed out and nothing explains why" is the operational
+failure mode the ROADMAP's service north-star cannot tolerate.  The
+flight recorder splits the difference like its aviation namesake: a
+bounded ring buffer of recent service events is always running, and the
+moment a query ends badly (408/500/504), a breaker trips OPEN, or a
+worker process has to be respawned, the recorder dumps the ring plus
+the triggering query's own spans to ``.repro/incidents/<id>.jsonl`` —
+a small, self-contained artifact for every degraded response.
+
+File layout (one JSON object per line):
+
+* line 1 — ``{"type": "incident", "schema": ..., "id", "reason",
+  "trace_id", "created_at", ...detail}`` header;
+* ``{"type": "ring", ...}`` — recent service events, oldest first;
+* ``{"type": "span", ...}`` — the triggering query's span tree in
+  ``Span.to_dict`` shape (what ``repro explain`` reconstructs).
+
+:func:`validate_incident_jsonl` checks that layout and sits beside the
+Chrome-trace and Prometheus validators in
+:mod:`repro.observability.validate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+#: Schema tag stamped into the incident header line.
+INCIDENT_SCHEMA = "repro-incident/v1"
+
+#: Where incident files land, relative to the working directory.
+DEFAULT_INCIDENTS_DIR = os.path.join(".repro", "incidents")
+
+#: Default ring capacity — enough to cover the requests *around* an
+#: incident without the recorder itself becoming a memory liability.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring of recent events, dumped to disk on incidents.
+
+    Parameters
+    ----------
+    root:
+        Directory for incident files (created lazily on first dump);
+        defaults to :data:`DEFAULT_INCIDENTS_DIR`.
+    capacity:
+        Ring size in events; the oldest events fall off first.
+    """
+
+    def __init__(
+        self, root: Optional[str] = None, *, capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.root = root if root is not None else DEFAULT_INCIDENTS_DIR
+        self.capacity = capacity
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        #: Lifetime counts, exposed on the metrics snapshot.
+        self.recorded = 0
+        self.dumped = 0
+
+    # -- the always-on ring ------------------------------------------------------------
+
+    def record(self, kind: str, **attrs: Any) -> None:
+        """Append one event to the ring (cheap: dict build + deque append)."""
+        event = {"type": "ring", "kind": kind, "at": time.time()}
+        event.update(attrs)
+        with self._lock:
+            self._ring.append(event)
+            self.recorded += 1
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Copy of the ring, oldest event first."""
+        with self._lock:
+            return list(self._ring)
+
+    # -- incident dumps ----------------------------------------------------------------
+
+    def incident(
+        self,
+        reason: str,
+        *,
+        trace_id: Optional[str] = None,
+        spans: Iterable[Dict[str, Any]] = (),
+        **detail: Any,
+    ) -> str:
+        """Dump the ring plus ``spans`` to a new incident file.
+
+        ``spans`` are ``Span.to_dict``-shaped records for the triggering
+        query.  Returns the incident file path.  Dump failures are the
+        caller's problem to swallow — the recorder never buffers an
+        incident it could not write.
+        """
+        with self._lock:
+            seq = next(self._ids)
+            ring = list(self._ring)
+            self.dumped += 1
+        incident_id = f"inc-{os.getpid()}-{seq:04d}"
+        header: Dict[str, Any] = {
+            "type": "incident",
+            "schema": INCIDENT_SCHEMA,
+            "id": incident_id,
+            "reason": reason,
+            "trace_id": trace_id,
+            "created_at": time.time(),
+        }
+        header.update(detail)
+        os.makedirs(self.root, exist_ok=True)
+        path = os.path.join(self.root, f"{incident_id}.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for event in ring:
+                fh.write(json.dumps(event) + "\n")
+            for span in spans:
+                record = dict(span)
+                record["type"] = "span"
+                fh.write(json.dumps(record) + "\n")
+        return path
+
+    def stats(self) -> Dict[str, Any]:
+        """Lifetime counters plus the configured dump directory."""
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "dumped": self.dumped,
+                "ring": len(self._ring),
+                "capacity": self.capacity,
+                "dir": self.root,
+            }
+
+
+def validate_incident_jsonl(lines: Iterable[str]) -> List[str]:
+    """Schema-check an incident file given as an iterable of lines."""
+    problems: List[str] = []
+    saw_header = False
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {i + 1}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: invalid JSON ({exc})")
+            continue
+        kind = record.get("type")
+        if i == 0:
+            if kind != "incident":
+                problems.append(f"{where}: first line must be the header")
+                continue
+            saw_header = True
+            if record.get("schema") != INCIDENT_SCHEMA:
+                problems.append(
+                    f"{where}: schema {record.get('schema')!r} != "
+                    f"{INCIDENT_SCHEMA!r}"
+                )
+            for key in ("id", "reason", "created_at"):
+                if key not in record:
+                    problems.append(f"{where}: header missing {key!r}")
+        elif kind == "ring":
+            for key in ("kind", "at"):
+                if key not in record:
+                    problems.append(f"{where}: ring event missing {key!r}")
+        elif kind == "span":
+            for key in ("id", "name", "ts", "attrs"):
+                if key not in record:
+                    problems.append(f"{where}: span missing {key!r}")
+        elif kind == "incident":
+            problems.append(f"{where}: duplicate header")
+        else:
+            problems.append(f"{where}: unknown record type {kind!r}")
+    if not saw_header:
+        problems.append("no incident header line")
+    return problems

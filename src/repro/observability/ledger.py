@@ -212,14 +212,19 @@ class RunLedger:
     def get(self, run_id: str) -> Optional[Dict[str, Any]]:
         """The record with the given id; unique prefixes also match
         (``repro explain r20260806`` works like an abbreviated git sha).
-        Returns ``None`` when absent or ambiguous."""
+        Service query records additionally match on their ``qid`` field,
+        so ``repro explain q1234-000007`` resolves the id a query
+        response reported.  Returns ``None`` when absent or ambiguous."""
         exact = None
         prefixed: List[Dict[str, Any]] = []
         for record in self.records():
-            rid = str(record["run_id"])
-            if rid == run_id:
+            ids = [str(record["run_id"])]
+            qid = record.get("qid")
+            if qid:
+                ids.append(str(qid))
+            if run_id in ids:
                 exact = record  # last exact match wins (append-only)
-            elif rid.startswith(run_id):
+            elif any(i.startswith(run_id) for i in ids):
                 prefixed.append(record)
         if exact is not None:
             return exact

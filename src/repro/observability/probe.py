@@ -100,6 +100,9 @@ class Probe:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace
+        # Mirror buffer overflow into the metrics sink: a live scrape
+        # then exposes ``trace.dropped_spans`` without reading exports.
+        self.tracer.metrics = self.metrics
 
     # -- tracing ----------------------------------------------------------------------
 

@@ -1,0 +1,428 @@
+"""Service metrics exposition: JSON schema and Prometheus text format.
+
+The service's ``metrics`` op returns one JSON snapshot (schema
+:data:`METRICS_SCHEMA`) built by ``QueryService.metrics_snapshot`` —
+per-(graph, algorithm) latency quantiles, admission/shed/breaker
+counters, cache hit ratio, worker-pool busy fraction, dynamic-graph
+epoch lag.  This module renders that snapshot in the Prometheus text
+exposition format (version 0.0.4 — ``# HELP``/``# TYPE`` comments plus
+``name{labels} value`` samples) and carries the validators for both
+shapes, sitting next to the Chrome-trace validator in
+:mod:`repro.observability.validate`.
+
+Rendering is snapshot → text, never registry → text: the scrape path
+reads the same frozen dict the JSON op returns, so the two formats can
+never disagree about a value.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+#: Schema tag stamped into the JSON metrics snapshot.
+METRICS_SCHEMA = "repro-service-metrics/v1"
+
+#: Quantiles the snapshot exposes per latency histogram.
+LATENCY_QUANTILES = (50, 95, 99)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|NaN|Inf|inf))"
+    r"(?:\s+[0-9]+)?$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+#: Circuit-breaker state encoding for the ``repro_breaker_state`` gauge.
+BREAKER_STATE_CODES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(pairs: Mapping[str, Any]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in pairs.items()
+    )
+    return "{" + body + "}"
+
+
+def _num(value: Any) -> str:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return "NaN"
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Exposition:
+    """Accumulates families in declaration order, one TYPE line each."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self, name: str, value: Any, labels: Mapping[str, Any] = {}
+    ) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_num(value)}")
+
+
+def _split_key(key: str) -> Tuple[str, str]:
+    """A ``graph/algorithm`` snapshot key into its label pair."""
+    graph, _, algorithm = key.partition("/")
+    return graph, algorithm or "*"
+
+
+def metrics_to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a :data:`METRICS_SCHEMA` snapshot as Prometheus text.
+
+    Counters map to ``*_total`` counter families, point-in-time readings
+    to gauges, and each latency histogram to a summary family
+    (quantile-labelled samples plus ``_sum``/``_count``).  Unknown or
+    absent sections are simply skipped — the exposition degrades with
+    the snapshot rather than erroring a scrape.
+    """
+    exp = _Exposition()
+
+    exp.family("repro_uptime_seconds", "gauge", "Service uptime.")
+    exp.sample("repro_uptime_seconds", snapshot.get("uptime_s", 0.0))
+
+    queries = snapshot.get("queries") or {}
+    responses = queries.get("responses") or {}
+    exp.family(
+        "repro_responses_total", "counter", "Responses by status code."
+    )
+    for code in sorted(responses):
+        exp.sample(
+            "repro_responses_total", responses[code], {"code": code}
+        )
+
+    latency = queries.get("latency_ms") or {}
+    if latency:
+        exp.family(
+            "repro_query_latency_ms",
+            "summary",
+            "Query latency quantiles per (graph, algorithm).",
+        )
+        for key in sorted(latency):
+            graph, algorithm = _split_key(key)
+            labels = {"graph": graph, "algorithm": algorithm}
+            summary = latency[key]
+            for q in LATENCY_QUANTILES:
+                exp.sample(
+                    "repro_query_latency_ms",
+                    summary.get(f"p{q}", 0.0),
+                    {**labels, "quantile": f"0.{q:02d}".rstrip("0") or "0"},
+                )
+            exp.sample(
+                "repro_query_latency_ms_sum", summary.get("sum", 0.0), labels
+            )
+            exp.sample(
+                "repro_query_latency_ms_count",
+                summary.get("count", 0),
+                labels,
+            )
+
+    admission = snapshot.get("admission") or {}
+    if admission:
+        exp.family(
+            "repro_admission_active", "gauge", "Queries holding a slot."
+        )
+        exp.sample("repro_admission_active", admission.get("active", 0))
+        exp.family(
+            "repro_admission_waiting", "gauge", "Queries queued for a slot."
+        )
+        exp.sample("repro_admission_waiting", admission.get("waiting", 0))
+        exp.family(
+            "repro_admission_admitted_total", "counter", "Admitted queries."
+        )
+        exp.sample(
+            "repro_admission_admitted_total", admission.get("admitted", 0)
+        )
+        exp.family(
+            "repro_admission_shed_total", "counter", "Shed queries by reason."
+        )
+        for reason in ("queue_full", "tenant_cap", "timeout"):
+            exp.sample(
+                "repro_admission_shed_total",
+                admission.get(f"shed_{reason}", 0),
+                {"reason": reason},
+            )
+
+    cache = snapshot.get("cache") or {}
+    if cache:
+        exp.family("repro_cache_entries", "gauge", "Live cache entries.")
+        exp.sample("repro_cache_entries", cache.get("entries", 0))
+        exp.family("repro_cache_hits_total", "counter", "Cache hits.")
+        exp.sample("repro_cache_hits_total", cache.get("hits", 0))
+        exp.family("repro_cache_misses_total", "counter", "Cache misses.")
+        exp.sample("repro_cache_misses_total", cache.get("misses", 0))
+        exp.family(
+            "repro_cache_stale_served_total",
+            "counter",
+            "Stale entries served under degradation.",
+        )
+        exp.sample(
+            "repro_cache_stale_served_total", cache.get("stale_served", 0)
+        )
+        exp.family(
+            "repro_cache_hit_ratio", "gauge", "Lifetime cache hit ratio."
+        )
+        exp.sample("repro_cache_hit_ratio", cache.get("hit_ratio", 0.0))
+
+    breakers = snapshot.get("breakers") or {}
+    if breakers:
+        exp.family(
+            "repro_breaker_state",
+            "gauge",
+            "Circuit state (0=closed, 1=open, 2=half_open).",
+        )
+        for key in sorted(breakers):
+            graph, algorithm = _split_key(key)
+            exp.sample(
+                "repro_breaker_state",
+                BREAKER_STATE_CODES.get(breakers[key].get("state"), -1),
+                {"graph": graph, "algorithm": algorithm},
+            )
+        exp.family(
+            "repro_breaker_opened_total",
+            "counter",
+            "Times each circuit opened.",
+        )
+        for key in sorted(breakers):
+            graph, algorithm = _split_key(key)
+            exp.sample(
+                "repro_breaker_opened_total",
+                breakers[key].get("times_opened", 0),
+                {"graph": graph, "algorithm": algorithm},
+            )
+        exp.family(
+            "repro_breaker_rejections_total",
+            "counter",
+            "Queries rejected by an open circuit.",
+        )
+        for key in sorted(breakers):
+            graph, algorithm = _split_key(key)
+            exp.sample(
+                "repro_breaker_rejections_total",
+                breakers[key].get("rejections", 0),
+                {"graph": graph, "algorithm": algorithm},
+            )
+
+    workers = snapshot.get("workers") or {}
+    if workers:
+        exp.family(
+            "repro_worker_restarts_total",
+            "counter",
+            "Worker processes respawned after death.",
+        )
+        exp.sample(
+            "repro_worker_restarts_total", workers.get("restarts", 0)
+        )
+        exp.family(
+            "repro_worker_busy_fraction",
+            "gauge",
+            "Fraction of worker-pool capacity spent busy.",
+        )
+        exp.sample(
+            "repro_worker_busy_fraction", workers.get("busy_fraction", 0.0)
+        )
+
+    epochs = snapshot.get("epochs") or {}
+    if epochs:
+        exp.family(
+            "repro_epoch_lag",
+            "gauge",
+            "Mutation epochs applied since each graph was last queried.",
+        )
+        for graph in sorted(epochs):
+            exp.sample(
+                "repro_epoch_lag",
+                epochs[graph].get("lag", 0),
+                {"graph": graph},
+            )
+
+    trace = snapshot.get("trace") or {}
+    if trace:
+        exp.family(
+            "repro_trace_dropped_spans_total",
+            "counter",
+            "Spans dropped at the tracer buffer cap.",
+        )
+        exp.sample(
+            "repro_trace_dropped_spans_total", trace.get("dropped_spans", 0)
+        )
+
+    incidents = snapshot.get("incidents") or {}
+    if incidents:
+        exp.family(
+            "repro_incidents_total",
+            "counter",
+            "Incident files dumped by the flight recorder.",
+        )
+        exp.sample("repro_incidents_total", incidents.get("dumped", 0))
+
+    return "\n".join(exp.lines) + "\n"
+
+
+# -- validators ------------------------------------------------------------------------
+
+
+def validate_prometheus(lines: Iterable[str]) -> List[str]:
+    """Schema-check Prometheus exposition text; returns problems.
+
+    Checks the 0.0.4 text-format grammar line by line (comment or
+    sample), that every sample's family was declared with ``# TYPE``
+    first, and that declared counters end in ``_total`` (summaries are
+    exempt via their ``_sum``/``_count`` children).
+    """
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    saw_sample = False
+    for i, raw in enumerate(lines):
+        line = raw.rstrip("\n")
+        where = f"line {i + 1}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"{where}: malformed comment {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                name, kind = parts[2], parts[3] if len(parts) > 3 else ""
+                if not _NAME_RE.match(name):
+                    problems.append(f"{where}: invalid metric name {name!r}")
+                if kind not in (
+                    "counter", "gauge", "summary", "histogram", "untyped"
+                ):
+                    problems.append(f"{where}: invalid type {kind!r}")
+                elif name in declared:
+                    problems.append(f"{where}: duplicate TYPE for {name!r}")
+                else:
+                    declared[name] = kind
+                    if kind == "counter" and not name.endswith("_total"):
+                        problems.append(
+                            f"{where}: counter {name!r} should end in _total"
+                        )
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"{where}: malformed sample {line!r}")
+            continue
+        saw_sample = True
+        name = match.group("name")
+        family = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+                break
+        if family not in declared:
+            problems.append(
+                f"{where}: sample {name!r} has no preceding TYPE declaration"
+            )
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_label_pairs(labels):
+                if not _LABEL_RE.match(pair.strip()):
+                    problems.append(
+                        f"{where}: malformed label pair {pair.strip()!r}"
+                    )
+    if not saw_sample:
+        problems.append("no samples")
+    return problems
+
+
+def _split_label_pairs(body: str) -> List[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quotes."""
+    pairs: List[str] = []
+    depth_quote = False
+    start = 0
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and depth_quote:
+            i += 2
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+        elif ch == "," and not depth_quote:
+            pairs.append(body[start:i])
+            start = i + 1
+        i += 1
+    tail = body[start:]
+    if tail.strip():
+        pairs.append(tail)
+    return pairs
+
+
+def validate_metrics_json(obj: Any) -> List[str]:
+    """Schema-check a loaded JSON metrics snapshot; returns problems."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"snapshot root must be an object, got {type(obj).__name__}"]
+    if obj.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema {obj.get('schema')!r} != {METRICS_SCHEMA!r}"
+        )
+    if not isinstance(obj.get("uptime_s"), (int, float)):
+        problems.append("uptime_s must be numeric")
+    for section in ("queries", "admission", "cache", "breakers", "epochs"):
+        if not isinstance(obj.get(section), dict):
+            problems.append(f"missing object section {section!r}")
+    queries = obj.get("queries")
+    if isinstance(queries, dict):
+        responses = queries.get("responses")
+        if not isinstance(responses, dict):
+            problems.append("queries.responses must be an object")
+        latency = queries.get("latency_ms")
+        if not isinstance(latency, dict):
+            problems.append("queries.latency_ms must be an object")
+        else:
+            for key, summary in latency.items():
+                if not isinstance(summary, dict):
+                    problems.append(f"latency_ms[{key!r}] is not an object")
+                    continue
+                for field in ("count", "p50", "p95", "p99"):
+                    if not isinstance(summary.get(field), (int, float)):
+                        problems.append(
+                            f"latency_ms[{key!r}] missing numeric {field!r}"
+                        )
+    cache = obj.get("cache")
+    if isinstance(cache, dict):
+        ratio = cache.get("hit_ratio")
+        if not isinstance(ratio, (int, float)) or not (
+            0.0 <= float(ratio) <= 1.0
+        ):
+            problems.append("cache.hit_ratio must be in [0, 1]")
+    breakers = obj.get("breakers")
+    if isinstance(breakers, dict):
+        for key, stats in breakers.items():
+            if not isinstance(stats, dict) or stats.get(
+                "state"
+            ) not in BREAKER_STATE_CODES:
+                problems.append(
+                    f"breakers[{key!r}] missing a known state"
+                )
+    return problems

@@ -69,7 +69,7 @@ class _SpanContext:
         if len(spans) < tracer.max_spans:
             spans.append(span)
         else:
-            tracer.dropped += 1
+            tracer._note_drop()
         return False
 
 
@@ -96,6 +96,18 @@ class Tracer:
         self._ids = itertools.count()
         self._local = threading.local()
         self.dropped = 0
+        #: Optional :class:`MetricsRegistry` mirror (set by the owning
+        #: probe): buffer overflow then also shows up as the
+        #: ``trace.dropped_spans`` counter, so a metrics scrape reveals
+        #: incomplete attribution without reading the export header.
+        self.metrics = None
+
+    def _note_drop(self) -> None:
+        """Count one dropped span (cold path — only runs at the cap)."""
+        self.dropped += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("trace.dropped_spans").increment()
 
     # -- clock -------------------------------------------------------------------------
 
@@ -173,7 +185,7 @@ class Tracer:
         if len(self._spans) < self.max_spans:
             self._spans.append(span)
             return span
-        self.dropped += 1
+        self._note_drop()
         return None
 
     def event(self, name: str, **attrs: Any) -> None:
@@ -191,6 +203,18 @@ class Tracer:
         """Snapshot of completed spans, in completion order."""
         with self._lock:
             return list(self._spans)
+
+    def spans_since(self, index: int) -> List[Span]:
+        """Snapshot of completed spans from buffer position ``index`` on.
+
+        The service harvests one query's spans by remembering the buffer
+        length when the query began and copying only the tail when it
+        settles — the buffer is append-only between :meth:`clear` calls,
+        so positions are stable and the copy stays proportional to the
+        query, not the session.
+        """
+        with self._lock:
+            return list(self._spans[index:])
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,10 +1,17 @@
 """Schema checks as a command: ``python -m repro.observability.validate``.
 
-CI's smoke-profile job runs ``repro profile sssp --trace t.json --events
-e.jsonl`` and then this module over the outputs; a non-empty problem
-list is a failing exit code with the problems on stderr.  Files are
-dispatched by extension: ``*.jsonl`` is checked as an event log,
-anything else as a Chrome trace.
+CI's smoke jobs run ``repro profile``/``repro query`` and then this
+module over the outputs; a non-empty problem list is a failing exit
+code with the problems on stderr.  Files are dispatched by shape:
+
+* ``*.prom`` — Prometheus text exposition (the ``metrics`` op's text
+  format);
+* ``*.jsonl`` — peeked at the first line: an ``incident`` header is
+  checked as a flight-recorder dump, anything else as a JSONL event
+  log;
+* everything else — parsed as JSON: a ``traceEvents`` root is a Chrome
+  trace, a :data:`~repro.observability.prom.METRICS_SCHEMA` tag is a
+  service metrics snapshot.
 """
 
 from __future__ import annotations
@@ -17,15 +24,45 @@ from repro.observability.export import (
     validate_chrome_trace,
     validate_events_jsonl,
 )
+from repro.observability.flight import validate_incident_jsonl
+from repro.observability.prom import (
+    METRICS_SCHEMA,
+    validate_metrics_json,
+    validate_prometheus,
+)
 
 
 def validate_file(path: str) -> List[str]:
     """Validate one export file; returns its problems (empty = valid)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
+            if path.endswith(".prom"):
+                return validate_prometheus(fh)
             if path.endswith(".jsonl"):
-                return validate_events_jsonl(fh)
-            return validate_chrome_trace(json.load(fh))
+                lines = fh.readlines()
+                first: dict = {}
+                for line in lines:
+                    if line.strip():
+                        try:
+                            first = json.loads(line)
+                        except json.JSONDecodeError:
+                            first = {}
+                        break
+                if isinstance(first, dict) and first.get("type") == "incident":
+                    return validate_incident_jsonl(lines)
+                return validate_events_jsonl(lines)
+            obj = json.load(fh)
+            if (
+                isinstance(obj, dict)
+                and str(obj.get("protocol", "")).startswith("repro-query/")
+                and isinstance(obj.get("result"), dict)
+            ):
+                # A saved `repro query --op metrics` response: the
+                # snapshot rides inside the protocol envelope.
+                obj = obj["result"]
+            if isinstance(obj, dict) and obj.get("schema") == METRICS_SCHEMA:
+                return validate_metrics_json(obj)
+            return validate_chrome_trace(obj)
     except (OSError, json.JSONDecodeError) as exc:
         return [f"could not read {path}: {exc}"]
 

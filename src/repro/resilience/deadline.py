@@ -125,11 +125,32 @@ class CancelToken:
     def check(self, site: str = "") -> None:
         """Raise at a cooperative checkpoint if the token has fired."""
         if self._cancelled.is_set():
+            self._note_fired(site, "cancelled")
             where = f" at {site}" if site else ""
             what = f" ({self.reason})" if self.reason else ""
             raise QueryCancelled(f"query cancelled{where}{what}")
         if self.deadline is not None:
-            self.deadline.check(site)
+            try:
+                self.deadline.check(site)
+            except DeadlineExceeded:
+                self._note_fired(site, "deadline")
+                raise
+
+    def _note_fired(self, site: str, kind: str) -> None:
+        """Mark the raise on the open span — a trace of a 504 then shows
+        exactly which checkpoint observed the fired token.  Lazy import:
+        this module sits below observability in the dependency order,
+        and the cold path (the token fired) can afford the lookup."""
+        from repro.observability.probe import active_probe
+
+        probe = active_probe()
+        if probe.enabled:
+            probe.event(
+                "resilience:cancelled",
+                kind=kind,
+                site=site,
+                label=self.label,
+            )
 
     # -- ambient installation (per thread) ---------------------------------------------
 

@@ -11,6 +11,8 @@ under overload and failure.  Pieces, each its own module:
 * :mod:`~repro.service.cache` — LRU+TTL results, stale-while-error.
 * :mod:`~repro.service.journal` — crash-recoverable query journal.
 * :mod:`~repro.service.queries` — algorithm dispatch, wire-sized results.
+* :mod:`~repro.service.observe` — per-query tracing, latency metrics,
+  and the incident flight recorder (``observe=True``).
 * :mod:`~repro.service.server` — the pipeline plus the TCP front end.
 * :mod:`~repro.service.client` — the blocking JSONL client.
 
@@ -25,6 +27,10 @@ from repro.service.cache import ResultCache, cache_key
 from repro.service.catalog import GraphCatalog, parse_graph_spec
 from repro.service.client import ServiceClient
 from repro.service.journal import QueryJournal
+from repro.service.observe import (
+    NullServiceObservability,
+    ServiceObservability,
+)
 from repro.service.queries import execute_query
 from repro.service.server import GraphQueryServer, QueryService, ServiceConfig
 
@@ -34,11 +40,13 @@ __all__ = [
     "CircuitBreaker",
     "GraphCatalog",
     "GraphQueryServer",
+    "NullServiceObservability",
     "QueryJournal",
     "QueryService",
     "ResultCache",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceObservability",
     "cache_key",
     "execute_query",
     "parse_graph_spec",

@@ -111,8 +111,21 @@ class ServiceClient:
         return self.request({"op": "ping"}).get("code") == protocol.OK
 
     def stats(self) -> Dict[str, Any]:
-        """The server's operational stats (admission, breakers, codes)."""
+        """The server's operational stats (admission, breakers, codes,
+        and — with observability on — latency percentiles)."""
         return self.request({"op": "stats"}).get("result", {})
+
+    def metrics(self, format: str = "json") -> Dict[str, Any]:
+        """One live metrics scrape.
+
+        ``format="json"`` returns the snapshot dict; ``format="prom"``
+        (or ``"prometheus"``) returns ``{"format": "prometheus",
+        "text": ...}`` with the text exposition.
+        """
+        req: Dict[str, Any] = {"op": "metrics"}
+        if format != "json":
+            req["format"] = format
+        return self.request(req).get("result", {})
 
     def catalog(self) -> Dict[str, Any]:
         """The served graphs and their sizes."""

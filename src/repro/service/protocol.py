@@ -30,7 +30,7 @@ PROTOCOL = "repro-query/v1"
 MAX_FRAME_BYTES = 1 << 20
 
 #: Operations a request may carry.
-OPS = ("query", "mutate", "ping", "stats", "catalog", "shutdown")
+OPS = ("query", "mutate", "ping", "stats", "metrics", "catalog", "shutdown")
 
 #: Algorithms the query op accepts.
 ALGORITHMS = ("pagerank", "ppr", "bfs", "sssp", "cc")

@@ -50,13 +50,19 @@ from repro.errors import (
     GraphFormatError,
     ProtocolError,
 )
+from repro.observability.prom import METRICS_SCHEMA, metrics_to_prometheus
 from repro.resilience.deadline import CancelToken
 from repro.service import protocol
 from repro.service.admission import AdmissionController
+from repro.service.breaker import OPEN as BREAKER_OPEN
 from repro.service.breaker import BreakerBoard
 from repro.service.cache import ResultCache, cache_key
 from repro.service.catalog import GraphCatalog
 from repro.service.journal import QueryJournal
+from repro.service.observe import (
+    NULL_SERVICE_OBSERVABILITY,
+    ServiceObservability,
+)
 from repro.service.queries import execute_query, make_resilience
 
 
@@ -74,6 +80,13 @@ class ServiceConfig:
     cache_ttl_s: float = 60.0
     retry_attempts: int = 2
     record_ledger: bool = True
+    # Observability (off by default — the null-object discipline): when
+    # on, every query gets a trace id and a span tree, degraded queries
+    # dump flight-recorder incidents, and the metrics op grows latency
+    # percentiles, worker busy fraction, and tracer health.
+    observe: bool = False
+    flight_capacity: int = 256
+    incidents_dir: Optional[str] = None
 
 
 class QueryService:
@@ -113,6 +126,25 @@ class QueryService:
         self._codes: Dict[int, int] = {}
         self._inflight: Dict[str, CancelToken] = {}
         self.shutdown_requested = threading.Event()
+        self._started_monotonic = time.monotonic()
+        #: Graph epoch at each graph's most recent query (for epoch lag).
+        self._last_query_epoch: Dict[str, int] = {}
+        self.observability = (
+            ServiceObservability(
+                flight_capacity=self.config.flight_capacity,
+                incidents_dir=self.config.incidents_dir,
+            )
+            if self.config.observe
+            else NULL_SERVICE_OBSERVABILITY
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Release process-global resources (the installed probe);
+        idempotent, and a no-op for an observe-off service."""
+        if not self._closed:
+            self._closed = True
+            self.observability.close()
 
     # -- bookkeeping -------------------------------------------------------------------
 
@@ -126,9 +158,24 @@ class QueryService:
             self._codes[code] = self._codes.get(code, 0) + 1
 
     def _ledger_record(
-        self, algorithm: str, graph: str, tenant: str, code: int, seconds: float
+        self,
+        algorithm: str,
+        graph: str,
+        tenant: str,
+        code: int,
+        seconds: float,
+        *,
+        kind: str = "query",
+        qid: Optional[str] = None,
+        trace: Optional[List[Dict[str, Any]]] = None,
+        incident: Optional[str] = None,
     ) -> None:
-        """Best-effort ``kind="query"`` run-ledger record (never fatal)."""
+        """Best-effort run-ledger record (never fatal).
+
+        With observability on, query records carry the query id, the
+        harvested span tree, and the incident file path — what lets
+        ``repro explain <query-id>`` reconstruct the query later.
+        """
         if not self.config.record_ledger:
             return
         from repro.observability import ledger as ledger_mod
@@ -140,16 +187,21 @@ class QueryService:
             if self.data_dir is not None
             else None
         )
+        record = ledger_mod.make_record(
+            kind=kind,
+            algorithm=algorithm,
+            config={"graph": graph, "tenant": tenant},
+            metrics={"code": code, "seconds": seconds},
+        )
+        if qid is not None:
+            record["qid"] = qid
+        if trace:
+            record["trace"] = trace
+        if incident is not None:
+            record["incident"] = incident
         try:
-            ledger_mod.RunLedger(root).append(
-                ledger_mod.make_record(
-                    kind="query",
-                    algorithm=algorithm,
-                    config={"graph": graph, "tenant": tenant},
-                    metrics={"code": code, "seconds": seconds},
-                )
-            )
-        except OSError:
+            ledger_mod.RunLedger(root).append(record)
+        except (OSError, TypeError, ValueError):
             pass  # telemetry must not break serving
 
     def cancel_all(self, reason: str) -> int:
@@ -162,10 +214,11 @@ class QueryService:
 
     def stats(self) -> Dict[str, Any]:
         """Operational snapshot: catalog, admission, breakers, cache,
-        response-code counts, and journal recovery."""
+        response-code counts, and journal recovery.  With observability
+        on, latency percentiles ride along under ``latency_ms``."""
         with self._lock:
             codes = {str(k): v for k, v in sorted(self._codes.items())}
-        return {
+        out = {
             "catalog": sorted(self.catalog.names()),
             "admission": self.admission.stats(),
             "breakers": self.breakers.stats(),
@@ -173,6 +226,55 @@ class QueryService:
             "codes": codes,
             "recovered_aborted": len(self.recovered),
         }
+        latency = self.observability.latency_summary()
+        if latency:
+            out["latency_ms"] = latency
+        return out
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The live scrape (``metrics`` op): one JSON snapshot in the
+        :data:`~repro.observability.prom.METRICS_SCHEMA` shape.
+
+        Service-state sections (responses, admission, cache, breakers,
+        epoch lag) are always present; latency percentiles, worker-pool
+        busy fraction, tracer health, and incident counts require
+        ``observe=True`` (they come from the installed probe).
+        """
+        uptime_s = time.monotonic() - self._started_monotonic
+        with self._lock:
+            codes = {str(k): v for k, v in sorted(self._codes.items())}
+            last_epochs = dict(self._last_query_epoch)
+        cache = dict(self.cache.stats())
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        cache["hit_ratio"] = (
+            round(cache.get("hits", 0) / lookups, 4) if lookups else 0.0
+        )
+        epochs: Dict[str, Dict[str, int]] = {}
+        for name in sorted(self.catalog.names()):
+            try:
+                current = self.catalog.epoch_of(name)
+            except CatalogError:  # pragma: no cover - racing an unload
+                continue
+            last = last_epochs.get(name, current)
+            epochs[name] = {
+                "current": current,
+                "last_query": last,
+                "lag": max(0, current - last),
+            }
+        snapshot: Dict[str, Any] = {
+            "schema": METRICS_SCHEMA,
+            "uptime_s": round(uptime_s, 3),
+            "queries": {
+                "responses": codes,
+                "latency_ms": self.observability.latency_summary(),
+            },
+            "admission": self.admission.stats(),
+            "cache": cache,
+            "breakers": self.breakers.stats(),
+            "epochs": epochs,
+        }
+        snapshot.update(self.observability.snapshot_extras(uptime_s))
+        return snapshot
 
     # -- the handler -------------------------------------------------------------------
 
@@ -190,6 +292,18 @@ class QueryService:
             return protocol.response(req, protocol.OK, result={"pong": True})
         if op == "stats":
             return protocol.response(req, protocol.OK, result=self.stats())
+        if op == "metrics":
+            snapshot = self.metrics_snapshot()
+            if req.get("format") in ("prom", "prometheus", "text"):
+                return protocol.response(
+                    req,
+                    protocol.OK,
+                    result={
+                        "format": "prometheus",
+                        "text": metrics_to_prometheus(snapshot),
+                    },
+                )
+            return protocol.response(req, protocol.OK, result=snapshot)
         if op == "catalog":
             return protocol.response(
                 req, protocol.OK, result=self.catalog.describe()
@@ -242,7 +356,72 @@ class QueryService:
         )
 
     def _handle_query(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """One query: open its observation (root span + trace id), run
+        the pipeline, then settle (latency metrics, span harvest,
+        incident dump) and ledger the outcome."""
         t0 = time.monotonic()
+        graph_name = req["graph"]
+        algorithm = req["algorithm"]
+        tenant = req["tenant"]
+        qid = self._next_qid()
+        obs = self.observability
+        handle = obs.begin_query(
+            qid, graph=graph_name, algorithm=algorithm, tenant=tenant
+        )
+        info: Dict[str, Any] = {
+            "code": protocol.INTERNAL,
+            "error": None,
+            "executed": False,
+            "breaker_opened": False,
+        }
+        try:
+            response = self._query_pipeline(req, qid, t0, handle, info)
+        finally:
+            handle.finish(code=info["code"], error=info["error"])
+        seconds = time.monotonic() - t0
+        settled = obs.settle(
+            handle,
+            code=info["code"],
+            seconds=seconds,
+            error=info["error"],
+            breaker_opened=info["breaker_opened"],
+        )
+        if info["executed"]:
+            self._ledger_record(
+                algorithm,
+                graph_name,
+                tenant,
+                info["code"],
+                seconds,
+                qid=qid,
+                trace=settled.trace,
+                incident=settled.incident,
+            )
+        elif settled.incident is not None:
+            # Early rejections (admission timeout) never reached the
+            # executed path, but their incidents must still be findable
+            # from the ledger by query id.
+            self._ledger_record(
+                algorithm,
+                graph_name,
+                tenant,
+                info["code"],
+                seconds,
+                kind="incident",
+                qid=qid,
+                trace=settled.trace,
+                incident=settled.incident,
+            )
+        return response
+
+    def _query_pipeline(
+        self,
+        req: Dict[str, Any],
+        qid: str,
+        t0: float,
+        handle,
+        info: Dict[str, Any],
+    ) -> Dict[str, Any]:
         graph_name = req["graph"]
         algorithm = req["algorithm"]
         params = req["params"]
@@ -250,6 +429,10 @@ class QueryService:
 
         def done(code: int, **kwargs: Any) -> Dict[str, Any]:
             self._count(code)
+            info["code"] = code
+            if kwargs.get("error") is not None:
+                info["error"] = kwargs["error"]
+            kwargs.setdefault("qid", qid)
             kwargs.setdefault("elapsed_ms", (time.monotonic() - t0) * 1e3)
             return protocol.response(req, code, **kwargs)
 
@@ -263,17 +446,24 @@ class QueryService:
             graph = self.catalog.get(graph_name)
         except CatalogError as exc:
             return done(protocol.UNKNOWN_GRAPH, error=str(exc))
+        with self._lock:
+            self._last_query_epoch[graph_name] = epoch
 
         key = cache_key(graph_name, algorithm, params)
         fresh = self.cache.get_fresh(key, epoch=epoch)
         if fresh is not None:
+            handle.event("service:cache", outcome="hit", epoch=epoch)
             return done(protocol.OK, result=fresh, cached=True)
+        handle.event("service:cache", outcome="miss", epoch=epoch)
 
         breaker = self.breakers.of(graph_name, algorithm)
         if not breaker.allow():
             stale = self.cache.get_stale(key)
             if stale is not None:
                 result, age = stale
+                handle.event(
+                    "service:breaker", state="open", served="stale"
+                )
                 return done(
                     protocol.OK,
                     result=result,
@@ -281,6 +471,9 @@ class QueryService:
                     stale_age_s=round(age, 3),
                     breaker="open",
                 )
+            handle.event(
+                "service:breaker", state="open", served="unavailable"
+            )
             return done(
                 protocol.UNAVAILABLE,
                 error=(
@@ -293,7 +486,10 @@ class QueryService:
         timeout_s = req["timeout_s"] or self.config.default_timeout_s
         token = CancelToken.after(timeout_s, label=f"{graph_name}/{algorithm}")
         try:
-            self.admission.acquire(tenant, timeout=max(0.0, token.remaining()))
+            with handle.span("service:admission", tenant=tenant):
+                self.admission.acquire(
+                    tenant, timeout=max(0.0, token.remaining())
+                )
         except AdmissionRejected as exc:
             code = (
                 protocol.ADMISSION_TIMEOUT
@@ -302,7 +498,7 @@ class QueryService:
             )
             return done(code, error=str(exc), shed=exc.reason)
 
-        qid = self._next_qid()
+        info["executed"] = True
         if self.journal is not None:
             self.journal.begin(
                 qid,
@@ -318,13 +514,16 @@ class QueryService:
         error: Optional[str] = None
         try:
             try:
-                with token:
-                    result = execute_query(
-                        graph,
-                        algorithm,
-                        params,
-                        resilience=self._resilience,
-                    )
+                with handle.span(
+                    "service:execute", graph=graph_name, algorithm=algorithm
+                ):
+                    with token:
+                        result = execute_query(
+                            graph,
+                            algorithm,
+                            params,
+                            resilience=self._resilience,
+                        )
                 code = (
                     protocol.PARTIAL
                     if result.get("partial")
@@ -350,10 +549,22 @@ class QueryService:
         # Client errors are not the algorithm's fault; everything else
         # teaches the breaker.
         if code != protocol.BAD_REQUEST:
-            breaker.record(code in (protocol.OK, protocol.PARTIAL))
+            success = code in (protocol.OK, protocol.PARTIAL)
+            if handle.enabled:
+                before = breaker.state
+                breaker.record(success)
+                if breaker.state == BREAKER_OPEN and before != BREAKER_OPEN:
+                    info["breaker_opened"] = True
+                    handle.event(
+                        "service:breaker",
+                        transition="open",
+                        graph=graph_name,
+                        algorithm=algorithm,
+                    )
+            else:
+                breaker.record(success)
         if code == protocol.OK and result is not None:
             self.cache.put(key, result, epoch=epoch)
-        self._ledger_record(algorithm, graph_name, tenant, code, seconds)
         if code == protocol.INTERNAL:
             # Stale-while-error: a failed execution with history still
             # answers, marked as the past.
@@ -368,8 +579,8 @@ class QueryService:
                     error=error,
                 )
         if code in (protocol.OK, protocol.PARTIAL):
-            return done(code, result=result, qid=qid)
-        return done(code, error=error, qid=qid)
+            return done(code, result=result)
+        return done(code, error=error)
 
 
 # -- the socket layer ------------------------------------------------------------------
@@ -499,3 +710,4 @@ class GraphQueryServer:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        self.service.close()

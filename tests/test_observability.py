@@ -392,6 +392,41 @@ def test_render_summary_lists_spans_and_metrics(grid):
     assert render_summary(Probe()) == "(no telemetry recorded)"
 
 
+def test_dropped_spans_counter_mirrors_overflow():
+    """Buffer overflow shows up in the metrics sink, not just on the
+    tracer — a live ``metrics`` scrape can report it without exports."""
+    probe = Probe(Tracer(max_spans=3))
+    for _ in range(5):
+        with probe.span("s"):
+            pass
+    assert probe.tracer.dropped == 2
+    assert probe.metrics.counter("trace.dropped_spans").value == 2
+    # clear() resets the buffer accounting; the counter stays cumulative
+    probe.tracer.clear()
+    assert probe.tracer.dropped == 0
+    assert probe.metrics.counter("trace.dropped_spans").value == 2
+
+
+def test_export_warns_once_about_dropped_spans(tmp_path, capsys):
+    probe = Probe(Tracer(max_spans=2))
+    for _ in range(4):
+        with probe.span("s"):
+            pass
+    write_chrome_trace(probe, str(tmp_path / "trace.json"))
+    err = capsys.readouterr().err
+    assert "2 spans dropped" in err
+    assert "trace.json" in err
+
+
+def test_export_is_silent_without_drops(tmp_path, capsys):
+    probe = Probe()
+    with probe.span("s"):
+        pass
+    write_chrome_trace(probe, str(tmp_path / "trace.json"))
+    write_events_jsonl(probe, str(tmp_path / "events.jsonl"))
+    assert capsys.readouterr().err == ""
+
+
 # -- profile runner -------------------------------------------------------------------
 
 

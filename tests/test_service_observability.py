@@ -1,0 +1,331 @@
+"""Service observability: tracing, metrics scrape, flight recorder.
+
+Covers the observe-enabled pipeline end to end: per-query trace ids
+propagated over a live socket into ``par_proc`` worker rounds, the
+``metrics`` op in both JSON and Prometheus shapes (validated by the
+same validators CI runs), latency percentiles in ``stats``, and the
+incident flight recorder's dump-on-degradation contract.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.observability.flight import (
+    INCIDENT_SCHEMA,
+    FlightRecorder,
+    validate_incident_jsonl,
+)
+from repro.observability.ledger import RunLedger
+from repro.observability.prom import (
+    METRICS_SCHEMA,
+    metrics_to_prometheus,
+    validate_metrics_json,
+    validate_prometheus,
+)
+from repro.service import (
+    GraphCatalog,
+    GraphQueryServer,
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+)
+
+
+@pytest.fixture
+def observed(tmp_path):
+    """An observe-enabled service over a small grid, ledger on."""
+    cat = GraphCatalog()
+    cat.add({"name": "g", "generator": "grid", "scale": 8, "seed": 0})
+    cwd = os.getcwd()
+    os.chdir(tmp_path)  # incidents default under .repro/ of the cwd
+    service = QueryService(
+        cat,
+        data_dir=str(tmp_path / "svc"),
+        config=ServiceConfig(observe=True, record_ledger=True),
+    )
+    yield service
+    service.close()
+    os.chdir(cwd)
+
+
+def query(service, algorithm="bfs", graph="g", params=None, **extra):
+    req = {
+        "op": "query",
+        "graph": graph,
+        "algorithm": algorithm,
+        "params": params or {"source": 0},
+    }
+    req.update(extra)
+    return service.handle(req)
+
+
+def incident_files(tmp_path):
+    root = tmp_path / ".repro" / "incidents"
+    return sorted(root.glob("*.jsonl")) if root.is_dir() else []
+
+
+# -- flight recorder unit --------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self, tmp_path):
+        fr = FlightRecorder(str(tmp_path), capacity=4)
+        for i in range(10):
+            fr.record("tick", i=i)
+        ring = fr.snapshot()
+        assert len(ring) == 4
+        assert [e["i"] for e in ring] == [6, 7, 8, 9]
+        assert fr.stats()["recorded"] == 10
+
+    def test_incident_dump_shape(self, tmp_path):
+        fr = FlightRecorder(str(tmp_path), capacity=8)
+        fr.record("query", qid="q1", code=200)
+        span = {
+            "id": 1, "name": "service:query", "ts": 0.0, "dur": 1.0,
+            "parent": None, "attrs": {"trace_id": "q2"}, "events": [],
+        }
+        path = fr.incident("code_504", trace_id="q2", spans=[span], code=504)
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        assert validate_incident_jsonl(lines) == []
+        header = json.loads(lines[0])
+        assert header["schema"] == INCIDENT_SCHEMA
+        assert header["reason"] == "code_504"
+        assert header["trace_id"] == "q2"
+        kinds = [json.loads(line)["type"] for line in lines[1:]]
+        assert "ring" in kinds and "span" in kinds
+        assert fr.stats()["dumped"] == 1
+
+    def test_validator_rejects_headerless_file(self):
+        bad = [json.dumps({"type": "ring", "kind": "query", "at": 0.0}) + "\n"]
+        assert validate_incident_jsonl(bad)
+
+    def test_incident_ids_are_unique(self, tmp_path):
+        fr = FlightRecorder(str(tmp_path))
+        paths = {fr.incident("code_504", trace_id=f"q{i}") for i in range(3)}
+        assert len(paths) == 3
+
+
+# -- the observe-enabled pipeline ------------------------------------------------------
+
+
+class TestObservedService:
+    def test_ok_query_dumps_no_incident(self, observed, tmp_path):
+        resp = query(observed)
+        assert resp["code"] == 200
+        assert resp["server"]["qid"].startswith("q")
+        assert incident_files(tmp_path) == []
+
+    def test_deadline_504_dumps_ledgered_incident(self, observed, tmp_path):
+        resp = query(observed, "sssp", timeout_s=1e-4)
+        assert resp["code"] == 504
+        qid = resp["server"]["qid"]
+
+        files = incident_files(tmp_path)
+        assert len(files) == 1
+        with open(files[0], encoding="utf-8") as fh:
+            lines = fh.readlines()
+        assert validate_incident_jsonl(lines) == []
+        header = json.loads(lines[0])
+        assert header["reason"] == "code_504"
+        assert header["trace_id"] == qid
+
+        record = RunLedger(str(tmp_path / "svc" / "runs")).get(qid)
+        assert record is not None
+        assert record["incident"].endswith(os.path.basename(files[0]))
+        names = {s["name"] for s in record["trace"]}
+        assert "service:query" in names
+        assert "service:execute" in names
+
+    def test_trace_is_one_tree_under_the_qid(self, observed):
+        resp = query(observed)
+        qid = resp["server"]["qid"]
+        record = RunLedger(str(observed.data_dir) + "/runs").get(qid)
+        trace = record["trace"]
+        root = trace[-1]
+        assert root["name"] == "service:query"
+        assert root["attrs"]["trace_id"] == qid
+        assert root["attrs"]["code"] == 200
+        ids = {s["id"] for s in trace}
+        for span in trace:
+            assert span["parent"] is None or span["parent"] in ids
+        assert any(s["name"].startswith("operator:") for s in trace)
+
+    def test_early_rejection_is_not_an_incident(self, observed, tmp_path):
+        assert query(observed, graph="nope")["code"] == 404
+        assert incident_files(tmp_path) == []
+
+    def test_unknown_graphs_never_become_latency_keys(self, observed):
+        """404s stay out of the per-key histograms — the key would come
+        from a client-supplied name, an unbounded-cardinality hole."""
+        for i in range(3):
+            query(observed, graph=f"bogus-{i}")
+        query(observed)
+        latency = observed.stats()["latency_ms"]
+        assert set(latency) == {"g/bfs", "_all"}
+        assert latency["_all"]["count"] == 4  # the aggregate still counts them
+
+    def test_concurrent_queries_keep_traces_apart(self, observed):
+        import threading
+
+        responses = []
+        lock = threading.Lock()
+
+        def run(i):
+            resp = query(observed, params={"source": i})
+            with lock:
+                responses.append(resp)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert len(responses) == 4
+        ledger = RunLedger(str(observed.data_dir) + "/runs")
+        for resp in responses:
+            qid = resp["server"]["qid"]
+            record = ledger.get(qid)
+            root = record["trace"][-1]
+            assert root["attrs"]["trace_id"] == qid
+
+    def test_close_releases_the_probe(self, observed):
+        from repro.observability.probe import active_probe
+
+        assert active_probe().enabled
+        observed.close()
+        assert not active_probe().enabled
+        observed.close()  # idempotent
+
+
+# -- metrics scrape --------------------------------------------------------------------
+
+
+class TestMetricsScrape:
+    def test_snapshot_passes_both_validators(self, observed):
+        query(observed)
+        query(observed, "sssp", timeout_s=1e-4)
+        snapshot = observed.metrics_snapshot()
+        assert snapshot["schema"] == METRICS_SCHEMA
+        assert validate_metrics_json(snapshot) == []
+        text = metrics_to_prometheus(snapshot)
+        assert validate_prometheus(text.splitlines()) == []
+        assert "repro_responses_total" in text
+        assert 'quantile="0.99"' in text
+
+    def test_metrics_op_json_and_prom(self, observed):
+        query(observed)
+        resp = observed.handle({"op": "metrics"})
+        assert resp["code"] == 200
+        assert resp["result"]["schema"] == METRICS_SCHEMA
+        prom = observed.handle({"op": "metrics", "format": "prom"})
+        assert prom["code"] == 200
+        assert prom["result"]["format"] == "prometheus"
+        assert validate_prometheus(prom["result"]["text"].splitlines()) == []
+
+    def test_stats_carries_percentiles(self, observed):
+        for _ in range(3):
+            query(observed)
+        stats = observed.stats()
+        entry = stats["latency_ms"]["g/bfs"]
+        for key in ("count", "p50", "p95", "p99"):
+            assert key in entry
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
+        assert stats["latency_ms"]["_all"]["count"] >= 3
+
+    def test_snapshot_tracks_epoch_lag(self, observed):
+        query(observed)
+        observed.handle({"op": "mutate", "graph": "g", "insert": [[0, 9]]})
+        snapshot = observed.metrics_snapshot()
+        assert snapshot["epochs"]["g"]["lag"] == 1
+        query(observed)
+        assert observed.metrics_snapshot()["epochs"]["g"]["lag"] == 0
+
+    def test_observe_off_snapshot_still_validates(self, tmp_path):
+        cat = GraphCatalog()
+        cat.add({"name": "g", "generator": "grid", "scale": 6})
+        service = QueryService(
+            cat, config=ServiceConfig(record_ledger=False)
+        )
+        service.handle({
+            "op": "query", "graph": "g", "algorithm": "bfs",
+            "params": {"source": 0},
+        })
+        snapshot = service.metrics_snapshot()
+        assert validate_metrics_json(snapshot) == []
+        text = metrics_to_prometheus(snapshot)
+        assert validate_prometheus(text.splitlines()) == []
+        assert service.stats().get("latency_ms") is None
+
+
+# -- live socket + par_proc ------------------------------------------------------------
+
+
+class TestLiveTracePropagation:
+    @pytest.fixture
+    def running(self, tmp_path):
+        cat = GraphCatalog()
+        cat.add({"name": "g", "generator": "grid", "scale": 8, "seed": 0})
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        service = QueryService(
+            cat,
+            data_dir=str(tmp_path / "svc"),
+            config=ServiceConfig(observe=True, record_ledger=True),
+        )
+        server = GraphQueryServer(service)
+        server.start()
+        yield server, service
+        server.stop()
+        os.chdir(cwd)
+
+    def test_proc_task_spans_carry_the_query_trace_id(self, running):
+        server, service = running
+        host, port = server.address
+        with ServiceClient(host, port) as client:
+            resp = client.query(
+                "g", "sssp", {"source": 0, "policy": "par_proc"}
+            )
+        assert resp["code"] == 200
+        qid = resp["server"]["qid"]
+        record = RunLedger(str(service.data_dir) + "/runs").get(qid)
+        trace = record["trace"]
+        proc_tasks = [s for s in trace if s["name"] == "proc:task"]
+        assert proc_tasks, "par_proc rounds left no proc:task spans"
+        for span in proc_tasks:
+            assert span["attrs"]["trace_id"] == qid
+            assert "worker" in span["attrs"]
+        root = trace[-1]
+        assert root["name"] == "service:query"
+        assert root["attrs"]["trace_id"] == qid
+        ids = {s["id"] for s in trace}
+        orphans = [
+            s for s in trace
+            if s["parent"] is not None and s["parent"] not in ids
+        ]
+        assert orphans == []
+
+    def test_metrics_scrape_over_the_wire(self, running):
+        server, service = running
+        host, port = server.address
+        with ServiceClient(host, port) as client:
+            client.query("g", "bfs", {"source": 0})
+            snapshot = client.metrics()
+            assert validate_metrics_json(snapshot) == []
+            prom = client.metrics(format="prom")
+        assert prom["format"] == "prometheus"
+        assert validate_prometheus(prom["text"].splitlines()) == []
+
+    def test_forced_504_dumps_incident_over_the_wire(self, running, tmp_path):
+        server, service = running
+        host, port = server.address
+        with ServiceClient(host, port) as client:
+            resp = client.query("g", "sssp", {"source": 0}, timeout_s=1e-4)
+        assert resp["code"] == 504
+        files = incident_files(tmp_path)
+        assert len(files) == 1
+        with open(files[0], encoding="utf-8") as fh:
+            assert validate_incident_jsonl(fh.readlines()) == []
