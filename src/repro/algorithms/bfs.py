@@ -70,6 +70,7 @@ def bfs(
     pull_threshold: float = 0.05,
     push_back_threshold: float = 0.01,
     resilience=None,
+    backend: str = "native",
 ) -> BFSResult:
     """BFS from ``source``.
 
@@ -83,7 +84,22 @@ def bfs(
     resilience:
         Optional :class:`~repro.resilience.ResiliencePolicy` — superstep
         retry under chaos plus checkpointing of levels and parents.
+    backend:
+        ``"native"`` (frontier enactor), ``"linalg"`` (boolean-semiring
+        matrix products), or ``"auto"``.
     """
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "bfs") == "linalg":
+        from repro.linalg.algorithms import linalg_bfs
+
+        return linalg_bfs(
+            graph,
+            source,
+            direction=direction,
+            pull_threshold=pull_threshold,
+            push_back_threshold=push_back_threshold,
+        )
     policy = resolve_policy(policy)
     if direction not in ("push", "pull", "auto"):
         raise ValueError(

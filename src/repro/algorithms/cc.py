@@ -68,6 +68,7 @@ def connected_components(
     method: str = "label_propagation",
     policy: Union[str, ExecutionPolicy] = par_vector,
     resilience=None,
+    backend: str = "native",
 ) -> CCResult:
     """Weakly connected components.
 
@@ -75,7 +76,15 @@ def connected_components(
     or ``"hooking"`` (pointer-jumping bulk formulation).  ``resilience``
     (label propagation only — hooking has no enactor loop to protect)
     adds superstep retry under chaos and label-array checkpointing.
+    ``backend="linalg"`` runs min-label propagation as semiring matrix
+    products instead of the frontier enactor.
     """
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "cc") == "linalg":
+        from repro.linalg.algorithms import linalg_cc
+
+        return linalg_cc(graph)
     policy = resolve_policy(policy)
     if method == "label_propagation":
         return _cc_label_propagation(graph, policy, resilience=resilience)

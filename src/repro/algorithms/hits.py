@@ -36,6 +36,7 @@ def hits(
     max_iterations: int = 100,
     tolerance: float = 1e-8,
     policy: Union[str, ExecutionPolicy] = par_vector,
+    backend: str = "native",
 ) -> HITSResult:
     """Kleinberg's HITS on the directed graph.
 
@@ -43,6 +44,14 @@ def hits(
     each round; stops when both vectors move less than ``tolerance`` in
     max-norm.
     """
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "hits") == "linalg":
+        from repro.linalg.algorithms import linalg_hits
+
+        return linalg_hits(
+            graph, max_iterations=max_iterations, tolerance=tolerance
+        )
     resolve_policy(policy)
     n = graph.n_vertices
     if n == 0:

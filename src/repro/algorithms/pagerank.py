@@ -56,6 +56,7 @@ def pagerank(
     max_iterations: int = 100,
     policy: Union[str, ExecutionPolicy] = par_vector,
     initial_ranks: Optional[np.ndarray] = None,
+    backend: str = "native",
 ) -> PageRankResult:
     """Damped PageRank to an L1 fixed point.
 
@@ -65,7 +66,21 @@ def pagerank(
     ``initial_ranks`` warm-starts the iteration (e.g. from a
     pre-mutation result); the fixed point is unique, so the start only
     affects how many iterations convergence takes.
+    ``backend="linalg"`` runs the power iteration as (+, ×) matrix
+    products (scipy's C matvec when importable).
     """
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "pagerank") == "linalg":
+        from repro.linalg.algorithms import linalg_pagerank
+
+        return linalg_pagerank(
+            graph,
+            damping=damping,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            initial_ranks=initial_ranks,
+        )
     policy = resolve_policy(policy)
     if not (0.0 <= damping <= 1.0):
         raise ValueError(f"damping must be in [0, 1], got {damping}")

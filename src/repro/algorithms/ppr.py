@@ -46,12 +46,26 @@ def personalized_pagerank(
     max_iterations: int = 200,
     policy: Union[str, ExecutionPolicy] = par_vector,
     initial_ranks: Optional[np.ndarray] = None,
+    backend: str = "native",
 ) -> PPRResult:
     """PPR by power iteration: teleport returns to ``seeds`` uniformly.
 
     ``initial_ranks`` warm-starts the iteration from a previous rank
     vector (the unique fixed point is unchanged; only the iteration
     count to reach it shrinks)."""
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "ppr") == "linalg":
+        from repro.linalg.algorithms import linalg_ppr
+
+        return linalg_ppr(
+            graph,
+            seeds,
+            damping=damping,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            initial_ranks=initial_ranks,
+        )
     resolve_policy(policy)
     damping = float(damping)
     if not (0.0 <= damping <= 1.0):

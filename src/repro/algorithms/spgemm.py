@@ -34,6 +34,7 @@ def spgemm(
     *,
     policy: Union[str, ExecutionPolicy] = par_vector,
     row_block: int = 2048,
+    backend: str = "native",
 ) -> Graph:
     """Multiply two graphs' weighted adjacency matrices; return the
     product as a new graph.
@@ -42,6 +43,12 @@ def spgemm(
     The result's edge (i, j) has weight ``Σ_k A[i,k]·B[k,j]``; zero
     products are kept out structurally (only realized pairs appear).
     """
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "spgemm") == "linalg":
+        from repro.linalg.algorithms import linalg_spgemm
+
+        return linalg_spgemm(a, b)
     resolve_policy(policy)
     if a.n_vertices != b.n_vertices:
         raise GraphFormatError(

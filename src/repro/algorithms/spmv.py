@@ -33,11 +33,18 @@ def spmv(
     x: np.ndarray,
     *,
     policy: Union[str, ExecutionPolicy] = par_vector,
+    backend: str = "native",
 ) -> np.ndarray:
     """Multiply the graph's weighted adjacency matrix by vector ``x``.
 
     ``y[u] = Σ_{(u,v,w)} w · x[v]`` over u's out-edges.
     """
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "spmv") == "linalg":
+        from repro.linalg.algorithms import linalg_spmv
+
+        return linalg_spmv(graph, x)
     policy = resolve_policy(policy)
     n = graph.n_vertices
     x = np.asarray(x, dtype=np.float64).ravel()

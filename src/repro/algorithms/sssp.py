@@ -79,6 +79,7 @@ def sssp(
     output_representation: str = "sparse",
     deduplicate_frontier: bool = True,
     resilience=None,
+    backend: str = "native",
 ) -> SSSPResult:
     """Bulk-synchronous SSSP via the native-graph abstraction (Listing 4).
 
@@ -104,7 +105,16 @@ def sssp(
     resilience:
         Optional :class:`~repro.resilience.ResiliencePolicy` — superstep
         retry under chaos plus checkpointing of the distance array.
+    backend:
+        ``"native"`` (frontier enactor), ``"linalg"`` ((min, +) matrix
+        products), or ``"auto"``.
     """
+    from repro.execution.backend import resolve_backend
+
+    if resolve_backend(backend, "sssp") == "linalg":
+        from repro.linalg.algorithms import linalg_sssp
+
+        return linalg_sssp(graph, source, direction=direction)
     policy = resolve_policy(policy)
     n = graph.n_vertices
     source = check_vertex_in_range(source, n)

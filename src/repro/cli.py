@@ -406,24 +406,35 @@ def _run_body(args: argparse.Namespace, probe=None) -> int:
     name = args.algorithm
     resilience = _build_resilience(args)
     t0 = time_mod.perf_counter()
+    backend = getattr(args, "backend", "native")
     if name == "sssp":
         result = alg.sssp(
-            g, args.source, policy=args.policy, resilience=resilience
+            g,
+            args.source,
+            policy=args.policy,
+            resilience=resilience,
+            backend=backend,
         )
         values = result.distances
         stats = result.stats
     elif name == "bfs":
         result = alg.bfs(
-            g, args.source, direction=args.direction, resilience=resilience
+            g,
+            args.source,
+            direction=args.direction,
+            resilience=resilience,
+            backend=backend,
         )
         values = result.levels
         stats = result.stats
     elif name == "pagerank":
-        result = alg.pagerank(g)
+        result = alg.pagerank(g, backend=backend)
         values = result.ranks
         stats = result.stats
     elif name == "cc":
-        result = alg.connected_components(g, resilience=resilience)
+        result = alg.connected_components(
+            g, resilience=resilience, backend=backend
+        )
         values = result.labels
         stats = result.stats
         print(f"components: {result.n_components}")
@@ -456,7 +467,7 @@ def _run_body(args: argparse.Namespace, probe=None) -> int:
         stats = result.stats
         print(f"colors: {result.n_colors}")
     elif name == "ppr":
-        result = alg.personalized_pagerank(g, args.source)
+        result = alg.personalized_pagerank(g, args.source, backend=backend)
         values = result.ranks
         stats = result.stats
     elif name == "mis":
@@ -575,6 +586,7 @@ def _profile_body(args: argparse.Namespace) -> int:
         policy=args.policy,
         num_workers=args.workers,
         trace=not args.no_spans,
+        backend=getattr(args, "backend", "native"),
     )
     if args.json:
         print(json.dumps(report.summary_metrics(), indent=2, sort_keys=True))
@@ -635,11 +647,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
     quick = not args.full
     axis_filtered = any(
         x is not None
-        for x in (args.policy, args.direction, args.representation)
+        for x in (
+            args.policy,
+            args.direction,
+            args.representation,
+            args.backend,
+        )
     ) or args.fused != "both"
     explicit = bool(args.metamorphic or args.races or args.dynamic)
-    run_m = (not explicit and not args.no_matrix) or axis_filtered
-    run_meta = (args.metamorphic or not explicit) and not axis_filtered
+    # An explicit --metamorphic composes with --backend (the relations
+    # run per-backend); every other axis filter narrows to the matrix.
+    run_m = ((not explicit and not args.no_matrix) or axis_filtered) and not (
+        args.metamorphic and not args.races and not args.dynamic
+    )
+    run_meta = (args.metamorphic or not explicit) and (
+        not axis_filtered or args.metamorphic
+    )
     run_dyn = (args.dynamic or not explicit) and not axis_filtered
     run_r = (args.races or not explicit) and not axis_filtered
 
@@ -648,6 +671,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
         fused_filter = [True]
     elif args.fused == "off":
         fused_filter = [False]
+    # Matrix variants carry None for the native backend (the axis
+    # default); the CLI spells it "native".
+    backend_filter = None
+    if args.backend is not None:
+        backend_filter = [None if args.backend == "native" else args.backend]
 
     failed = False
     records = {}
@@ -680,6 +708,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             directions=args.direction,
             representations=args.representation,
             fused=fused_filter,
+            backends=backend_filter,
         )
         mode = "quick" if quick else "full"
         print(
@@ -695,8 +724,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
         records["matrix"] = report.to_record()
         failed = failed or not report.ok
     if run_meta:
+        meta_backends = (
+            (args.backend,) if args.backend else ("native", "linalg")
+        )
         meta = run_metamorphic(
-            seed=args.seed, quick=quick, graphs=args.graph
+            seed=args.seed,
+            quick=quick,
+            graphs=args.graph,
+            backends=meta_backends,
         )
         print(
             f"metamorphic: {meta.checks_run} checks, "
@@ -1402,6 +1437,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--direction", choices=["push", "pull", "auto"], default="auto"
     )
+    p.add_argument(
+        "--backend",
+        choices=["native", "linalg", "auto"],
+        default="native",
+        help="execution backend: frontier enactors (native) or masked "
+        "SpMV/SpMSpV matrix products (linalg)",
+    )
     p.add_argument("--undirected", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", help="write the per-vertex result as .npy")
@@ -1470,6 +1512,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="par_vector",
     )
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--backend",
+        choices=["native", "linalg", "auto"],
+        default="native",
+        help="execution backend (sssp/bfs/cc/pagerank support linalg)",
+    )
     p.add_argument("--undirected", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -1795,6 +1843,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["on", "off", "both"],
         default="both",
         help="matrix only: restrict the operator-fusion axis",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["native", "linalg"],
+        help="restrict the execution-backend axis (matrix slice, or the "
+        "metamorphic relations when combined with --metamorphic)",
     )
     p.add_argument(
         "--metamorphic",

@@ -66,6 +66,9 @@ class Graph:
                     f"{type(view).__name__}"
                 )
         self._views: Dict[str, ViewType] = dict(views)
+        #: Derived-artifact cache (e.g. the linalg backend's scipy
+        #: adjacency): keyed blobs computed from the views, built once.
+        self._derived: Dict[str, object] = {}
         self.properties = properties or GraphProperties()
         # All views must agree on the vertex count.
         counts = {v.get_num_vertices() for v in self._views.values()}
@@ -128,6 +131,30 @@ class Graph:
     def materialized_views(self) -> Tuple[str, ...]:
         """Names of views currently held in memory."""
         return tuple(sorted(self._views))
+
+    def derived(self, key: str, builder):
+        """A cached derived artifact, built on first request.
+
+        The facade's lazy-view discipline extended to artifacts that are
+        not one of the three sparse formats — e.g. the linalg backend's
+        scipy adjacency.  ``builder()`` runs at most once per key; the
+        build is traced as a ``graph:derived`` span so conversion cost
+        lands in the graph layer, same as view derivation.  Graphs are
+        immutable once built (mutation produces new snapshots), so the
+        cache never invalidates.
+        """
+        if key not in self._derived:
+            from repro.observability.probe import active_probe
+
+            probe = active_probe()
+            if probe.enabled:
+                with probe.span(
+                    "graph:derived", key=key, n_edges=self.n_edges
+                ):
+                    self._derived[key] = builder()
+            else:
+                self._derived[key] = builder()
+        return self._derived[key]
 
     def _derive_csr(self) -> CSRMatrix:
         from repro.graph.transpose import csc_to_csr

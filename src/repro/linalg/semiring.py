@@ -1,0 +1,120 @@
+"""Semirings — the algebra that turns one matrix kernel into many
+graph algorithms.
+
+The paper's §IV-A observation (and GraphBLAST's whole premise) is that
+the advance/reduce pair of the native-graph formulation *is* a sparse
+matrix–vector product over a non-standard semiring: BFS discovery is
+``(or, and)``, SSSP relaxation is ``(min, +)``, PageRank/HITS/SpMV mass
+flow is the ordinary ``(+, ×)``.  A :class:`Semiring` packages the two
+operations plus the additive identity (the value a vertex holds when no
+edge reaches it), and every kernel in :mod:`repro.linalg.kernels` is
+written against this interface — swap the semiring, get a different
+algorithm, same memory traffic.
+
+The additive identity is load-bearing: masked/segmented reductions fill
+untouched outputs with it, and the conformance matrix catches a wrong
+identity immediately (a planted-bug test locks this in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """One (⊕, ⊗) pair with identities and dtype conventions.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"min_plus"``.
+    add:
+        The ⊕ reduction as a NumPy binary ufunc (must support ``.at``
+        and ``.reduceat``-style scatter reduction).
+    multiply:
+        The ⊗ combine: ``multiply(x_values, edge_weights) -> contrib``.
+        Receives broadcastable ndarrays; must be vectorized.
+    add_identity:
+        Scalar identity of ⊕ — what an output slot holds when no edge
+        contributes to it.
+    dtype:
+        Accumulator dtype the kernels allocate outputs in.
+    """
+
+    name: str
+    add: np.ufunc = field(repr=False)
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray] = field(repr=False)
+    add_identity: float
+    dtype: np.dtype = field(default=np.dtype(np.float64), repr=False)
+
+    def zeros(self, n: int) -> np.ndarray:
+        """A length-``n`` accumulator filled with the ⊕ identity."""
+        return np.full(n, self.add_identity, dtype=self.dtype)
+
+
+def _mul_plus(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    # (min, +): ⊗ is addition along the edge (dist + weight).
+    return x + w
+
+
+def _mul_and(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    # (or, and): ⊗ is conjunction with the structural edge (weight
+    # presence); any stored edge counts, so this is just x.
+    return x.astype(bool) & (np.ones_like(w, dtype=bool))
+
+
+def _mul_times(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    # (+, ×): the ordinary ring — weighted mass flow.
+    return x * w
+
+
+#: Tropical semiring — SSSP relaxation / shortest distances.
+MIN_PLUS = Semiring(
+    name="min_plus",
+    add=np.minimum,
+    multiply=_mul_plus,
+    add_identity=np.inf,
+)
+
+#: Boolean semiring — BFS reachability / frontier discovery.
+OR_AND = Semiring(
+    name="or_and",
+    add=np.logical_or,
+    multiply=_mul_and,
+    add_identity=False,
+    dtype=np.dtype(bool),
+)
+
+#: The ordinary ring — PageRank/HITS/SpMV mass flow.
+PLUS_TIMES = Semiring(
+    name="plus_times",
+    add=np.add,
+    multiply=_mul_times,
+    add_identity=0.0,
+)
+
+SEMIRINGS: Dict[str, Semiring] = {
+    s.name: s for s in (MIN_PLUS, OR_AND, PLUS_TIMES)
+}
+
+
+def resolve_semiring(semiring) -> Semiring:
+    """Accept a :class:`Semiring` or its registry name."""
+    if isinstance(semiring, Semiring):
+        return semiring
+    got = SEMIRINGS.get(semiring)
+    if got is None:
+        raise KeyError(
+            f"unknown semiring {semiring!r}; expected one of "
+            f"{sorted(SEMIRINGS)}"
+        )
+    return got
+
+
+def semiring_names() -> Tuple[str, ...]:
+    """Sorted names of the registered semirings."""
+    return tuple(sorted(SEMIRINGS))

@@ -45,6 +45,9 @@ LAYER_OF_PREFIX: Dict[str, str] = {
     "graph": "graph",
     "frontier": "frontier",
     "operator": "operator",
+    # linalg kernels (spmv/spmspv) are the matrix backend's operator
+    # layer — same attribution slot as advance/filter.
+    "linalg": "operator",
     "superstep": "loop",
     "bucket": "loop",
     "async": "loop",

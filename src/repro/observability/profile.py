@@ -55,43 +55,43 @@ class ProfileReport:
         return out
 
 
-def _run_sssp(graph, source, policy, num_workers):
+def _run_sssp(graph, source, policy, num_workers, backend="native"):
     from repro.algorithms import sssp
 
-    return sssp(graph, source, policy=policy)
+    return sssp(graph, source, policy=policy, backend=backend)
 
 
-def _run_sssp_async(graph, source, policy, num_workers):
+def _run_sssp_async(graph, source, policy, num_workers, backend="native"):
     from repro.algorithms import sssp_async
 
     return sssp_async(graph, source, num_workers=num_workers)
 
 
-def _run_sssp_delta(graph, source, policy, num_workers):
+def _run_sssp_delta(graph, source, policy, num_workers, backend="native"):
     from repro.algorithms import sssp_delta_stepping
 
     return sssp_delta_stepping(graph, source, policy=policy)
 
 
-def _run_bfs(graph, source, policy, num_workers):
+def _run_bfs(graph, source, policy, num_workers, backend="native"):
     from repro.algorithms import bfs
 
-    return bfs(graph, source, policy=policy)
+    return bfs(graph, source, policy=policy, backend=backend)
 
 
-def _run_cc(graph, source, policy, num_workers):
+def _run_cc(graph, source, policy, num_workers, backend="native"):
     from repro.algorithms import connected_components
 
-    return connected_components(graph, policy=policy)
+    return connected_components(graph, policy=policy, backend=backend)
 
 
-def _run_pagerank(graph, source, policy, num_workers):
+def _run_pagerank(graph, source, policy, num_workers, backend="native"):
     from repro.algorithms import pagerank
 
-    return pagerank(graph, policy=policy)
+    return pagerank(graph, policy=policy, backend=backend)
 
 
-def _run_pregel_pagerank(graph, source, policy, num_workers):
+def _run_pregel_pagerank(graph, source, policy, num_workers, backend="native"):
     from repro.algorithms.pregel_programs import pregel_pagerank
 
     return pregel_pagerank(graph)
@@ -119,6 +119,7 @@ def profile_algorithm(
     probe: Optional[Probe] = None,
     trace: bool = True,
     runner: Optional[Callable] = None,
+    backend: str = "native",
 ) -> ProfileReport:
     """Run ``algorithm`` on ``graph`` under an ambient probe.
 
@@ -144,6 +145,11 @@ def profile_algorithm(
         Custom ``runner(graph, source, policy, num_workers) -> result``
         overriding the registry — how callers profile algorithms this
         module does not know about.
+    backend:
+        Execution backend for registry algorithms that support it
+        (``"native"`` | ``"linalg"`` | ``"auto"``).  Passed to a custom
+        ``runner`` only when non-native, so 4-argument runners keep
+        working.
     """
     if runner is None:
         if algorithm not in PROFILED_ALGORITHMS:
@@ -159,7 +165,12 @@ def profile_algorithm(
     clock = WallClock()
     with probe:
         with clock.measure():
-            result = runner(graph, source, policy, num_workers)
+            if backend != "native":
+                result = runner(
+                    graph, source, policy, num_workers, backend=backend
+                )
+            else:
+                result = runner(graph, source, policy, num_workers)
     stats = getattr(result, "stats", None)
     values = (
         getattr(result, values_attr, None) if values_attr is not None else None

@@ -1,5 +1,5 @@
 """The differential matrix runner: algorithm × policy × representation ×
-direction × fused over the adversarial graph pool.
+direction × fused × backend over the adversarial graph pool.
 
 Every cell runs one algorithm variant on one pool graph and compares
 the output to the algorithm's oracle under its equivalence spec.  A
@@ -61,6 +61,8 @@ def repro_command(cell: Cell) -> str:
         parts.append(f"--representation {v.representation}")
     if v.fused is not None:
         parts.append(f"--fused {'on' if v.fused else 'off'}")
+    if v.backend is not None:
+        parts.append(f"--backend {v.backend}")
     parts.append(f"--seed {cell.seed}")
     return " ".join(parts)
 
@@ -168,6 +170,7 @@ class MatrixRunner:
         directions: Optional[Sequence[str]] = None,
         representations: Optional[Sequence[str]] = None,
         fused: Optional[Sequence[bool]] = None,
+        backends: Optional[Sequence[Optional[str]]] = None,
     ) -> List[Cell]:
         """Matrix cells for one algorithm, optionally filtered to a
         sub-slab (that's how a repro command narrows to one cell)."""
@@ -186,6 +189,8 @@ class MatrixRunner:
             ]
         if fused is not None:
             variants = [v for v in variants if v.fused in set(fused)]
+        if backends is not None:
+            variants = [v for v in variants if v.backend in set(backends)]
         return [
             Cell(
                 algo=spec.name,
@@ -253,6 +258,7 @@ class MatrixRunner:
         directions: Optional[Sequence[str]] = None,
         representations: Optional[Sequence[str]] = None,
         fused: Optional[Sequence[bool]] = None,
+        backends: Optional[Sequence[Optional[str]]] = None,
         progress=None,
     ) -> MatrixReport:
         """Sweep the (filtered) matrix and report every mismatch."""
@@ -273,6 +279,7 @@ class MatrixRunner:
                 directions=directions,
                 representations=representations,
                 fused=fused,
+                backends=backends,
             )
             for cell in cells:
                 mismatch = self.run_cell(cell)
@@ -295,6 +302,7 @@ def run_matrix(
     directions: Optional[Sequence[str]] = None,
     representations: Optional[Sequence[str]] = None,
     fused: Optional[Sequence[bool]] = None,
+    backends: Optional[Sequence[Optional[str]]] = None,
     registry: Optional[Dict[str, OracleSpec]] = None,
     progress=None,
 ) -> MatrixReport:
@@ -307,5 +315,6 @@ def run_matrix(
         directions=directions,
         representations=representations,
         fused=fused,
+        backends=backends,
         progress=progress,
     )

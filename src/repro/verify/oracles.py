@@ -71,6 +71,9 @@ class Variant:
     direction: Optional[str] = None
     representation: Optional[str] = None
     fused: Optional[bool] = None
+    #: ``None`` = native-graph execution (the default path); ``"linalg"``
+    #: = masked SpMV/SpMSpV matrix products (:mod:`repro.linalg`).
+    backend: Optional[str] = None
 
     def label(self) -> str:
         """Slash-joined human label, e.g. ``par/pull/dense/fused``."""
@@ -83,6 +86,8 @@ class Variant:
             parts.append(self.representation)
         if self.fused is not None:
             parts.append("fused" if self.fused else "unfused")
+        if self.backend is not None:
+            parts.append(self.backend)
         return "/".join(parts) or "default"
 
 
@@ -98,10 +103,13 @@ class Axes:
     directions: Tuple[Optional[str], ...] = (None,)
     representations: Tuple[Optional[str], ...] = (None,)
     fused: Tuple[Optional[bool], ...] = (None,)
+    backends: Tuple[Optional[str], ...] = (None,)
 
     def variants(self, *, quick: bool = False) -> List[Variant]:
         """Full cross product, or (quick) every policy with the other
-        axes pinned to their first (default) value."""
+        axes pinned to their first (default) value — plus, so every
+        backend stays live in the quick gate, one variant per
+        non-default backend at the default policy."""
         if quick:
             combos = {
                 Variant(
@@ -109,17 +117,35 @@ class Axes:
                     direction=self.directions[0],
                     representation=self.representations[0],
                     fused=self.fused[0],
+                    backend=self.backends[0],
                 )
                 for p in self.policies
             }
+            combos |= {
+                Variant(
+                    policy=self.policies[0],
+                    direction=self.directions[0],
+                    representation=self.representations[0],
+                    fused=self.fused[0],
+                    backend=b,
+                )
+                for b in self.backends[1:]
+            }
             return sorted(combos, key=lambda v: v.label())
         return [
-            Variant(policy=p, direction=d, representation=r, fused=f)
-            for p, d, r, f in product(
+            Variant(
+                policy=p,
+                direction=d,
+                representation=r,
+                fused=f,
+                backend=b,
+            )
+            for p, d, r, f, b in product(
                 self.policies,
                 self.directions,
                 self.representations,
                 self.fused,
+                self.backends,
             )
         ]
 
@@ -224,6 +250,8 @@ def _sssp_kwargs(variant: Variant) -> dict:
         kwargs["direction"] = variant.direction
     if variant.representation is not None:
         kwargs["output_representation"] = variant.representation
+    if variant.backend is not None:
+        kwargs["backend"] = variant.backend
     return kwargs
 
 
@@ -271,6 +299,7 @@ register(
             directions=("push", "pull", "auto"),
             representations=("sparse", "dense", "auto"),
             fused=(True, False),
+            backends=(None, "linalg"),
         ),
         baseline_name="dijkstra",
         comparator_name="float-atol",
@@ -349,6 +378,8 @@ def _run_bfs(graph, variant, ctx):
         kwargs["policy"] = variant.policy
     if variant.direction is not None:
         kwargs["direction"] = variant.direction
+    if variant.backend is not None:
+        kwargs["backend"] = variant.backend
     res = algorithms.bfs(graph, ctx.source, **kwargs)
     return {"levels": res.levels, "parents": res.parents}
 
@@ -374,6 +405,7 @@ register(
             policies=STANDARD_POLICIES,
             directions=("push", "pull", "auto"),
             fused=(True, False),
+            backends=(None, "linalg"),
         ),
         baseline_name="seq_bfs",
         comparator_name="exact+parents-tie-tolerant",
@@ -392,7 +424,9 @@ register(
 
 def _run_cc(graph, variant, ctx):
     return algorithms.connected_components(
-        graph, policy=variant.policy or "par_vector"
+        graph,
+        policy=variant.policy or "par_vector",
+        backend=variant.backend or "native",
     ).labels
 
 
@@ -406,7 +440,11 @@ register(
         run=_run_cc,
         baseline=_baseline_cc,
         compare=_cmp_partition,
-        axes=Axes(policies=STANDARD_POLICIES, fused=(True, False)),
+        axes=Axes(
+            policies=STANDARD_POLICIES,
+            fused=(True, False),
+            backends=(None, "linalg"),
+        ),
         baseline_name="seq_cc",
         comparator_name="partition-isomorphism",
         requires=("has_vertices",),
@@ -447,7 +485,9 @@ register(
 
 def _run_pagerank(graph, variant, ctx):
     return algorithms.pagerank(
-        graph, policy=variant.policy or "par_vector"
+        graph,
+        policy=variant.policy or "par_vector",
+        backend=variant.backend or "native",
     ).ranks
 
 
@@ -461,7 +501,9 @@ register(
         run=_run_pagerank,
         baseline=_baseline_pagerank,
         compare=_cmp_ranks,
-        axes=Axes(policies=STANDARD_POLICIES),
+        axes=Axes(
+            policies=STANDARD_POLICIES, backends=(None, "linalg")
+        ),
         baseline_name="seq_pagerank",
         comparator_name="float-atol",
         requires=("has_vertices",),
@@ -471,7 +513,11 @@ register(
 
 
 def _run_hits(graph, variant, ctx):
-    res = algorithms.hits(graph, policy=variant.policy or "par_vector")
+    res = algorithms.hits(
+        graph,
+        policy=variant.policy or "par_vector",
+        backend=variant.backend or "native",
+    )
     return np.concatenate([res.hubs, res.authorities])
 
 
@@ -486,7 +532,9 @@ register(
         run=_run_hits,
         baseline=_baseline_hits,
         compare=_cmp_ranks,
-        axes=Axes(policies=STANDARD_POLICIES),
+        axes=Axes(
+            policies=STANDARD_POLICIES, backends=(None, "linalg")
+        ),
         baseline_name="seq_self",
         comparator_name="float-atol",
         requires=("has_vertices",),
@@ -497,7 +545,10 @@ register(
 
 def _run_ppr(graph, variant, ctx):
     return algorithms.personalized_pagerank(
-        graph, ctx.source, policy=variant.policy or "par_vector"
+        graph,
+        ctx.source,
+        policy=variant.policy or "par_vector",
+        backend=variant.backend or "native",
     ).ranks
 
 
@@ -511,7 +562,9 @@ register(
         run=_run_ppr,
         baseline=_baseline_ppr,
         compare=_cmp_ranks,
-        axes=Axes(policies=STANDARD_POLICIES),
+        axes=Axes(
+            policies=STANDARD_POLICIES, backends=(None, "linalg")
+        ),
         baseline_name="seq_self",
         comparator_name="float-atol",
         requires=("has_vertices",),
@@ -799,7 +852,10 @@ def _spmv_x(graph, ctx):
 
 def _run_spmv(graph, variant, ctx):
     return algorithms.spmv(
-        graph, _spmv_x(graph, ctx), policy=variant.policy or "par_vector"
+        graph,
+        _spmv_x(graph, ctx),
+        policy=variant.policy or "par_vector",
+        backend=variant.backend or "native",
     )
 
 
@@ -817,11 +873,79 @@ register(
         run=_run_spmv,
         baseline=_baseline_spmv,
         compare=_cmp_spmv,
-        axes=Axes(policies=STANDARD_POLICIES),
+        axes=Axes(
+            policies=STANDARD_POLICIES, backends=(None, "linalg")
+        ),
         baseline_name="brute_coo",
         comparator_name="float-atol",
         requires=("has_vertices",),
         description="SpMV over the native-graph API",
+    )
+)
+
+
+def _run_spgemm(graph, variant, ctx):
+    res = algorithms.spgemm(
+        graph, graph, backend=variant.backend or "native"
+    )
+    coo = res.coo()
+    order = np.lexsort((coo.cols, coo.rows))
+    return {
+        "rows": coo.rows[order].astype(np.int64),
+        "cols": coo.cols[order].astype(np.int64),
+        "vals": coo.vals[order].astype(np.float64),
+    }
+
+
+def _baseline_spgemm(graph, ctx):
+    # Dense A·A — independent of both sparse formulations.  Pool graphs
+    # are small, so the n×n temporary is cheap.
+    n = graph.n_vertices
+    coo = graph.coo()
+    dense = np.zeros((n, n), dtype=np.float64)
+    np.add.at(
+        dense,
+        (coo.rows.astype(np.int64), coo.cols.astype(np.int64)),
+        coo.vals.astype(np.float64),
+    )
+    prod = dense @ dense
+    rows, cols = np.nonzero(prod)
+    return {"rows": rows, "cols": cols, "vals": prod[rows, cols]}
+
+
+def _cmp_spgemm(got, want, graph, ctx):
+    # Compare as sparse maps where a zero-valued stored entry and an
+    # absent one are equivalent (zero-weight edges realize pairs
+    # structurally in the native formulation; the dense baseline and
+    # scipy prune them).
+    gd = {
+        (int(r), int(c)): float(v)
+        for r, c, v in zip(got["rows"], got["cols"], got["vals"])
+    }
+    wd = {
+        (int(r), int(c)): float(v)
+        for r, c, v in zip(want["rows"], want["cols"], want["vals"])
+    }
+    for key in sorted(set(gd) | set(wd)):
+        g, w = gd.get(key, 0.0), wd.get(key, 0.0)
+        if abs(g - w) > 1e-3 + 1e-4 * abs(w):
+            return CompareOutcome(
+                False, f"entry {key}: got {g!r}, want {w!r}"
+            )
+    return OK
+
+
+register(
+    OracleSpec(
+        name="spgemm",
+        run=_run_spgemm,
+        baseline=_baseline_spgemm,
+        compare=_cmp_spgemm,
+        axes=Axes(backends=(None, "linalg")),
+        baseline_name="dense_matmul",
+        comparator_name="pattern-exact+float-atol",
+        requires=("has_vertices",),
+        description="SpGEMM (A·A) vs a dense matmul baseline",
     )
 )
 

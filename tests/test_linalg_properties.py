@@ -1,0 +1,173 @@
+"""Property-based kernel tests (hypothesis): SpMSpV and masked SpMV
+against brute-force references over arbitrary small graphs.
+
+The two laws the ISSUE pins down:
+
+* **SpMSpV == dense matvec restricted to the frontier** — over (+, ×),
+  the push kernel's output is exactly ``Aᵀ · x̂`` where ``x̂`` zeros
+  everything outside the frontier and ``A`` is the dense adjacency
+  (parallel edges folded by ⊕, which for + is the dense sum).  For
+  (min, +), where a dense matrix cannot represent parallel edges, the
+  reference is a per-edge loop — the fold happens edge by edge.
+* **Masked SpMV == the pull-advance it replaces** — the transposed
+  product restricted to masked rows equals the enactor's in-direction
+  segmented fold on those rows and holds the ⊕ identity off them.
+
+The graph strategy (tests/strategies.py) generates — and shrinks to —
+empty graphs, empty frontiers, isolated vertices, self-loops, and
+parallel edges, the same pathology classes as the conformance pool.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from strategies import graphs, graphs_with_frontier
+
+from repro.linalg import (
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    force_numpy,
+    spmspv,
+    spmv,
+)
+from repro.operators.segmented import segmented_neighbor_reduce
+
+N = 16
+
+
+def edge_arrays(graph):
+    coo = graph.coo()
+    return (
+        coo.rows.astype(np.int64),
+        coo.cols.astype(np.int64),
+        coo.vals.astype(np.float64),
+    )
+
+
+def dense_adjacency(graph):
+    """Dense A with parallel edges folded by summation (the + fold)."""
+    a = np.zeros((graph.n_vertices, graph.n_vertices))
+    srcs, dsts, wts = edge_arrays(graph)
+    np.add.at(a, (srcs, dsts), wts)
+    return a
+
+
+@given(graphs_with_frontier(n_vertices=N))
+@settings(max_examples=60, deadline=None)
+def test_spmspv_equals_dense_matvec_restricted_to_frontier(gf):
+    graph, frontier_ids = gf
+    frontier = np.unique(np.asarray(frontier_ids, dtype=np.int64))
+    x = np.linspace(0.5, 2.0, N)
+    restricted = np.zeros(N)
+    restricted[frontier] = x[frontier]
+    want = dense_adjacency(graph).T @ restricted
+    y, touched = spmspv(graph, frontier, x)
+    np.testing.assert_allclose(y, want, rtol=1e-9, atol=1e-12)
+    # `touched` is the output's structural pattern: destinations with at
+    # least one in-edge from the frontier (even a zero-valued fold).
+    srcs, dsts, _ = edge_arrays(graph)
+    from_frontier = np.isin(srcs, frontier)
+    np.testing.assert_array_equal(touched, np.unique(dsts[from_frontier]))
+
+
+@given(graphs_with_frontier(n_vertices=N))
+@settings(max_examples=60, deadline=None)
+def test_spmspv_min_plus_matches_edge_loop(gf):
+    """(min, +) folds per edge — parallel edges pick the lighter one."""
+    graph, frontier_ids = gf
+    frontier = np.unique(np.asarray(frontier_ids, dtype=np.int64))
+    x = np.linspace(0.0, 3.0, N)
+    want = MIN_PLUS.zeros(N)
+    in_frontier = np.zeros(N, dtype=bool)
+    in_frontier[frontier] = True
+    for s, d, w in zip(*edge_arrays(graph)):
+        if in_frontier[s]:
+            want[d] = min(want[d], x[s] + w)
+    y, _ = spmspv(graph, frontier, x, semiring=MIN_PLUS)
+    np.testing.assert_allclose(y, want, rtol=1e-12)
+
+
+@given(graphs_with_frontier(n_vertices=N))
+@settings(max_examples=60, deadline=None)
+def test_spmspv_mask_partitions_the_output(gf):
+    """Mask and complement split one unmasked product structurally."""
+    graph, frontier_ids = gf
+    frontier = np.unique(np.asarray(frontier_ids, dtype=np.int64))
+    x = np.linspace(0.5, 2.0, N)
+    mask = np.zeros(N, dtype=bool)
+    mask[::3] = True
+    y_all, touched_all = spmspv(graph, frontier, x)
+    y_in, touched_in = spmspv(graph, frontier, x, mask=mask)
+    y_out, touched_out = spmspv(
+        graph, frontier, x, mask=mask, complement=True
+    )
+    np.testing.assert_allclose(y_in + y_out, y_all, rtol=1e-12)
+    assert np.intersect1d(touched_in, touched_out).size == 0
+    np.testing.assert_array_equal(
+        np.union1d(touched_in, touched_out), touched_all
+    )
+
+
+@given(graphs(n_vertices=N))
+@settings(max_examples=60, deadline=None)
+def test_masked_spmv_equals_pull_advance(graph):
+    """The pull form: masked rows get the enactor's in-fold, unmasked
+    rows keep the ⊕ identity (their edges are never read)."""
+    x = np.linspace(0.0, 3.0, N)
+    mask = np.zeros(N, dtype=bool)
+    mask[1::2] = True
+    pull = segmented_neighbor_reduce(
+        "par_vector",
+        graph,
+        x,
+        op="min",
+        direction="in",
+        edge_transform=lambda vals, w: vals + w,
+    )
+    with force_numpy():
+        got = spmv(graph, x, semiring=MIN_PLUS, transpose=True, mask=mask)
+    want = np.where(mask, pull, MIN_PLUS.add_identity)
+    np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+@given(graphs(n_vertices=N))
+@settings(max_examples=60, deadline=None)
+def test_or_and_spmv_is_reachability(graph):
+    """Boolean pull: y[v] == "some in-neighbor holds the bit"."""
+    indicator = np.zeros(N, dtype=bool)
+    indicator[:4] = True
+    got = spmv(graph, indicator, semiring=OR_AND, transpose=True)
+    want = np.zeros(N, dtype=bool)
+    srcs, dsts, _ = edge_arrays(graph)
+    for s, d in zip(srcs, dsts):
+        if indicator[s]:
+            want[d] = True
+    np.testing.assert_array_equal(got, want)
+
+
+@given(graphs(n_vertices=N))
+@settings(max_examples=60, deadline=None)
+def test_scipy_and_numpy_paths_agree(graph):
+    """The opportunistic fast path is an implementation detail: same
+    numbers as the always-on NumPy reference, to float tolerance."""
+    x = np.linspace(0.5, 2.0, N)
+    fast = spmv(graph, x)  # scipy when available, else numpy anyway
+    with force_numpy():
+        reference = spmv(graph, x, semiring=PLUS_TIMES)
+    np.testing.assert_allclose(fast, reference, rtol=1e-9)
+
+
+@given(graphs(n_vertices=N))
+@settings(max_examples=60, deadline=None)
+def test_isolated_vertices_hold_the_identity(graph):
+    """No in-edge → ⊕ identity, under every semiring (the load-bearing
+    identity contract the planted-bug test breaks on purpose)."""
+    x = np.linspace(0.5, 2.0, N)
+    _, dsts, _ = edge_arrays(graph)
+    no_in = np.setdiff1d(np.arange(N), dsts)
+    with force_numpy():
+        y_sum = spmv(graph, x, transpose=True)
+        y_min = spmv(graph, x, semiring=MIN_PLUS, transpose=True)
+    assert np.all(y_sum[no_in] == PLUS_TIMES.add_identity)
+    assert np.all(y_min[no_in] == MIN_PLUS.add_identity)
